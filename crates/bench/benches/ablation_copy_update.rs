@@ -1,0 +1,56 @@
+//! Ablation: self-updating copy-process variables (Table 2's optimization)
+//! off vs on, end to end through the tau model.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::TauModel;
+use cgra_explore::report::render_table;
+
+fn main() {
+    banner(
+        "Ablation — copy-variable self-update vs ICAP reload",
+        "IPDPSW'13 Table 2 / Sec. 3.1",
+    );
+    let on = TauModel::paper_1024();
+    let mut off = TauModel::paper_1024();
+    off.optimized_copy = false;
+
+    let mut rows = Vec::new();
+    for cols in [1usize, 2, 5, 10] {
+        let b_on = on.evaluate(cols, 0.0).unwrap();
+        let b_off = off.evaluate(cols, 0.0).unwrap();
+        rows.push(vec![
+            cols.to_string(),
+            format!("{:.1}", b_off.tau3),
+            format!("{:.1}", b_on.tau3),
+            format!("{:.0}", b_off.throughput()),
+            format!("{:.0}", b_on.throughput()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cols",
+                "tau3 reload ns",
+                "tau3 self-update ns",
+                "FFT/s reload",
+                "FFT/s self-update"
+            ],
+            &rows
+        )
+    );
+    check(
+        "self-update never hurts and helps whenever copies retarget",
+        [1usize, 2, 5, 10]
+            .iter()
+            .all(|&c| on.throughput(c, 0.0).unwrap() >= off.throughput(c, 0.0).unwrap()),
+    );
+    check(
+        "the tau3 saving matches Table 2's order of magnitude (>50x)",
+        {
+            let b_off = off.evaluate(1, 0.0).unwrap();
+            let b_on = on.evaluate(1, 0.0).unwrap();
+            b_off.tau3 / b_on.tau3.max(1e-9) > 50.0
+        },
+    );
+}

@@ -1,0 +1,66 @@
+//! Ablation: the Sec. 3.1 twiddle-generation optimization (green tiles
+//! squaring their way to the next stage's factors) vs reloading every
+//! stage's complement over the ICAP.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::TauModel;
+use cgra_explore::report::render_table;
+
+fn main() {
+    banner(
+        "Ablation — twiddle generation vs full reload",
+        "IPDPSW'13 Sec. 3.1 ('considerable reduction in data memory loading cost')",
+    );
+    let on = TauModel::paper_1024();
+    let mut off = TauModel::paper_1024();
+    off.twiddle_generation = false;
+
+    let mut rows = Vec::new();
+    for cols in [1usize, 2, 5, 10] {
+        let t_on = on.throughput(cols, 0.0).unwrap();
+        let t_off = off.throughput(cols, 0.0).unwrap();
+        let tau1_on = on.evaluate(cols, 0.0).unwrap().tau1;
+        let tau1_off = off.evaluate(cols, 0.0).unwrap().tau1;
+        rows.push(vec![
+            cols.to_string(),
+            format!("{tau1_on:.0}"),
+            format!("{tau1_off:.0}"),
+            format!("{t_on:.0}"),
+            format!("{t_off:.0}"),
+            format!("{:.2}x", t_on / t_off),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cols",
+                "tau1 with gen ns",
+                "tau1 reload-all ns",
+                "FFT/s with gen",
+                "FFT/s reload-all",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+
+    check(
+        "generation speeds up every in-column configuration",
+        [1usize, 2, 5]
+            .iter()
+            .all(|&c| on.throughput(c, 0.0).unwrap() > off.throughput(c, 0.0).unwrap()),
+    );
+    check(
+        "10 columns are unaffected (all twiddles preloaded)",
+        on.throughput(10, 0.0).unwrap() == off.throughput(10, 0.0).unwrap(),
+    );
+    // The paper's headline: reload (log2N - log2M) * N/2 instead of
+    // N * log2 N words.
+    let naive_words = 1024.0 * 10.0;
+    let ours_words = 3.0 * 512.0;
+    check(
+        "reload volume cut by the paper's claimed factor (>6x)",
+        naive_words / ours_words > 6.0,
+    );
+}

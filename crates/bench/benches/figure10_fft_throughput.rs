@@ -1,0 +1,72 @@
+//! Figure 10: 1024-point FFT throughput vs link reconfiguration cost
+//! (0..5000 ns) for 1, 2, 5 and 10 columns.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::{sweep_link_cost, TauModel};
+use cgra_explore::report::{render_series, sparkline};
+
+fn main() {
+    banner(
+        "Figure 10 — throughput vs link reconfiguration cost",
+        "IPDPSW'13 Figure 10",
+    );
+    let model = TauModel::paper_1024();
+    let measured = TauModel::measured_1024();
+    let series = sweep_link_cost(&model, 5000.0, 250.0);
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    let labels: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} col(s)", s.cols))
+        .collect();
+    let ys: Vec<Vec<f64>> = series
+        .iter()
+        .map(|s| s.points.iter().map(|p| p.1).collect())
+        .collect();
+    println!("{}", render_series("link cost ns", &labels, &xs, &ys));
+    for (s, y) in series.iter().zip(&ys) {
+        println!("  {:>9}: {}", format!("{} cols", s.cols), sparkline(y));
+    }
+    println!();
+
+    let at0: Vec<f64> = ys.iter().map(|y| y[0]).collect();
+    check(
+        "10 columns reach ~45000 FFT/s at zero link cost (paper: ~45000)",
+        (40_000.0..50_000.0).contains(&at0[3]),
+    );
+    check(
+        "column ordering at zero cost: 10 > 5 > 2 > 1",
+        at0[3] > at0[2] && at0[2] > at0[1] && at0[1] > at0[0],
+    );
+    check(
+        "every curve is non-increasing in link cost",
+        ys.iter().all(|y| y.windows(2).all(|w| w[1] <= w[0] + 1e-9)),
+    );
+    check(
+        "at 5000 ns many columns are a liability (10 cols below 1 col)",
+        ys[3].last().unwrap() < ys[0].last().unwrap(),
+    );
+
+    // The same sweep with OUR interpreter-measured process runtimes
+    // replacing the paper's Table 1 column.
+    println!();
+    println!("--- same model, process runtimes measured from our generated PE programs ---");
+    let mseries = sweep_link_cost(&measured, 5000.0, 1000.0);
+    let mxs: Vec<f64> = mseries[0].points.iter().map(|p| p.0).collect();
+    let mys: Vec<Vec<f64>> = mseries
+        .iter()
+        .map(|s| s.points.iter().map(|p| p.1).collect())
+        .collect();
+    let mlabels: Vec<String> = mseries
+        .iter()
+        .map(|s| format!("{} col(s)", s.cols))
+        .collect();
+    println!("{}", render_series("link cost ns", &mlabels, &mxs, &mys));
+    check(
+        "the measured-runtime model preserves the column ordering at L=0",
+        mys[3][0] > mys[2][0] && mys[2][0] > mys[1][0] && mys[1][0] > mys[0][0],
+    );
+    check(
+        "and still shows the many-columns liability at high link cost",
+        mys[3].last().unwrap() < mys[0].last().unwrap(),
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 11: zoom of Figure 10 on 0..4000 ns — the region where the
+//! column curves cross.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::{sweep_link_cost, TauModel};
+use cgra_explore::report::render_series;
+
+fn main() {
+    banner(
+        "Figure 11 — interesting part of Figure 10",
+        "IPDPSW'13 Figure 11",
+    );
+    let model = TauModel::paper_1024();
+    let series = sweep_link_cost(&model, 4000.0, 100.0);
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    let labels: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} col(s)", s.cols))
+        .collect();
+    let ys: Vec<Vec<f64>> = series
+        .iter()
+        .map(|s| s.points.iter().map(|p| p.1).collect())
+        .collect();
+    println!("{}", render_series("link cost ns", &labels, &xs, &ys));
+
+    // Sensitivity ordering (paper: "circuits with more columns are more
+    // sensitive to link reconfiguration cost").
+    // Compare drops over the crossover region (0..1500 ns, 15 steps).
+    let rel_drop = |y: &Vec<f64>| (y[0] - y[15]) / y[0];
+    let drops: Vec<f64> = ys.iter().map(rel_drop).collect();
+    check(
+        "sensitivity grows with column count",
+        drops[3] > drops[2] && drops[2] > drops[1] && drops[1] > drops[0],
+    );
+    check(
+        "one-column curve is by far the flattest (less than half the 10-column drop)",
+        drops[0] < 0.5 * drops[3],
+    );
+    // Find the 10-vs-1 crossover.
+    let mut crossover = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if ys[3][i] < ys[0][i] {
+            crossover = Some(x);
+            break;
+        }
+    }
+    let c = crossover.expect("curves must cross inside the zoom window");
+    println!("  10-vs-1 column crossover at {c:.0} ns");
+    check(
+        "crossover falls in the paper's 700-1400 ns band",
+        (700.0..1400.0).contains(&c),
+    );
+}

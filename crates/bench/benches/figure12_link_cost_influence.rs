@@ -1,0 +1,44 @@
+//! Figure 12: throughput vs number of columns for link costs 0..1500 ns.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::{sweep_columns, TauModel};
+use cgra_explore::report::render_table;
+
+fn main() {
+    banner(
+        "Figure 12 — link cost influence on the column count",
+        "IPDPSW'13 Figure 12",
+    );
+    let model = TauModel::paper_1024();
+    let costs: Vec<f64> = (0..=15).map(|i| i as f64 * 100.0).collect();
+    let sweeps = sweep_columns(&model, &costs);
+
+    let mut rows = Vec::new();
+    for (l, pts) in &sweeps {
+        let mut row = vec![format!("{l:.0}")];
+        row.extend(pts.iter().map(|(_, t)| format!("{t:.0}")));
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["cost ns", "1 col", "2 cols", "5 cols", "10 cols"], &rows)
+    );
+
+    let gain_10_vs_5 = |l: f64| {
+        let pts = &sweeps[(l / 100.0) as usize].1;
+        pts[3].1 / pts[2].1
+    };
+    check(
+        "at zero cost more columns always help",
+        sweeps[0].1.windows(2).all(|w| w[1].1 > w[0].1),
+    );
+    check(
+        "by ~700 ns the 10-column gain over 5 columns has collapsed (paper: 'does not give noticeable performance')",
+        gain_10_vs_5(0.0) > 1.5 && gain_10_vs_5(700.0) < 1.15,
+    );
+    let at1500 = &sweeps[15].1;
+    check(
+        "beyond ~1100 ns adding columns hurts (10 cols below 5 at 1500 ns)",
+        at1500[3].1 < at1500[2].1,
+    );
+}

@@ -1,0 +1,91 @@
+//! Figures 13/14: the rebalancing walkthrough on the five-process example
+//! chain (800/700/1400/900/900 ns), one tile to five tiles, under all
+//! three algorithms.
+
+use cgra_bench::{banner, check};
+use cgra_explore::report::render_table;
+use cgra_fabric::CostModel;
+use cgra_map::rebalance::{rebalance_one, rebalance_opt, rebalance_two};
+use cgra_map::{evaluate, ProcessNetwork, ProcessSpec};
+
+fn chain() -> ProcessNetwork {
+    let cycles = |ns: u64| ns * 2 / 5; // 2.5 ns/cycle
+    ProcessNetwork::new(vec![
+        ProcessSpec::new("p1", 10, 0, 0, 0, cycles(800)),
+        ProcessSpec::new("p2", 10, 0, 0, 0, cycles(700)),
+        ProcessSpec::new("p3", 10, 0, 0, 0, cycles(1400)),
+        ProcessSpec::new("p4", 10, 0, 0, 0, cycles(900)),
+        ProcessSpec::new("p5", 10, 0, 0, 0, cycles(900)),
+    ])
+}
+
+fn main() {
+    banner(
+        "Figures 13/14 — rebalancing walkthrough",
+        "IPDPSW'13 Figures 13-14",
+    );
+    let net = chain();
+    let cost = CostModel::default();
+    let algos = [
+        ("reBalanceOne", rebalance_one(&net, 6, &cost)),
+        ("reBalanceTwo", rebalance_two(&net, 6, &cost)),
+        ("reBalanceOPT", rebalance_opt(&net, 6, &cost)),
+    ];
+    let mut rows = Vec::new();
+    for (name, asgs) in &algos {
+        for (t, asg) in asgs.iter().enumerate() {
+            let m = evaluate(&net, asg, &cost);
+            let desc: Vec<String> = asg
+                .loads
+                .iter()
+                .map(|l| {
+                    let base = if l.first == l.last {
+                        format!("p{}", l.first + 1)
+                    } else {
+                        format!("p{}-{}", l.first + 1, l.last + 1)
+                    };
+                    if l.instances > 1 {
+                        format!("{base}(x{})", l.instances)
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            rows.push(vec![
+                name.to_string(),
+                (t + 1).to_string(),
+                desc.join(" | "),
+                format!("{:.0}", m.interval_ns),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["algorithm", "tiles", "mapping", "interval ns"], &rows)
+    );
+
+    let one = &algos[0].1;
+    let opt = &algos[2].1;
+    let iv =
+        |asgs: &Vec<cgra_map::Assignment>, t: usize| evaluate(&net, &asgs[t], &cost).interval_ns;
+    check(
+        "1 tile runs at 4700 ns (sum of the chain)",
+        (iv(one, 0) - 4700.0).abs() < 1.0,
+    );
+    check(
+        "greedy split at 2 tiles lands on 2900 ns (Fig. 13b)",
+        (iv(one, 1) - 2900.0).abs() < 1.0,
+    );
+    check(
+        "intervals never increase as tiles are added",
+        (1..6).all(|t| iv(one, t) <= iv(one, t - 1) + 1e-9),
+    );
+    check(
+        "OPT at 4 tiles reaches the 1400 ns bottleneck (p3 alone)",
+        (iv(opt, 3) - 1500.0).abs() < 150.0,
+    );
+    check(
+        "OPT <= One and Two at every size (Fig. 14's improvement)",
+        (0..6).all(|t| iv(opt, t) <= iv(one, t) + 1e-6 && iv(opt, t) <= iv(&algos[1].1, t) + 1e-6),
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 15: instantiating a heavy process (DCT) on several tiles — the
+//! fan-out/fan-in communication pattern and its link/copy cost on the
+//! mesh, planned with the multi-hop router.
+
+use cgra_bench::{banner, check};
+use cgra_explore::report::render_table;
+use cgra_fabric::{CostModel, Mesh};
+use cgra_map::routing::{placement_copy_cost, plan_route};
+
+fn main() {
+    banner(
+        "Figure 15 — instantiating a tile n times for a heavy process",
+        "IPDPSW'13 Figure 15 (DCT fan-out/fan-in)",
+    );
+    // Pipeline positions: 0 = producer (shift tile), 1..=4 = the four DCT
+    // instances, 5 = consumer (quantize tile). The producer round-robins
+    // blocks to the instances; each instance ships results to the consumer.
+    let cost = CostModel::with_link_cost(500.0);
+    let copy_ns = 720.0 * 2.5; // CP64's Table 3 runtime per hop
+
+    let mut rows = Vec::new();
+    let mut costs = Vec::new();
+    for (name, mesh, order) in [
+        // A thoughtful placement: producer and consumer in the middle
+        // column, instances around them.
+        (
+            "2x3 clustered",
+            Mesh::new(2, 3),
+            vec![1usize, 0, 2, 3, 5, 4],
+        ),
+        // A poor placement: producer and consumer in opposite corners.
+        (
+            "2x3 stretched",
+            Mesh::new(2, 3),
+            vec![0usize, 1, 2, 4, 5, 3],
+        ),
+        // A single row forces long fan-out routes.
+        ("1x6 linear", Mesh::new(1, 6), vec![0usize, 1, 2, 3, 4, 5]),
+    ] {
+        let mut transfers = Vec::new();
+        for inst in 1..=4usize {
+            transfers.push((0, inst, copy_ns)); // fan-out
+            transfers.push((inst, 5, copy_ns)); // fan-in
+        }
+        let total = placement_copy_cost(&mesh, &order, &transfers, &cost).unwrap();
+        let max_hops = transfers
+            .iter()
+            .map(|&(p, q, _)| plan_route(&mesh, order[p], order[q]).unwrap().len())
+            .max()
+            .unwrap();
+        rows.push(vec![
+            name.to_string(),
+            format!("{total:.0}"),
+            max_hops.to_string(),
+        ]);
+        costs.push(total);
+    }
+    println!(
+        "{}",
+        render_table(&["placement", "fan cost ns/block", "max hops"], &rows)
+    );
+
+    check(
+        "clustering the instances around producer/consumer wins",
+        costs[0] < costs[1] && costs[0] < costs[2],
+    );
+    check(
+        "the linear array pays the most for the fan pattern",
+        costs[2] >= costs[1],
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 16: images/s vs tile count (1..25) for the three rebalancing
+//! algorithms.
+
+use cgra_bench::{banner, check};
+use cgra_explore::jpeg_dse::{rebalance_sweep, Algo};
+use cgra_explore::report::{render_series, sparkline};
+use cgra_fabric::CostModel;
+
+fn main() {
+    banner(
+        "Figure 16 — rebalanced JPEG throughput vs tiles",
+        "IPDPSW'13 Figure 16",
+    );
+    let cost = CostModel::default();
+    let one = rebalance_sweep(Algo::One, 25, &cost);
+    let two = rebalance_sweep(Algo::Two, 25, &cost);
+    let opt = rebalance_sweep(Algo::Opt, 25, &cost);
+    let xs: Vec<f64> = (1..=25).map(|t| t as f64).collect();
+    let ys = vec![
+        one.iter().map(|p| p.images_per_sec).collect::<Vec<_>>(),
+        two.iter().map(|p| p.images_per_sec).collect::<Vec<_>>(),
+        opt.iter().map(|p| p.images_per_sec).collect::<Vec<_>>(),
+    ];
+    println!(
+        "{}",
+        render_series(
+            "tiles",
+            &[
+                "reBalanceOne".into(),
+                "reBalanceTwo".into(),
+                "reBalanceOPT".into()
+            ],
+            &xs,
+            &ys
+        )
+    );
+    for (name, y) in ["One", "Two", "OPT"].iter().zip(&ys) {
+        println!("  {name:>4}: {}", sparkline(y));
+    }
+    println!();
+
+    check(
+        "throughput is non-decreasing in tiles for every algorithm",
+        ys.iter().all(|y| y.windows(2).all(|w| w[1] >= w[0] - 1e-9)),
+    );
+    let same = (0..25)
+        .filter(|&i| (ys[0][i] - ys[1][i]).abs() < 1e-6 && (ys[1][i] - ys[2][i]).abs() < 1e-6)
+        .count();
+    println!("  algorithms agree on {same}/25 tile counts");
+    check(
+        "the three algorithms agree in most cases (paper's observation)",
+        same >= 15,
+    );
+    check(
+        "OPT never loses to One or Two",
+        (0..25).all(|i| ys[2][i] >= ys[0][i] - 1e-6 && ys[2][i] >= ys[1][i] - 1e-6),
+    );
+    check(
+        "24 tiles reach tens of images/s (paper's Fig. 16 scale)",
+        ys[0][23] > 30.0,
+    );
+}

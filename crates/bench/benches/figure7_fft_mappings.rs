@@ -1,0 +1,65 @@
+//! Figure 7: four mappings of the 16-point radix-2 FFT onto tiles of
+//! partition size M=4 — balanced splits pipeline well, the unequal split
+//! (case d) does not.
+
+use cgra_bench::{banner, check};
+use cgra_explore::report::render_table;
+use cgra_kernels::fft::partition::{FftPlan, StageSplit};
+
+fn main() {
+    banner(
+        "Figure 7 — mappings of the 16-point R2FFT",
+        "IPDPSW'13 Figure 7",
+    );
+    let plan = FftPlan::new(16, 4).expect("valid plan");
+    let cases = [
+        (
+            "a) 4 tiles, 1 column x 4 stages",
+            StageSplit::even(&plan, 1).unwrap(),
+        ),
+        (
+            "b) 16 tiles, 4 columns x 1 stage",
+            StageSplit::even(&plan, 4).unwrap(),
+        ),
+        (
+            "c) 8 tiles, 2 columns, equal 2+2",
+            StageSplit::even(&plan, 2).unwrap(),
+        ),
+        (
+            "d) 8 tiles, 2 columns, unequal 3+1",
+            StageSplit::custom(&plan, vec![3, 1]).unwrap(),
+        ),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(name, split)| {
+            vec![
+                name.to_string(),
+                (plan.rows() * split.cols()).to_string(),
+                format!("{:?}", split.per_col),
+                if split.is_balanced() { "yes" } else { "no" }.into(),
+                format!("{:.2}", split.imbalance()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["mapping", "tiles", "stages/col", "balanced", "imbalance"],
+            &rows
+        )
+    );
+
+    check(
+        "cases a-c are balanced pipeline candidates",
+        cases[..3].iter().all(|(_, s)| s.is_balanced()),
+    );
+    check(
+        "case d is not a good pipelined mapping (paper's observation)",
+        !cases[3].1.is_balanced() && cases[3].1.imbalance() > 1.4,
+    );
+    check(
+        "the plan matches Figure 6 (4 rows, 4 stages, 2 cross-tile)",
+        plan.rows() == 4 && plan.stages() == 4 && plan.cross_stages() == 2,
+    );
+}

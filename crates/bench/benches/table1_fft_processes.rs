@@ -1,0 +1,74 @@
+//! Table 1: 1024-point radix-2 FFT process costs (BF0..BF9, vcp, hcp).
+//!
+//! Prints the paper's published row next to the row measured by executing
+//! our generated PE programs on the cycle-accurate interpreter.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::FftProcessTimes;
+use cgra_explore::report::render_table;
+use cgra_fabric::CostModel;
+use cgra_kernels::fft::programs::measure_processes;
+
+fn main() {
+    banner("Table 1 — 1024-point R2FFT processes", "IPDPSW'13 Table 1");
+    let cost = CostModel::default();
+    let measured = measure_processes(1024, 128, &cost);
+    let paper = FftProcessTimes::paper_table1();
+
+    let mut rows = Vec::new();
+    for (i, m) in measured.iter().enumerate() {
+        let paper_ns = if i < 10 {
+            paper.bf_ns[i]
+        } else if m.name == "vcp" {
+            paper.vcp_ns
+        } else {
+            paper.hcp_ns
+        };
+        rows.push(vec![
+            m.name.clone(),
+            format!("{:.0}", paper_ns),
+            format!("{:.0}", m.runtime_ns),
+            format!("{}", m.twiddles),
+            format!("{}", m.insts),
+            format!("{}", m.cycles),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["process", "paper ns", "ours ns", "twiddles", "insts", "cycles"],
+            &rows
+        )
+    );
+
+    // Invariants shared with the paper's table.
+    check(
+        "cross stages BF0-BF2 share one runtime",
+        measured[0].runtime_ns == measured[1].runtime_ns
+            && measured[1].runtime_ns == measured[2].runtime_ns,
+    );
+    let tw: Vec<usize> = measured.iter().take(10).map(|m| m.twiddles).collect();
+    check(
+        "twiddle complement halves down the local stages",
+        tw == vec![64, 64, 64, 64, 32, 16, 8, 4, 2, 1],
+    );
+    check(
+        "BF runtimes in the paper's microsecond band (2-5us)",
+        measured
+            .iter()
+            .take(10)
+            .all(|m| m.runtime_ns > 1500.0 && m.runtime_ns < 6000.0),
+    );
+    check(
+        "BF9 (h=1) costs the most block overhead of the local stages",
+        measured[9].runtime_ns
+            >= measured[4..10]
+                .iter()
+                .map(|m| m.runtime_ns)
+                .fold(0.0, f64::max),
+    );
+    check(
+        "hcp moves twice vcp's data",
+        measured[11].runtime_ns > 1.8 * measured[10].runtime_ns,
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 2: optimized copy processes — ICAP-reload vs self-updating cost.
+
+use cgra_bench::{banner, check};
+use cgra_explore::fft_dse::{copy_optimization_table, TauModel};
+use cgra_explore::report::render_table;
+
+fn main() {
+    banner("Table 2 — optimized copy processes", "IPDPSW'13 Table 2");
+    let model = TauModel::paper_1024();
+    let rows = copy_optimization_table(&model);
+    let paper_prev = [1066.6, 1066.6, 533.3, 0.0];
+    let paper_new = [15.0, 15.0, 10.0, 0.0];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(paper_prev.iter().zip(&paper_new))
+        .map(|(r, (pp, pn))| {
+            vec![
+                r.cols.to_string(),
+                format!("{pp:.1}"),
+                format!("{:.1}", r.prev_ns),
+                format!("{pn:.1}"),
+                format!("{:.1}", r.new_ns),
+                format!("{:.1}", r.improvement_ns()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cols",
+                "paper prev ns",
+                "ours prev ns",
+                "paper new ns",
+                "ours new ns",
+                "ours improvement ns"
+            ],
+            &table
+        )
+    );
+    check(
+        "reload costs match the paper exactly (1066.6/1066.6/533.3/0)",
+        (rows[0].prev_ns - 1066.6).abs() < 1.0
+            && (rows[1].prev_ns - 1066.6).abs() < 1.0
+            && (rows[2].prev_ns - 533.3).abs() < 1.0
+            && rows[3].prev_ns.abs() < 1e-9,
+    );
+    check(
+        "self-update is at least an order of magnitude cheaper",
+        rows.iter().all(|r| r.new_ns <= r.prev_ns / 10.0 + 1e-9),
+    );
+    check(
+        "10 columns never retarget copies",
+        rows[3].prev_ns == 0.0 && rows[3].new_ns == 0.0,
+    );
+}

@@ -1,0 +1,113 @@
+//! Table 3: JPEG encoder process costs — the paper's annotations next to
+//! the cycle counts of our generated PE stage programs.
+
+use cgra_bench::{banner, check};
+use cgra_explore::report::render_table;
+use cgra_kernels::jpeg::image::GrayImage;
+use cgra_kernels::jpeg::processes::{copy_processes_time_optimal, paper_network, quarter_dct};
+use cgra_kernels::jpeg::programs::{
+    dct_program, dct_quarter_program, load_jpeg_constants, load_pixels, quantize_program,
+    run_block_pipeline, shift_program, zigzag_program,
+};
+use cgra_kernels::jpeg::quant::QuantTable;
+
+fn main() {
+    banner("Table 3 — JPEG encoder process costs", "IPDPSW'13 Table 3");
+    let net = paper_network();
+    let img = GrayImage::rings(8, 8);
+    let (_, cycles) = run_block_pipeline(&img.block(0, 0), &QuantTable::luma(75));
+
+    let ours = |name: &str| -> Option<(usize, u64)> {
+        match name {
+            "shift" => Some((shift_program().len(), cycles.shift)),
+            "DCT" => Some((dct_program().len(), cycles.dct)),
+            "Quantize" => Some((quantize_program().len(), cycles.quantize)),
+            "ZigZag" => Some((zigzag_program().len(), cycles.zigzag)),
+            _ => None,
+        }
+    };
+    let mut rows = Vec::new();
+    for p in &net.processes {
+        let (oi, oc) = ours(&p.name)
+            .map(|(i, c)| (i.to_string(), c.to_string()))
+            .unwrap_or(("-".into(), "-".into()));
+        rows.push(vec![
+            p.name.clone(),
+            p.insts.to_string(),
+            p.data1.to_string(),
+            p.data2.to_string(),
+            p.data3.to_string(),
+            p.runtime_cycles.to_string(),
+            oi,
+            oc,
+        ]);
+    }
+    // Measure our quarter-DCT program.
+    let qcycles = {
+        let mut tile = cgra_fabric::Tile::new(0);
+        load_jpeg_constants(&mut tile, &QuantTable::luma(75));
+        load_pixels(&mut tile, &img.block(0, 0));
+        cgra_kernels::fft::programs::run_program(&mut tile, &shift_program(), 100_000);
+        cgra_kernels::fft::programs::run_program(&mut tile, &dct_quarter_program(0, 0), 1_000_000)
+    };
+    let q = quarter_dct();
+    rows.push(vec![
+        q.name,
+        q.insts.to_string(),
+        q.data1.to_string(),
+        q.data2.to_string(),
+        q.data3.to_string(),
+        q.runtime_cycles.to_string(),
+        dct_quarter_program(0, 0).len().to_string(),
+        qcycles.to_string(),
+    ]);
+    for c in copy_processes_time_optimal() {
+        rows.push(vec![
+            format!("{} (time-opt)", c.name),
+            c.insts.to_string(),
+            c.data1.to_string(),
+            c.data2.to_string(),
+            c.data3.to_string(),
+            c.runtime_cycles.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "process",
+                "insts",
+                "data1",
+                "data2",
+                "data3",
+                "paper cycles",
+                "our insts",
+                "our cycles"
+            ],
+            &rows
+        )
+    );
+
+    check(
+        "zigzag: ours matches the paper exactly (65 cycles, 65 insts)",
+        cycles.zigzag == 65 && zigzag_program().len() == 65,
+    );
+    check(
+        "DCT dominates the pipeline in both parameter sets",
+        net.heaviest() == 1 && cycles.dct > cycles.shift + cycles.quantize + cycles.zigzag,
+    );
+    check(
+        "our separable DCT is far below the paper's naive 133k cycles",
+        cycles.dct < 5_000,
+    );
+    check(
+        "Huffman split: p5..p9 exceed one instruction memory together",
+        net.processes[5..=9].iter().map(|p| p.insts).sum::<usize>() > 512,
+    );
+    check(
+        "our quarter-DCT runs in well under half the full DCT's cycles",
+        (qcycles as f64) < 0.5 * cycles.dct as f64,
+    );
+}

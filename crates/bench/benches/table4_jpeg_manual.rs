@@ -1,0 +1,83 @@
+//! Table 4: the five manual JPEG encoder mappings.
+
+use cgra_bench::{banner, check};
+use cgra_explore::jpeg_dse::{evaluate_manual, manual_implementations, paper_table4};
+use cgra_explore::report::render_table;
+use cgra_fabric::CostModel;
+
+fn main() {
+    banner(
+        "Table 4 — JPEG encoder manual mappings",
+        "IPDPSW'13 Table 4",
+    );
+    let cost = CostModel::default();
+    let ours: Vec<_> = manual_implementations()
+        .iter()
+        .map(|i| evaluate_manual(i, &cost))
+        .collect();
+    let paper = paper_table4();
+
+    let mut rows = Vec::new();
+    for (o, p) in ours.iter().zip(&paper) {
+        rows.push(vec![
+            o.name.clone(),
+            o.tiles.to_string(),
+            format!("{:.0} / {:.0}", p.time_us, o.time_us),
+            format!("{:.2} / {:.2}", p.avg_util, o.avg_util),
+            format!("{:.2} / {:.2}", p.images_per_sec, o.images_per_sec),
+            format!(
+                "{} / {}",
+                if p.reconfig { "yes" } else { "no" },
+                if o.reconfig { "yes" } else { "no" }
+            ),
+            format!(
+                "{} / {}",
+                if p.relink { "yes" } else { "no" },
+                if o.relink { "yes" } else { "no" }
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "impl",
+                "tiles",
+                "time us (paper/ours)",
+                "util (paper/ours)",
+                "img/s (paper/ours)",
+                "reconfig",
+                "reLink"
+            ],
+            &rows
+        )
+    );
+
+    check(
+        "every time-per-block within 25% of the paper",
+        ours.iter()
+            .zip(&paper)
+            .all(|(o, p)| (o.time_us / p.time_us) > 0.8 && (o.time_us / p.time_us) < 1.25),
+    );
+    check(
+        "Impl2 == Impl3 throughput (both DCT-bound)",
+        (ours[1].images_per_sec - ours[2].images_per_sec).abs() < 0.1,
+    );
+    check(
+        "Impl4/Impl5 are ~4x Impl2/Impl3 (split DCT)",
+        ours[3].images_per_sec > 3.0 * ours[1].images_per_sec
+            && ours[4].images_per_sec > 3.0 * ours[1].images_per_sec,
+    );
+    check(
+        "Impl5 has the best utilization of the multi-tile mappings",
+        ours[4].avg_util > ours[1].avg_util
+            && ours[4].avg_util > ours[2].avg_util
+            && ours[4].avg_util > ours[3].avg_util,
+    );
+    check(
+        "reconfig/reLink flags match the paper row for row",
+        ours.iter()
+            .zip(&paper)
+            .all(|(o, p)| o.reconfig == p.reconfig && o.relink == p.relink),
+    );
+}

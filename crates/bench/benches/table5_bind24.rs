@@ -1,0 +1,49 @@
+//! Table 5: reBalanceOne binding of the JPEG encoder to 24 tiles.
+
+use cgra_bench::{banner, check};
+use cgra_explore::jpeg_dse::bind_tiles;
+use cgra_fabric::CostModel;
+
+fn main() {
+    banner(
+        "Table 5 — binding processes to 24 tiles",
+        "IPDPSW'13 Table 5",
+    );
+    let cost = CostModel::default();
+    let (binding, pt) = bind_tiles(24, &cost);
+    println!("  paper: T1:p0  T2:p1(17)  T3:p2-4  T4:p5(2)  T5:p6  T6:p7-8  T7:p9");
+    println!("  ours:  {}", binding.join("  "));
+    println!();
+    println!(
+        "  throughput {:.1} images/s, utilization {:.2}",
+        pt.images_per_sec, pt.utilization
+    );
+    println!();
+
+    check("uses exactly 24 tiles", pt.assignment.tiles() == 24);
+    let dct = pt
+        .assignment
+        .loads
+        .iter()
+        .find(|l| l.first <= 1 && l.last >= 1)
+        .unwrap();
+    check(
+        "DCT soaks up most tiles (paper: 17 of 24)",
+        dct.instances >= 12,
+    );
+    check(
+        "the pipeline reaches tens of images per second",
+        pt.images_per_sec > 30.0,
+    );
+    check(
+        "Hman1 (p5) is the next process to be replicated (paper: p5(2))",
+        pt.assignment
+            .loads
+            .iter()
+            .any(|l| l.first == 5 && l.instances >= 2),
+    );
+    check(
+        "the binding matches the paper's Table 5 exactly",
+        binding == vec!["p0", "p1(17)", "p2-4", "p5(2)", "p6", "p7-8", "p9"],
+    );
+}

@@ -1,0 +1,32 @@
+//! # cgra-bench
+//!
+//! Shared helpers for the table/figure bench targets. Each `[[bench]]`
+//! target with `harness = false` regenerates one table or figure of the
+//! paper as plain text and asserts its qualitative invariants (orderings,
+//! crossover windows) so a regression fails `cargo bench`.
+
+#![warn(missing_docs)]
+
+/// Prints a bench banner.
+pub fn banner(what: &str, paper_ref: &str) {
+    println!();
+    println!("=== {what} ===");
+    println!("reproduces: {paper_ref}");
+    println!();
+}
+
+/// Asserts with a message, printing PASS/FAIL so the bench log records the
+/// invariant checks.
+pub fn check(name: &str, ok: bool) {
+    if ok {
+        println!("  [check] {name}: ok");
+    } else {
+        println!("  [check] {name}: FAILED");
+        panic!("invariant failed: {name}");
+    }
+}
+
+/// Formats a floating value with a fixed number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}

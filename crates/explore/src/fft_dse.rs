@@ -1,0 +1,492 @@
+//! FFT design-space exploration: the empirical performance equation of
+//! Sec. 3.2 and the sweeps behind Figures 10, 11, 12 and Tables 1, 2.
+//!
+//! ## The tau model (as reconstructed — see DESIGN.md)
+//!
+//! For an N-point radix-2 FFT on `rows = N/M` tiles per column and `cols`
+//! columns (cols divides log2 N), with per-link reconfiguration cost `L`:
+//!
+//! * `t_l = rows * L` — re-routing one column's worth of links,
+//! * `tau0 = t_hcp` — streaming the input into the first column (all row
+//!   tiles receive in parallel),
+//! * `tau1` — ICAP reload of yellow twiddles: `events(cols) * N/2 * 33.33ns`
+//!   with `events = {1:3, 2:3, 5:2, 10:0}` for the 1024-point case (Eq. 7),
+//! * `tau2` — the lockstep pipeline interval: columns advance together
+//!   through `log2N / cols` steps; a step takes the max BF runtime over
+//!   columns, overlapped with vertical link reconfiguration
+//!   (`max(BF, S_i * t_l)`),
+//! * `tau3` — copy-variable reloads (`2 * rows` words per in-column vcp
+//!   retargeting event); the Table 2 optimization replaces it with a few
+//!   self-update instructions,
+//! * `tau4` — non-overlapped vcp executions: `{1:3, 2:3, 5:2, 10:1}`,
+//! * `tau5 = t_l * cols` — establishing the horizontal links (Eq. 12),
+//! * `tau6 = 0` (Eq. 13),
+//! * `tau7 = t_hcp * cols` — results ripple column-to-column over the
+//!   single-word-wide links, serialized per FFT.
+//!
+//! With the paper's Table 1 process runtimes this reproduces the published
+//! anchors: ~45 000 FFT/s at 10 columns and L=0, ~11 000 at one column,
+//! and the 700–1100 ns crossover band of Figure 12.
+
+use cgra_fabric::CostModel;
+use cgra_kernels::fft::partition::FftPlan;
+use cgra_kernels::fft::programs::measure_processes;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-process runtimes feeding the tau model (Table 1's runtime column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FftProcessTimes {
+    /// `BF0..BF(log2N-1)` runtimes, ns.
+    pub bf_ns: Vec<f64>,
+    /// Vertical copy process runtime, ns.
+    pub vcp_ns: f64,
+    /// Horizontal copy process runtime, ns.
+    pub hcp_ns: f64,
+}
+
+impl FftProcessTimes {
+    /// The paper's published Table 1 numbers (1024-point, M=128).
+    pub fn paper_table1() -> FftProcessTimes {
+        FftProcessTimes {
+            bf_ns: vec![
+                2672.0, 2672.0, 2672.0, 4112.0, 3434.0, 3134.0, 3062.0, 3182.0, 3554.0, 4364.0,
+            ],
+            vcp_ns: 789.0,
+            hcp_ns: 1557.0,
+        }
+    }
+
+    /// Runtimes measured by executing our generated PE programs on the
+    /// interpreter.
+    pub fn measured(plan: &FftPlan, cost: &CostModel) -> FftProcessTimes {
+        let rows = measure_processes(plan.n, plan.m, cost);
+        let stages = plan.stages();
+        FftProcessTimes {
+            bf_ns: rows[..stages].iter().map(|r| r.runtime_ns).collect(),
+            vcp_ns: rows[stages].runtime_ns,
+            hcp_ns: rows[stages + 1].runtime_ns,
+        }
+    }
+}
+
+/// The tau performance model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TauModel {
+    /// Partition plan.
+    pub plan: FftPlan,
+    /// Process runtimes.
+    pub times: FftProcessTimes,
+    /// Base cost model (per-link cost is passed per query instead).
+    pub cost: CostModel,
+    /// Use the Table 2 self-updating copy processes (tau3 ~ 0).
+    pub optimized_copy: bool,
+    /// Use green twiddle generation (tau1 only pays yellow events); when
+    /// false every stage beyond the first reloads its full complement —
+    /// the ablation baseline.
+    pub twiddle_generation: bool,
+}
+
+/// Breakdown of one evaluation of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TauBreakdown {
+    /// Input streaming, ns.
+    pub tau0: f64,
+    /// Yellow twiddle reloads, ns.
+    pub tau1: f64,
+    /// Lockstep compute interval (with overlapped vertical relink), ns.
+    pub tau2: f64,
+    /// Copy-variable reloads, ns.
+    pub tau3: f64,
+    /// Vertical copy executions, ns.
+    pub tau4: f64,
+    /// Horizontal link establishment, ns.
+    pub tau5: f64,
+    /// hcp data-memory reconfiguration (0 by Eq. 13), ns.
+    pub tau6: f64,
+    /// Column-to-column result transfer, ns.
+    pub tau7: f64,
+}
+
+impl TauBreakdown {
+    /// Total time for one FFT, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.tau0
+            + self.tau1
+            + self.tau2
+            + self.tau3
+            + self.tau4
+            + self.tau5
+            + self.tau6
+            + self.tau7
+    }
+
+    /// FFTs per second.
+    pub fn throughput(&self) -> f64 {
+        1e9 / self.total_ns()
+    }
+}
+
+impl TauModel {
+    /// Model over the paper's 1024-point plan and published Table 1 times.
+    pub fn paper_1024() -> TauModel {
+        TauModel {
+            plan: FftPlan::paper_1024(),
+            times: FftProcessTimes::paper_table1(),
+            cost: CostModel::default(),
+            optimized_copy: true,
+            twiddle_generation: true,
+        }
+    }
+
+    /// Model with runtimes measured from our generated PE programs.
+    pub fn measured_1024() -> TauModel {
+        let plan = FftPlan::paper_1024();
+        let cost = CostModel::default();
+        TauModel {
+            times: FftProcessTimes::measured(&plan, &cost),
+            plan,
+            cost,
+            optimized_copy: true,
+            twiddle_generation: true,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.plan.rows()
+    }
+
+    /// In-column vcp retargeting events (`tau3`): boundaries between
+    /// consecutive *cross* stages that fall inside one column.
+    fn cp_events(&self, cols: usize) -> usize {
+        let spc = self.plan.stages() / cols;
+        (1..self.plan.cross_stages())
+            .filter(|s| s % spc != 0)
+            .count()
+    }
+
+    /// Non-overlapped vcp executions (`tau4`).
+    fn vcp_events(&self, cols: usize) -> usize {
+        let spc = self.plan.stages() / cols;
+        let aligned = (1..self.plan.cross_stages())
+            .filter(|s| s % spc == 0)
+            .count();
+        self.plan.cross_stages() - aligned
+    }
+
+    /// Evaluates the model for `cols` columns at per-link cost `link_ns`.
+    pub fn evaluate(&self, cols: usize, link_ns: f64) -> Result<TauBreakdown, String> {
+        let spc = self.plan.stages_per_col(cols)?;
+        let t_l = self.rows() as f64 * link_ns;
+        let word_ns = self.cost.data_word_reload_ns();
+
+        let tau0 = self.times.hcp_ns;
+
+        let reload_events = if self.twiddle_generation {
+            self.plan.yellow_reload_events(cols)?
+        } else {
+            // Ablation: every stage after the first executed in-column
+            // reloads its full twiddle complement.
+            (1..self.plan.stages()).filter(|s| s % spc != 0).count()
+        };
+        let tau1 = reload_events as f64 * self.plan.yellow_words_per_event() as f64 * word_ns;
+
+        // Lockstep interval: step i runs stage (c*spc + i) on column c.
+        let mut tau2 = 0.0;
+        for i in 0..spc {
+            let mut step = 0.0f64;
+            let mut needs_vrelink = false;
+            for c in 0..cols {
+                let s = c * spc + i;
+                step = step.max(self.times.bf_ns[s]);
+                if s < self.plan.cross_stages() {
+                    needs_vrelink = true;
+                }
+            }
+            if needs_vrelink {
+                step = step.max(t_l); // vertical relink overlaps BF execution
+            }
+            tau2 += step;
+        }
+
+        let tau3 = if self.optimized_copy {
+            // Self-updating copy variables: two adds per event (Table 2).
+            self.cp_events(cols) as f64 * 2.0 * self.cost.cycle_ns()
+        } else {
+            self.cp_events(cols) as f64 * (2 * self.rows()) as f64 * word_ns
+        };
+
+        let tau4 = self.vcp_events(cols) as f64 * self.times.vcp_ns;
+        let tau5 = t_l * cols as f64;
+        let tau6 = 0.0;
+        let tau7 = self.times.hcp_ns * cols as f64;
+
+        Ok(TauBreakdown {
+            tau0,
+            tau1,
+            tau2,
+            tau3,
+            tau4,
+            tau5,
+            tau6,
+            tau7,
+        })
+    }
+
+    /// Throughput (FFT/s) for `cols` at link cost `link_ns`.
+    pub fn throughput(&self, cols: usize, link_ns: f64) -> Result<f64, String> {
+        Ok(self.evaluate(cols, link_ns)?.throughput())
+    }
+}
+
+/// One series of Figure 10/11: throughput vs link cost for a column count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    /// Column count.
+    pub cols: usize,
+    /// `(link_cost_ns, ffts_per_sec)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 10/11 sweep: throughput vs link cost for every valid column
+/// count.
+pub fn sweep_link_cost(model: &TauModel, max_link_ns: f64, step_ns: f64) -> Vec<ThroughputSeries> {
+    model
+        .plan
+        .valid_cols()
+        .into_par_iter()
+        .map(|cols| {
+            let mut points = Vec::new();
+            let mut l = 0.0;
+            while l <= max_link_ns + 1e-9 {
+                points.push((l, model.throughput(cols, l).expect("valid cols")));
+                l += step_ns;
+            }
+            ThroughputSeries { cols, points }
+        })
+        .collect()
+}
+
+/// Figure 12 sweep: throughput vs column count for each link cost.
+pub fn sweep_columns(model: &TauModel, link_costs_ns: &[f64]) -> Vec<(f64, Vec<(usize, f64)>)> {
+    link_costs_ns
+        .par_iter()
+        .map(|&l| {
+            let series = model
+                .plan
+                .valid_cols()
+                .into_iter()
+                .map(|c| (c, model.throughput(c, l).expect("valid cols")))
+                .collect();
+            (l, series)
+        })
+        .collect()
+}
+
+/// A Table 2 row: copy-process retargeting cost per column count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CopyOptRow {
+    /// Column count.
+    pub cols: usize,
+    /// ICAP-reload cost (previous approach), ns.
+    pub prev_ns: f64,
+    /// Self-update cost (optimized), ns.
+    pub new_ns: f64,
+}
+
+impl CopyOptRow {
+    /// Improvement, ns.
+    pub fn improvement_ns(&self) -> f64 {
+        self.prev_ns - self.new_ns
+    }
+}
+
+/// Regenerates Table 2 from the model.
+pub fn copy_optimization_table(model: &TauModel) -> Vec<CopyOptRow> {
+    model
+        .plan
+        .valid_cols()
+        .into_iter()
+        .map(|cols| {
+            let mut reload = model.clone();
+            reload.optimized_copy = false;
+            let mut updated = model.clone();
+            updated.optimized_copy = true;
+            let prev = reload.evaluate(cols, 0.0).expect("valid").tau3;
+            let new = updated.evaluate(cols, 0.0).expect("valid").tau3;
+            CopyOptRow {
+                cols,
+                prev_ns: prev,
+                new_ns: new,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_10_columns_45000() {
+        let m = TauModel::paper_1024();
+        let t = m.throughput(10, 0.0).unwrap();
+        assert!(
+            (40_000.0..50_000.0).contains(&t),
+            "10-column throughput {t} should be ~45000/s"
+        );
+    }
+
+    #[test]
+    fn paper_anchor_one_column_11000() {
+        let m = TauModel::paper_1024();
+        let t = m.throughput(1, 0.0).unwrap();
+        assert!(
+            (10_000.0..13_000.0).contains(&t),
+            "1-column throughput {t} should be ~11-12k/s"
+        );
+    }
+
+    #[test]
+    fn more_columns_win_at_zero_link_cost() {
+        let m = TauModel::paper_1024();
+        let t: Vec<f64> = [1, 2, 5, 10]
+            .iter()
+            .map(|&c| m.throughput(c, 0.0).unwrap())
+            .collect();
+        assert!(t[0] < t[1] && t[1] < t[2] && t[2] < t[3], "{t:?}");
+    }
+
+    #[test]
+    fn crossover_in_paper_band() {
+        // Figure 12: above ~700ns adding columns stops helping; above
+        // ~1100ns it hurts. Find where 10 columns drop below 1 column.
+        let m = TauModel::paper_1024();
+        let mut crossover = None;
+        for l in 0..3000 {
+            let l = l as f64;
+            if m.throughput(10, l).unwrap() < m.throughput(1, l).unwrap() {
+                crossover = Some(l);
+                break;
+            }
+        }
+        let c = crossover.expect("must cross");
+        assert!(
+            (700.0..1400.0).contains(&c),
+            "10-vs-1 column crossover at {c} ns, expected the paper's band"
+        );
+        // And 10 vs 5 columns crosses earlier.
+        let mut c105 = None;
+        for l in 0..3000 {
+            let l = l as f64;
+            if m.throughput(10, l).unwrap() < m.throughput(5, l).unwrap() {
+                c105 = Some(l);
+                break;
+            }
+        }
+        assert!(c105.expect("must cross") < c);
+    }
+
+    #[test]
+    fn sensitivity_grows_with_columns() {
+        // Figure 11: more columns are more sensitive to link cost.
+        let m = TauModel::paper_1024();
+        let slope = |cols: usize| {
+            let a = m.throughput(cols, 0.0).unwrap();
+            let b = m.throughput(cols, 1000.0).unwrap();
+            (a - b) / a
+        };
+        assert!(slope(10) > slope(5));
+        assert!(slope(5) > slope(2));
+        assert!(slope(2) > slope(1));
+    }
+
+    #[test]
+    fn one_column_is_the_flattest() {
+        // Figure 10: the one-column curve is nearly flat compared with the
+        // steep multi-column curves.
+        let m = TauModel::paper_1024();
+        let drop = |cols: usize| {
+            let a = m.throughput(cols, 0.0).unwrap();
+            let b = m.throughput(cols, 2000.0).unwrap();
+            (a - b) / a
+        };
+        assert!(drop(1) < 0.45, "one column dropped {:.2}", drop(1));
+        assert!(drop(10) > 2.0 * drop(1));
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        // Paper Table 2: prev cost 1066.6 / 1066.6 / 533.3 / 0 ns.
+        let m = TauModel::paper_1024();
+        let rows = copy_optimization_table(&m);
+        let prev: Vec<f64> = rows.iter().map(|r| r.prev_ns).collect();
+        assert!((prev[0] - 1066.6).abs() < 1.0, "{prev:?}");
+        assert!((prev[1] - 1066.6).abs() < 1.0);
+        assert!((prev[2] - 533.3).abs() < 1.0);
+        assert!(prev[3].abs() < 1e-9);
+        // New costs are tiny and improvement is ~prev.
+        for r in &rows {
+            assert!(r.new_ns <= 15.0);
+            assert!(r.improvement_ns() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn twiddle_generation_ablation_hurts() {
+        let on = TauModel::paper_1024();
+        let mut off = TauModel::paper_1024();
+        off.twiddle_generation = false;
+        for cols in [1usize, 2, 5] {
+            assert!(
+                off.throughput(cols, 0.0).unwrap() < on.throughput(cols, 0.0).unwrap(),
+                "cols={cols}"
+            );
+        }
+        // 10 columns preload everything either way.
+        assert_eq!(
+            off.throughput(10, 0.0).unwrap(),
+            on.throughput(10, 0.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn measured_model_preserves_shape() {
+        let m = TauModel::measured_1024();
+        assert_eq!(m.times.bf_ns.len(), 10);
+        let t1 = m.throughput(1, 0.0).unwrap();
+        let t10 = m.throughput(10, 0.0).unwrap();
+        assert!(t10 > 2.0 * t1, "t1={t1} t10={t10}");
+        // Crossover still exists.
+        let mut crossed = false;
+        for l in 0..5000 {
+            if m.throughput(10, l as f64).unwrap() < m.throughput(1, l as f64).unwrap() {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed);
+    }
+
+    #[test]
+    fn sweeps_have_expected_shape() {
+        let m = TauModel::paper_1024();
+        let series = sweep_link_cost(&m, 5000.0, 500.0);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.points.len(), 11);
+            // Monotonically non-increasing in link cost.
+            for w in s.points.windows(2) {
+                assert!(w[1].1 <= w[0].1 + 1e-9);
+            }
+        }
+        let cols_sweep = sweep_columns(&m, &[0.0, 700.0, 1500.0]);
+        assert_eq!(cols_sweep.len(), 3);
+        // At 0 cost increasing columns increases throughput...
+        let at0 = &cols_sweep[0].1;
+        assert!(at0.windows(2).all(|w| w[1].1 > w[0].1));
+        // ...at 1500ns it decreases from 5 to 10 columns.
+        let at1500 = &cols_sweep[2].1;
+        assert!(at1500[3].1 < at1500[2].1);
+    }
+}

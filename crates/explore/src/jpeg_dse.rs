@@ -1,0 +1,430 @@
+//! JPEG design-space exploration: the manual mappings of Table 4, the
+//! 24-tile binding of Table 5, and the rebalancing sweeps of Figures 16-17.
+
+use cgra_fabric::{CostModel, INSTR_SLOTS};
+use cgra_kernels::jpeg::processes::{
+    copy_processes_time_optimal, paper_network, quarter_dct, JpegProcess, BLOCKS_PER_IMAGE,
+};
+use cgra_map::rebalance::{rebalance_one, rebalance_opt, rebalance_two};
+use cgra_map::{evaluate, Assignment, ProcessSpec};
+use serde::{Deserialize, Serialize};
+
+/// Unit time of an arbitrary set of processes on one tile: runtimes plus
+/// per-block reconfiguration when the programs exceed the instruction
+/// memory.
+pub fn procs_time_ns(procs: &[&ProcessSpec], cost: &CostModel) -> f64 {
+    let cycles: u64 = procs.iter().map(|p| p.runtime_cycles).sum();
+    let insts: usize = procs.iter().map(|p| p.insts).sum();
+    let mut t = cost.exec_ns(cycles);
+    if insts > INSTR_SLOTS {
+        let data3: usize = procs.iter().map(|p| p.data3).sum();
+        t += cost.instr_reload_ns(insts) + cost.data_reload_ns(data3);
+    }
+    t
+}
+
+/// One pipeline stage of a manual mapping: one or more tiles working in
+/// parallel on the same block (the four quarter-DCT tiles of Figure 15).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManualStage {
+    /// Each inner vec is one tile's process list (indices into the
+    /// catalog).
+    pub tiles: Vec<Vec<usize>>,
+}
+
+/// A manual mapping (one Table 4 column).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManualImpl {
+    /// Implementation name.
+    pub name: String,
+    /// Pipeline stages.
+    pub stages: Vec<ManualStage>,
+    /// Whether the mapping re-routes links at runtime (DCT fan-out/fan-in).
+    pub relink: bool,
+}
+
+/// Evaluated Table 4 metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManualMetrics {
+    /// Name.
+    pub name: String,
+    /// Tiles used.
+    pub tiles: usize,
+    /// Time per block-unit, us.
+    pub time_us: f64,
+    /// Average tile utilization.
+    pub avg_util: f64,
+    /// Images per second (800 blocks/image).
+    pub images_per_sec: f64,
+    /// Runtime program reconfiguration needed?
+    pub reconfig: bool,
+    /// Link re-routing needed?
+    pub relink: bool,
+}
+
+/// The process catalog backing the manual mappings: the Table 3 main
+/// pipeline, the quarter-DCT, and the time-optimal copy helpers.
+pub fn catalog() -> Vec<ProcessSpec> {
+    let mut v = paper_network().processes;
+    v.push(quarter_dct()); // index 10
+    v.extend(copy_processes_time_optimal()); // 11: CP16, 12: CP32, 13: CP64
+    v
+}
+
+const DCT: usize = JpegProcess::Dct as usize;
+const QDCT: usize = 10;
+const CP16: usize = 11;
+const CP64: usize = 13;
+
+/// The five manual implementations of Table 4.
+pub fn manual_implementations() -> Vec<ManualImpl> {
+    let all: Vec<usize> = (0..10).collect();
+    let rest: Vec<usize> = (0..10).filter(|&i| i != DCT).collect();
+    let one_each = |idxs: &[usize]| -> Vec<ManualStage> {
+        idxs.iter()
+            .map(|&i| ManualStage {
+                tiles: vec![vec![i]],
+            })
+            .collect()
+    };
+    vec![
+        ManualImpl {
+            name: "Impl1 (1 tile)".into(),
+            stages: vec![ManualStage {
+                tiles: vec![all.clone()],
+            }],
+            relink: false,
+        },
+        ManualImpl {
+            name: "Impl2 (2 tiles)".into(),
+            stages: vec![
+                ManualStage {
+                    tiles: vec![vec![DCT]],
+                },
+                ManualStage {
+                    tiles: vec![rest.clone()],
+                },
+            ],
+            relink: false,
+        },
+        ManualImpl {
+            name: "Impl3 (10 tiles)".into(),
+            stages: one_each(&all),
+            relink: false,
+        },
+        ManualImpl {
+            name: "Impl4 (13 tiles)".into(),
+            stages: {
+                let mut s = vec![ManualStage {
+                    // shift tile also runs the CP64 fan-out copy
+                    tiles: vec![vec![JpegProcess::Shift as usize, CP64]],
+                }];
+                // four parallel quarter-DCT tiles, each with a CP16 fan-in
+                s.push(ManualStage {
+                    tiles: (0..4).map(|_| vec![QDCT, CP16]).collect(),
+                });
+                for i in 2..10 {
+                    s.push(ManualStage {
+                        tiles: vec![vec![i]],
+                    });
+                }
+                s
+            },
+            relink: true,
+        },
+        ManualImpl {
+            name: "Impl5 (5 tiles)".into(),
+            stages: vec![
+                ManualStage {
+                    tiles: (0..4).map(|_| vec![QDCT, CP16]).collect(),
+                },
+                ManualStage {
+                    tiles: vec![{
+                        let mut v = vec![JpegProcess::Shift as usize];
+                        v.extend(2..10);
+                        v.push(CP64);
+                        v
+                    }],
+                },
+            ],
+            relink: true,
+        },
+    ]
+}
+
+/// Evaluates a manual mapping into Table 4 metrics.
+pub fn evaluate_manual(imp: &ManualImpl, cost: &CostModel) -> ManualMetrics {
+    let cat = catalog();
+    let mut interval = 0.0f64;
+    let mut busy_sum = 0.0f64;
+    let mut tiles = 0usize;
+    let mut reconfig = false;
+    for stage in &imp.stages {
+        let mut stage_time = 0.0f64;
+        for tile in &stage.tiles {
+            let procs: Vec<&ProcessSpec> = tile.iter().map(|&i| &cat[i]).collect();
+            let t = procs_time_ns(&procs, cost);
+            let insts: usize = procs.iter().map(|p| p.insts).sum();
+            reconfig |= insts > INSTR_SLOTS;
+            stage_time = stage_time.max(t);
+            busy_sum += t;
+            tiles += 1;
+        }
+        interval = interval.max(stage_time);
+    }
+    ManualMetrics {
+        name: imp.name.clone(),
+        tiles,
+        time_us: interval / 1e3,
+        avg_util: busy_sum / (tiles as f64 * interval),
+        images_per_sec: 1e9 / (interval * BLOCKS_PER_IMAGE as f64),
+        reconfig,
+        relink: imp.relink,
+    }
+}
+
+/// The paper's published Table 4 values, for side-by-side reporting.
+pub fn paper_table4() -> Vec<ManualMetrics> {
+    let row = |name: &str, tiles, time_us, avg_util, images, reconfig, relink| ManualMetrics {
+        name: name.into(),
+        tiles,
+        time_us,
+        avg_util,
+        images_per_sec: images,
+        reconfig,
+        relink,
+    };
+    vec![
+        row("Impl1 (1 tile)", 1, 419.0, 1.0, 2.98, true, false),
+        row("Impl2 (2 tiles)", 2, 334.0, 0.62, 3.74, true, false),
+        row("Impl3 (10 tiles)", 10, 334.0, 0.12, 3.74, false, false),
+        row("Impl4 (13 tiles)", 13, 84.0, 0.37, 14.88, false, true),
+        row("Impl5 (5 tiles)", 5, 86.0, 0.98, 14.43, true, true),
+    ]
+}
+
+/// Which rebalancing algorithm to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Algorithm 1.
+    One,
+    /// Algorithm 2.
+    Two,
+    /// Optimal redistribution.
+    Opt,
+}
+
+/// One point of Figures 16/17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Tile budget.
+    pub tiles: usize,
+    /// Images per second.
+    pub images_per_sec: f64,
+    /// Average utilization.
+    pub utilization: f64,
+    /// The assignment behind the point.
+    pub assignment: Assignment,
+}
+
+/// Sweeps a rebalancing algorithm over `1..=max_tiles` tiles on the
+/// paper's JPEG network (Figures 16 and 17).
+pub fn rebalance_sweep(algo: Algo, max_tiles: usize, cost: &CostModel) -> Vec<SweepPoint> {
+    let net = paper_network();
+    let asgs = match algo {
+        Algo::One => rebalance_one(&net, max_tiles, cost),
+        Algo::Two => rebalance_two(&net, max_tiles, cost),
+        Algo::Opt => rebalance_opt(&net, max_tiles, cost),
+    };
+    asgs.into_iter()
+        .enumerate()
+        .map(|(i, asg)| {
+            let m = evaluate(&net, &asg, cost);
+            SweepPoint {
+                tiles: i + 1,
+                images_per_sec: m.images_per_sec(BLOCKS_PER_IMAGE),
+                utilization: m.utilization,
+                assignment: asg,
+            }
+        })
+        .collect()
+}
+
+/// Renders an assignment in the paper's Table 5 notation
+/// (`p1(17)` = 17 tiles instantiated for p1, `p2-4` = one tile for p2..p4).
+pub fn binding_notation(asg: &Assignment) -> Vec<String> {
+    asg.loads
+        .iter()
+        .map(|l| {
+            let name = if l.first == l.last {
+                format!("p{}", l.first)
+            } else {
+                format!("p{}-{}", l.first, l.last)
+            };
+            if l.instances > 1 {
+                format!("{name}({})", l.instances)
+            } else {
+                name
+            }
+        })
+        .collect()
+}
+
+/// Table 5: reBalanceOne binding of the JPEG encoder to `tiles` tiles.
+pub fn bind_tiles(tiles: usize, cost: &CostModel) -> (Vec<String>, SweepPoint) {
+    let pts = rebalance_sweep(Algo::One, tiles, cost);
+    let last = pts.into_iter().last().expect("non-empty sweep");
+    (binding_notation(&last.assignment), last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Vec<ManualMetrics> {
+        let cost = CostModel::default();
+        manual_implementations()
+            .iter()
+            .map(|i| evaluate_manual(i, &cost))
+            .collect()
+    }
+
+    #[test]
+    fn table4_tile_counts() {
+        let m = metrics();
+        assert_eq!(
+            m.iter().map(|r| r.tiles).collect::<Vec<_>>(),
+            vec![1, 2, 10, 13, 5]
+        );
+    }
+
+    #[test]
+    fn table4_times_near_paper() {
+        let m = metrics();
+        let paper = paper_table4();
+        for (ours, theirs) in m.iter().zip(&paper) {
+            let ratio = ours.time_us / theirs.time_us;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}: ours {:.1}us vs paper {:.1}us",
+                ours.name,
+                ours.time_us,
+                theirs.time_us
+            );
+        }
+    }
+
+    #[test]
+    fn table4_qualitative_structure() {
+        let m = metrics();
+        // Impl2 and Impl3 are DCT-bound: same throughput.
+        assert!((m[1].time_us - m[2].time_us).abs() < 1.0);
+        // Impl4 and Impl5 split DCT: ~4x faster than Impl2/3.
+        assert!(m[3].images_per_sec > 3.0 * m[1].images_per_sec);
+        assert!(m[4].images_per_sec > 3.0 * m[1].images_per_sec);
+        // Impl1 utilization 1.0 (its only tile is the bottleneck).
+        assert!((m[0].avg_util - 1.0).abs() < 1e-9);
+        // Impl3 wastes 10 tiles on a DCT-bound pipeline.
+        assert!(m[2].avg_util < 0.2);
+        // Impl5 reaches the best utilization of the multi-tile mappings.
+        assert!(m[4].avg_util > m[1].avg_util);
+        assert!(m[4].avg_util > m[2].avg_util);
+        assert!(m[4].avg_util > m[3].avg_util);
+        // reconfig flags: impl1, impl2, impl5 reload programs.
+        assert_eq!(
+            m.iter().map(|r| r.reconfig).collect::<Vec<_>>(),
+            vec![true, true, false, false, true]
+        );
+        // relink: only the DCT fan-out mappings.
+        assert_eq!(
+            m.iter().map(|r| r.relink).collect::<Vec<_>>(),
+            vec![false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn figure16_throughput_grows_with_tiles() {
+        let cost = CostModel::default();
+        for algo in [Algo::One, Algo::Two, Algo::Opt] {
+            let pts = rebalance_sweep(algo, 25, &cost);
+            assert_eq!(pts.len(), 25);
+            // Non-decreasing throughput.
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].images_per_sec >= w[0].images_per_sec - 1e-9,
+                    "{algo:?}: {} -> {}",
+                    w[0].images_per_sec,
+                    w[1].images_per_sec
+                );
+            }
+            // 24 tiles reach tens of images per second (paper Fig. 16).
+            assert!(pts[23].images_per_sec > 30.0, "{algo:?}");
+            assert!(pts[0].images_per_sec < 4.0);
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_mostly() {
+        // Paper: "applying proposed reBalancing algorithms gives the same
+        // mapping in most cases".
+        let cost = CostModel::default();
+        let one = rebalance_sweep(Algo::One, 25, &cost);
+        let two = rebalance_sweep(Algo::Two, 25, &cost);
+        let opt = rebalance_sweep(Algo::Opt, 25, &cost);
+        let mut same = 0;
+        for i in 0..25 {
+            if (one[i].images_per_sec - two[i].images_per_sec).abs() < 1e-6
+                && (two[i].images_per_sec - opt[i].images_per_sec).abs() < 1e-6
+            {
+                same += 1;
+            }
+            // OPT is never worse.
+            assert!(opt[i].images_per_sec >= one[i].images_per_sec - 1e-6);
+            assert!(opt[i].images_per_sec >= two[i].images_per_sec - 1e-6);
+        }
+        assert!(same >= 15, "algorithms agree on only {same}/25 points");
+    }
+
+    #[test]
+    fn table5_binding_shape() {
+        let cost = CostModel::default();
+        let (binding, pt) = bind_tiles(24, &cost);
+        assert_eq!(pt.assignment.tiles(), 24);
+        // DCT must dominate the replicas, like the paper's p1(17).
+        let dct_instances = pt
+            .assignment
+            .loads
+            .iter()
+            .find(|l| l.first <= 1 && l.last >= 1)
+            .map(|l| l.instances)
+            .unwrap();
+        assert!(
+            dct_instances >= 12,
+            "DCT should hold most tiles, got {dct_instances}: {binding:?}"
+        );
+        // Rendering includes the instance notation.
+        assert!(binding.iter().any(|s| s.contains('(')), "{binding:?}");
+    }
+
+    #[test]
+    fn utilization_curve_shape() {
+        // Figure 17: one tile is fully utilized; utilization dips while the
+        // DCT bottleneck still dominates mid-sweep, then recovers as the
+        // replicas soak up the imbalance.
+        let cost = CostModel::default();
+        let pts = rebalance_sweep(Algo::Opt, 25, &cost);
+        assert!((pts[0].utilization - 1.0).abs() < 1e-9);
+        let min = pts
+            .iter()
+            .map(|p| p.utilization)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min > 0.3, "utilization collapsed to {min}");
+        // Large tile counts recover past the mid-sweep dip: the rebalanced
+        // 24/25-tile mappings keep the array mostly busy.
+        assert!(
+            pts[24].utilization > 0.75,
+            "no recovery: {}",
+            pts[24].utilization
+        );
+    }
+}

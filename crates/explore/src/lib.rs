@@ -1,0 +1,18 @@
+//! # cgra-explore
+//!
+//! Design-space exploration reproducing the paper's evaluation:
+//!
+//! * [`fft_dse`] — the Sec. 3.2 tau performance model and the sweeps of
+//!   Figures 10-12 plus the Table 2 copy-process optimization,
+//! * [`jpeg_dse`] — Table 4's manual mappings, Table 5's 24-tile binding,
+//!   and the rebalancing sweeps of Figures 16-17,
+//! * [`report`] — plain-text table/series rendering for the bench targets.
+
+#![warn(missing_docs)]
+
+pub mod fft_dse;
+pub mod jpeg_dse;
+pub mod report;
+
+pub use fft_dse::{copy_optimization_table, sweep_columns, sweep_link_cost, TauModel};
+pub use jpeg_dse::{evaluate_manual, manual_implementations, rebalance_sweep, Algo};

@@ -1,0 +1,125 @@
+//! Plain-text table/series rendering for the figure and table benches.
+
+/// Renders an ASCII table: `headers` then `rows`, columns padded.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("-{}-", "-".repeat(*w)))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<w$} ", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `(x, y)` series as aligned columns (one x column, one column
+/// per series) — the textual form of a figure.
+pub fn render_series(
+    x_label: &str,
+    series_labels: &[String],
+    xs: &[f64],
+    ys: &[Vec<f64>],
+) -> String {
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series_labels.iter().cloned());
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![format!("{x:.0}")];
+            for s in ys {
+                row.push(format!("{:.1}", s[i]));
+            }
+            row
+        })
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    render_table(&header_refs, &rows)
+}
+
+/// An ASCII sparkline of a series (for quick shape checks in bench logs).
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    if !min.is_finite() || (max - min).abs() < 1e-12 {
+        return TICKS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - min) / (max - min) * 7.0).round() as usize;
+            TICKS[t.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series(
+            "x",
+            &["s1".into(), "s2".into()],
+            &[0.0, 1.0],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        assert!(s.contains("s1") && s.contains("s2"));
+        assert!(s.contains("3.0") && s.contains("4.0"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        let flat = sparkline(&[5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 2);
+    }
+}

@@ -1,0 +1,372 @@
+//! Partial bitstream serialization.
+//!
+//! The prototype stores partial bitstreams on CompactFlash and streams
+//! them through the ICAP at runtime. This module defines the on-"flash"
+//! format for our fabric: a framed byte stream carrying instruction-memory
+//! images, data-memory patches and link settings, convertible to/from a
+//! [`ReconfigPlan`] and applied to tiles. The payload byte counts are
+//! exactly what [`crate::cost::CostModel`] charges the ICAP for.
+//!
+//! ```text
+//! header:  "CGRB" | version u8 | frame_count u16le
+//! frame:   kind u8 | tile u16le | base u16le | len u16le | payload
+//!   kind 0: instructions — len x 9-byte big-endian 72-bit words
+//!   kind 1: data         — len x 6-byte big-endian 48-bit words
+//!   kind 2: link         — one byte: 0=N 1=E 2=S 3=W 4=disconnect
+//! ```
+
+use crate::link::{Direction, LinkConfig, TileId};
+use crate::mem::{DATA_WORD_BYTES, INSTR_BYTES};
+use crate::reconfig::{DataPatch, ReconfigPlan, TileReconfig};
+use crate::tile::Tile;
+use crate::word::Word;
+use crate::FabricError;
+
+/// Format magic.
+pub const MAGIC: &[u8; 4] = b"CGRB";
+
+/// Format version emitted by [`serialize`].
+pub const VERSION: u8 = 1;
+
+/// Bitstream parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Stream ended inside a frame.
+    Truncated,
+    /// Unknown frame kind.
+    BadFrameKind(u8),
+    /// Invalid link direction code.
+    BadDirection(u8),
+    /// A frame would overflow a tile memory.
+    OutOfRange {
+        /// Offending tile.
+        tile: TileId,
+        /// Frame base.
+        base: usize,
+        /// Frame length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::BadMagic => write!(f, "not a CGRB bitstream"),
+            BitstreamError::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
+            BitstreamError::Truncated => write!(f, "truncated bitstream"),
+            BitstreamError::BadFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            BitstreamError::BadDirection(d) => write!(f, "invalid link direction code {d}"),
+            BitstreamError::OutOfRange { tile, base, len } => {
+                write!(f, "frame [{base}..{}) overflows tile {tile}", base + len)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+fn dir_code(d: Option<Direction>) -> u8 {
+    match d {
+        Some(Direction::North) => 0,
+        Some(Direction::East) => 1,
+        Some(Direction::South) => 2,
+        Some(Direction::West) => 3,
+        None => 4,
+    }
+}
+
+fn code_dir(c: u8) -> Result<Option<Direction>, BitstreamError> {
+    Ok(match c {
+        0 => Some(Direction::North),
+        1 => Some(Direction::East),
+        2 => Some(Direction::South),
+        3 => Some(Direction::West),
+        4 => None,
+        other => return Err(BitstreamError::BadDirection(other)),
+    })
+}
+
+/// Serializes a reconfiguration plan (memory rewrites) plus the target
+/// link settings of the tiles whose links change.
+pub fn serialize(plan: &ReconfigPlan, links: &[(TileId, Option<Direction>)]) -> Vec<u8> {
+    let mut frames = 0u16;
+    let mut body = Vec::new();
+    for (tile, rc) in &plan.tiles {
+        if let Some(prog) = &rc.program {
+            frames += 1;
+            body.push(0u8);
+            body.extend_from_slice(&(*tile as u16).to_le_bytes());
+            body.extend_from_slice(&0u16.to_le_bytes());
+            body.extend_from_slice(&(prog.len() as u16).to_le_bytes());
+            for w in prog {
+                // 72 bits = 9 bytes, big-endian.
+                let bytes = w.to_be_bytes();
+                body.extend_from_slice(&bytes[16 - INSTR_BYTES..]);
+            }
+        }
+        for patch in &rc.data_patches {
+            if patch.is_empty() {
+                continue;
+            }
+            frames += 1;
+            body.push(1u8);
+            body.extend_from_slice(&(*tile as u16).to_le_bytes());
+            body.extend_from_slice(&(patch.base as u16).to_le_bytes());
+            body.extend_from_slice(&(patch.words.len() as u16).to_le_bytes());
+            for w in &patch.words {
+                let bytes = w.bits().to_be_bytes();
+                body.extend_from_slice(&bytes[8 - DATA_WORD_BYTES..]);
+            }
+        }
+    }
+    for (tile, dir) in links {
+        frames += 1;
+        body.push(2u8);
+        body.extend_from_slice(&(*tile as u16).to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.push(dir_code(*dir));
+    }
+    let mut out = Vec::with_capacity(7 + body.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&frames.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// A parsed bitstream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedBitstream {
+    /// Memory rewrites per tile.
+    pub plan: ReconfigPlan,
+    /// Link settings carried by the stream.
+    pub links: Vec<(TileId, Option<Direction>)>,
+}
+
+/// Parses a bitstream produced by [`serialize`].
+pub fn parse(data: &[u8]) -> Result<ParsedBitstream, BitstreamError> {
+    if data.len() < 7 {
+        return Err(BitstreamError::Truncated);
+    }
+    if &data[0..4] != MAGIC {
+        return Err(BitstreamError::BadMagic);
+    }
+    if data[4] != VERSION {
+        return Err(BitstreamError::BadVersion(data[4]));
+    }
+    let frames = u16::from_le_bytes([data[5], data[6]]);
+    let mut pos = 7usize;
+    let mut out = ParsedBitstream::default();
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], BitstreamError> {
+        let s = data.get(*pos..*pos + n).ok_or(BitstreamError::Truncated)?;
+        *pos += n;
+        Ok(s)
+    };
+    for _ in 0..frames {
+        let head = take(&mut pos, 7)?;
+        let kind = head[0];
+        let tile = u16::from_le_bytes([head[1], head[2]]) as TileId;
+        let base = u16::from_le_bytes([head[3], head[4]]) as usize;
+        let len = u16::from_le_bytes([head[5], head[6]]) as usize;
+        match kind {
+            0 => {
+                if len > crate::INSTR_SLOTS {
+                    return Err(BitstreamError::OutOfRange { tile, base, len });
+                }
+                let payload = take(&mut pos, len * INSTR_BYTES)?;
+                let prog: Vec<u128> = payload
+                    .chunks(INSTR_BYTES)
+                    .map(|c| {
+                        let mut b = [0u8; 16];
+                        b[16 - INSTR_BYTES..].copy_from_slice(c);
+                        u128::from_be_bytes(b)
+                    })
+                    .collect();
+                out.plan.add_tile(
+                    tile,
+                    TileReconfig {
+                        program: Some(prog),
+                        data_patches: vec![],
+                    },
+                );
+            }
+            1 => {
+                if base + len > crate::DATA_WORDS {
+                    return Err(BitstreamError::OutOfRange { tile, base, len });
+                }
+                let payload = take(&mut pos, len * DATA_WORD_BYTES)?;
+                let words: Vec<Word> = payload
+                    .chunks(DATA_WORD_BYTES)
+                    .map(|c| {
+                        let mut b = [0u8; 8];
+                        b[8 - DATA_WORD_BYTES..].copy_from_slice(c);
+                        Word::from_bits(u64::from_be_bytes(b))
+                    })
+                    .collect();
+                out.plan.add_tile(
+                    tile,
+                    TileReconfig {
+                        program: None,
+                        data_patches: vec![DataPatch::new(base, words)],
+                    },
+                );
+            }
+            2 => {
+                let payload = take(&mut pos, 1)?;
+                out.links.push((tile, code_dir(payload[0])?));
+            }
+            other => return Err(BitstreamError::BadFrameKind(other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a parsed bitstream's memory rewrites to tiles and its link
+/// settings to a link configuration — the ICAP's write-back stage.
+pub fn apply(
+    parsed: &ParsedBitstream,
+    tiles: &mut [Tile],
+    links: &mut LinkConfig,
+) -> Result<(), FabricError> {
+    for (t, rc) in &parsed.plan.tiles {
+        let tile = tiles
+            .get_mut(*t)
+            .ok_or(FabricError::UnknownTile { tile: *t })?;
+        if let Some(prog) = &rc.program {
+            tile.load_program(prog)?;
+        }
+        for patch in &rc.data_patches {
+            tile.load_data(patch.base, &patch.words)?;
+        }
+    }
+    for (t, dir) in &parsed.links {
+        links.set(*t, *dir);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> (ReconfigPlan, Vec<(TileId, Option<Direction>)>) {
+        let mut plan = ReconfigPlan::default();
+        plan.add_tile(
+            2,
+            TileReconfig {
+                program: Some(vec![0xDEAD_BEEF_u128, (1u128 << 71) | 7]),
+                data_patches: vec![DataPatch::new(
+                    100,
+                    vec![Word::wrap(-5), Word::wrap(1 << 40)],
+                )],
+            },
+        );
+        plan.add_tile(
+            0,
+            TileReconfig {
+                program: None,
+                data_patches: vec![DataPatch::new(0, vec![Word::wrap(42)])],
+            },
+        );
+        let links = vec![
+            (0, Some(Direction::East)),
+            (2, Some(Direction::North)),
+            (3, None),
+        ];
+        (plan, links)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (plan, links) = sample_plan();
+        let bytes = serialize(&plan, &links);
+        let parsed = parse(&bytes).unwrap();
+        assert_eq!(parsed.links, links);
+        assert_eq!(parsed.plan.bitstream_bytes(), plan.bitstream_bytes());
+        // Program and patches survive byte-exact.
+        let (_, rc) = parsed.plan.tiles.iter().find(|(t, _)| *t == 2).unwrap();
+        assert_eq!(
+            rc.program.as_deref(),
+            Some(&[0xDEAD_BEEF_u128, (1u128 << 71) | 7][..])
+        );
+        assert_eq!(rc.data_patches[0].base, 100);
+        assert_eq!(rc.data_patches[0].words[0], Word::wrap(-5));
+        assert_eq!(rc.data_patches[0].words[1], Word::wrap(1 << 40));
+    }
+
+    #[test]
+    fn payload_bytes_match_cost_accounting() {
+        let (plan, links) = sample_plan();
+        let bytes = serialize(&plan, &links);
+        // header 7 + 3 frame headers (memory) * 7 + 3 link frames * 8.
+        let overhead = 7 + 2 * 7 + 7 + 3 * 8;
+        assert_eq!(bytes.len(), plan.bitstream_bytes() + overhead);
+    }
+
+    #[test]
+    fn applies_to_tiles() {
+        let (plan, links) = sample_plan();
+        let parsed = parse(&serialize(&plan, &links)).unwrap();
+        let mut tiles: Vec<Tile> = (0..4).map(Tile::new).collect();
+        let mut cfg = LinkConfig::disconnected(4);
+        cfg.set(3, Some(Direction::West)); // will be cleared by the stream
+        apply(&parsed, &mut tiles, &mut cfg).unwrap();
+        assert_eq!(tiles[2].imem.fetch(0).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(tiles[2].dmem.peek(101).unwrap(), Word::wrap(1 << 40));
+        assert_eq!(tiles[0].dmem.peek(0).unwrap().value(), 42);
+        assert_eq!(cfg.get(0), Some(Direction::East));
+        assert_eq!(cfg.get(3), None);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let (plan, links) = sample_plan();
+        let mut bytes = serialize(&plan, &links);
+        assert_eq!(parse(b"nope"), Err(BitstreamError::Truncated));
+        assert_eq!(parse(b"XXXX\x01\x00\x00"), Err(BitstreamError::BadMagic));
+        let mut v = bytes.clone();
+        v[4] = 9;
+        assert_eq!(parse(&v), Err(BitstreamError::BadVersion(9)));
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(parse(&bytes), Err(BitstreamError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_direction_and_kind() {
+        let (plan, links) = sample_plan();
+        let bytes = serialize(&plan, &links);
+        // Find the last link frame's direction byte and corrupt it.
+        let mut v = bytes.clone();
+        let n = v.len();
+        v[n - 1] = 9;
+        assert_eq!(parse(&v), Err(BitstreamError::BadDirection(9)));
+        // Corrupt a frame kind.
+        let mut v = bytes;
+        v[7] = 77;
+        assert_eq!(parse(&v), Err(BitstreamError::BadFrameKind(77)));
+    }
+
+    #[test]
+    fn word_48bit_patterns_survive() {
+        // Negative and high-bit patterns encode through the 6-byte form.
+        let mut plan = ReconfigPlan::default();
+        let words: Vec<Word> = [-1i64, i64::MIN >> 16, 0x7FFF_FFFF_FFFF]
+            .iter()
+            .map(|&v| Word::wrap(v))
+            .collect();
+        plan.add_tile(
+            1,
+            TileReconfig {
+                program: None,
+                data_patches: vec![DataPatch::new(7, words.clone())],
+            },
+        );
+        let parsed = parse(&serialize(&plan, &[])).unwrap();
+        assert_eq!(parsed.plan.tiles[0].1.data_patches[0].words, words);
+    }
+}

@@ -1,0 +1,130 @@
+//! The calibrated cost model of the prototype (Section 2 / 3.1 of the paper).
+//!
+//! All times are nanoseconds (`f64`). The defaults reproduce the paper's
+//! constants:
+//!
+//! * 400 MHz tile clock => **2.5 ns** per instruction,
+//! * ICAP reconfiguration at **180 MB/s** => a 48-bit (6-byte) data word
+//!   reloads in **33.33 ns**, a 72-bit (9-byte) instruction word in 50 ns,
+//! * a per-link reconfiguration cost `L` (the swept design parameter of
+//!   Figures 10-12).
+
+use crate::mem::{DATA_WORD_BYTES, INSTR_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Cost model of the fabric; every figure/table bench reads its constants
+/// from here so a single struct parameterizes the whole design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Tile clock frequency in MHz (paper: 400).
+    pub clock_mhz: f64,
+    /// ICAP partial-reconfiguration bandwidth in MB/s (paper: 180).
+    pub icap_mb_per_s: f64,
+    /// Cost of re-routing one 48-wire link, ns (paper's swept `L`).
+    pub link_reconfig_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_mhz: 400.0,
+            icap_mb_per_s: 180.0,
+            link_reconfig_ns: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The paper's prototype constants with a given link cost `L` (ns).
+    pub fn with_link_cost(link_reconfig_ns: f64) -> CostModel {
+        CostModel {
+            link_reconfig_ns,
+            ..CostModel::default()
+        }
+    }
+
+    /// Nanoseconds per clock cycle (2.5 ns at 400 MHz).
+    #[inline]
+    pub fn cycle_ns(&self) -> f64 {
+        1e3 / self.clock_mhz
+    }
+
+    /// Nanoseconds to stream `bytes` through the ICAP.
+    #[inline]
+    pub fn icap_ns(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.icap_mb_per_s * 1e6) * 1e9
+    }
+
+    /// Nanoseconds to reload one 48-bit data word (33.33 ns at 180 MB/s).
+    #[inline]
+    pub fn data_word_reload_ns(&self) -> f64 {
+        self.icap_ns(DATA_WORD_BYTES)
+    }
+
+    /// Nanoseconds to reload `n` data words.
+    #[inline]
+    pub fn data_reload_ns(&self, n: usize) -> f64 {
+        self.data_word_reload_ns() * n as f64
+    }
+
+    /// Nanoseconds to reload one 72-bit instruction word (50 ns at 180 MB/s).
+    #[inline]
+    pub fn instr_word_reload_ns(&self) -> f64 {
+        self.icap_ns(INSTR_BYTES)
+    }
+
+    /// Nanoseconds to reload a program of `n` instructions.
+    #[inline]
+    pub fn instr_reload_ns(&self, n: usize) -> f64 {
+        self.instr_word_reload_ns() * n as f64
+    }
+
+    /// Nanoseconds to execute `cycles` instructions.
+    #[inline]
+    pub fn exec_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_ns()
+    }
+
+    /// Nanoseconds to re-route `links` links (the paper's `tau_ij ~ l_ij`).
+    #[inline]
+    pub fn links_reconfig_ns(&self, links: usize) -> f64 {
+        self.link_reconfig_ns * links as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = CostModel::default();
+        assert!((m.cycle_ns() - 2.5).abs() < 1e-12);
+        // 6 bytes at 180 MB/s = 33.33 ns
+        assert!((m.data_word_reload_ns() - 33.333).abs() < 1e-2);
+        // 9 bytes at 180 MB/s = 50 ns
+        assert!((m.instr_word_reload_ns() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reload_scales_linearly() {
+        let m = CostModel::default();
+        assert!((m.data_reload_ns(128) - 128.0 * m.data_word_reload_ns()).abs() < 1e-9);
+        assert!((m.instr_reload_ns(101) - 101.0 * 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exec_time() {
+        let m = CostModel::default();
+        // Table 1: BF0 is 101 instructions; 1068.8 cycles of work => the
+        // model converts cycles to ns at 2.5ns.
+        assert!((m.exec_ns(1000) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_cost() {
+        let m = CostModel::with_link_cost(700.0);
+        assert!((m.links_reconfig_ns(8) - 5600.0).abs() < 1e-9);
+        assert_eq!(CostModel::default().links_reconfig_ns(10), 0.0);
+    }
+}

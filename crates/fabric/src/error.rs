@@ -1,0 +1,96 @@
+//! Error type shared by the fabric model.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by the fabric model (memories, links, reconfiguration).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FabricError {
+    /// A data-memory access addressed past the 512-word window.
+    DataAddressOutOfRange {
+        /// Offending address.
+        addr: usize,
+    },
+    /// A program image exceeded the 512-slot instruction memory.
+    ProgramTooLarge {
+        /// Image length.
+        len: usize,
+        /// Slot capacity.
+        cap: usize,
+    },
+    /// Instruction fetch past the loaded program.
+    PcOutOfRange {
+        /// Offending program counter.
+        pc: usize,
+        /// Loaded program length.
+        len: usize,
+    },
+    /// The 2R/1W per-cycle port budget of a data BRAM pair was exceeded.
+    PortBudgetExceeded {
+        /// "read" or "write".
+        kind: &'static str,
+        /// The per-cycle budget that was exceeded.
+        limit: u8,
+    },
+    /// A tile coordinate outside the mesh was referenced.
+    TileOutOfRange {
+        /// Row requested.
+        row: usize,
+        /// Column requested.
+        col: usize,
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh cols.
+        cols: usize,
+    },
+    /// A link was requested between tiles that are not mesh neighbours.
+    NotNeighbours {
+        /// Source tile index.
+        from: usize,
+        /// Destination tile index.
+        to: usize,
+    },
+    /// A tile attempted a neighbour write with no active outgoing link.
+    NoActiveLink {
+        /// Tile that attempted the write.
+        tile: usize,
+    },
+    /// A configuration referenced a tile id not present in the mesh.
+    UnknownTile {
+        /// Offending tile id.
+        tile: usize,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::DataAddressOutOfRange { addr } => {
+                write!(f, "data memory address {addr} out of range (512 words)")
+            }
+            FabricError::ProgramTooLarge { len, cap } => {
+                write!(f, "program of {len} instructions exceeds {cap}-slot memory")
+            }
+            FabricError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} out of range for program of length {len}")
+            }
+            FabricError::PortBudgetExceeded { kind, limit } => {
+                write!(f, "exceeded {limit} {kind} port(s) in one cycle")
+            }
+            FabricError::TileOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "tile ({row},{col}) outside {rows}x{cols} mesh"),
+            FabricError::NotNeighbours { from, to } => {
+                write!(f, "tiles {from} and {to} are not mesh neighbours")
+            }
+            FabricError::NoActiveLink { tile } => {
+                write!(f, "tile {tile} has no active outgoing link")
+            }
+            FabricError::UnknownTile { tile } => write!(f, "unknown tile id {tile}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}

@@ -1,0 +1,39 @@
+//! # cgra-fabric
+//!
+//! Model of the reMORPH-style partially reconfigurable CGRA fabric from
+//! *"Design and Implementation of High Performance Architectures with
+//! Partially Reconfigurable CGRAs"* (IPDPSW 2013):
+//!
+//! * [`word`] — the 48-bit PE machine word and the kernels' Q-format,
+//! * [`mem`] — 512x48 data memories (2R/1W port discipline) and 512x72
+//!   instruction memories,
+//! * [`tile`] — one coarse-grain reconfigurable module,
+//! * [`link`]/[`mesh`] — malleable near-neighbour interconnect on a
+//!   rectangular mesh,
+//! * [`reconfig`] — the ICAP partial-reconfiguration engine with
+//!   compute/reconfigure overlap,
+//! * [`bitstream`] — the framed on-flash partial-bitstream format
+//!   (serialize/parse/apply),
+//! * [`cost`] — the calibrated cost model (400 MHz, 180 MB/s ICAP,
+//!   parametric per-link cost `L`).
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod cost;
+pub mod error;
+pub mod link;
+pub mod mem;
+pub mod mesh;
+pub mod reconfig;
+pub mod tile;
+pub mod word;
+
+pub use cost::CostModel;
+pub use error::FabricError;
+pub use link::{Direction, LinkConfig, TileId, LINK_WIRES};
+pub use mem::{DataMemory, InstrMemory, RawInstr, DATA_WORDS, INSTR_SLOTS};
+pub use mesh::Mesh;
+pub use reconfig::{DataPatch, ReconfigPlan, TileReconfig};
+pub use tile::Tile;
+pub use word::{Word, WORD_BITS};

@@ -1,0 +1,199 @@
+//! Malleable near-neighbour links.
+//!
+//! The interconnect is *semi-systolic*: at any instant each tile drives at
+//! most **one** outgoing 48-wire link toward one of its four mesh neighbours
+//! ("each tile is connected to its neighbour in one of the four principal
+//! directions at any instant in time"). A tile writes into the data memory
+//! of the neighbour its link currently points at; reads are always local.
+//!
+//! A [`LinkConfig`] captures the whole array's connectivity for one epoch.
+//! Reconfiguring from one epoch to the next costs time proportional to the
+//! number of **changed** links ([`LinkConfig::delta`], the paper's `l_ij`).
+
+use serde::{Deserialize, Serialize};
+
+/// Wires per link (one 48-bit word path).
+pub const LINK_WIRES: u32 = 48;
+
+/// The four principal mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward row - 1.
+    North,
+    /// Toward col + 1.
+    East,
+    /// Toward row + 1.
+    South,
+    /// Toward col - 1.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in N/E/S/W order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// (row, col) step for this direction.
+    pub fn delta(self) -> (isize, isize) {
+        match self {
+            Direction::North => (-1, 0),
+            Direction::East => (0, 1),
+            Direction::South => (1, 0),
+            Direction::West => (0, -1),
+        }
+    }
+
+    /// Compact single-letter name.
+    pub fn letter(self) -> char {
+        match self {
+            Direction::North => 'N',
+            Direction::East => 'E',
+            Direction::South => 'S',
+            Direction::West => 'W',
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Identifier of a tile: its linear index in row-major mesh order.
+pub type TileId = usize;
+
+/// Connectivity of the whole array for one epoch: for each tile, the
+/// direction of its single active outgoing link (or `None` when idle).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    out: Vec<Option<Direction>>,
+}
+
+impl LinkConfig {
+    /// A configuration for `tiles` tiles with every link inactive.
+    pub fn disconnected(tiles: usize) -> LinkConfig {
+        LinkConfig {
+            out: vec![None; tiles],
+        }
+    }
+
+    /// Number of tiles covered by this configuration.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when the configuration covers zero tiles.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Sets tile `t`'s outgoing link direction.
+    pub fn set(&mut self, t: TileId, dir: Option<Direction>) {
+        if t >= self.out.len() {
+            self.out.resize(t + 1, None);
+        }
+        self.out[t] = dir;
+    }
+
+    /// Builder-style [`LinkConfig::set`].
+    pub fn with(mut self, t: TileId, dir: Direction) -> LinkConfig {
+        self.set(t, Some(dir));
+        self
+    }
+
+    /// Tile `t`'s outgoing link direction.
+    pub fn get(&self, t: TileId) -> Option<Direction> {
+        self.out.get(t).copied().flatten()
+    }
+
+    /// Number of active links.
+    pub fn active_links(&self) -> usize {
+        self.out.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The paper's `l_ij`: how many tile link settings differ between the
+    /// two configurations (each change re-routes one 48-wire link).
+    pub fn delta(&self, other: &LinkConfig) -> usize {
+        let n = self.out.len().max(other.out.len());
+        (0..n).filter(|&t| self.get(t) != other.get(t)).count()
+    }
+
+    /// Tiles whose link setting differs from `other` (the tiles whose
+    /// interconnect region must be partially reconfigured).
+    pub fn changed_tiles(&self, other: &LinkConfig) -> Vec<TileId> {
+        let n = self.out.len().max(other.out.len());
+        (0..n).filter(|&t| self.get(t) != other.get(t)).collect()
+    }
+
+    /// Iterates `(tile, direction)` over active links.
+    pub fn iter_active(&self) -> impl Iterator<Item = (TileId, Direction)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .filter_map(|(t, d)| d.map(|d| (t, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dr, dc) = d.delta();
+            let (or, oc) = d.opposite().delta();
+            assert_eq!((dr + or, dc + oc), (0, 0));
+        }
+    }
+
+    #[test]
+    fn delta_counts_changes() {
+        let a = LinkConfig::disconnected(4)
+            .with(0, Direction::East)
+            .with(1, Direction::South);
+        let b = LinkConfig::disconnected(4)
+            .with(0, Direction::East)
+            .with(2, Direction::North);
+        // tile 0 unchanged, tile 1 cleared, tile 2 set => 2 changes.
+        assert_eq!(a.delta(&b), 2);
+        assert_eq!(b.delta(&a), 2);
+        assert_eq!(a.delta(&a), 0);
+        assert_eq!(b.changed_tiles(&a), vec![1, 2]);
+    }
+
+    #[test]
+    fn delta_handles_length_mismatch() {
+        let a = LinkConfig::disconnected(2).with(1, Direction::East);
+        let b = LinkConfig::disconnected(5).with(4, Direction::West);
+        assert_eq!(a.delta(&b), 2);
+    }
+
+    #[test]
+    fn active_links_counted() {
+        let mut c = LinkConfig::disconnected(8);
+        assert_eq!(c.active_links(), 0);
+        c.set(3, Some(Direction::West));
+        c.set(5, Some(Direction::North));
+        assert_eq!(c.active_links(), 2);
+        assert_eq!(c.iter_active().count(), 2);
+        c.set(3, None);
+        assert_eq!(c.active_links(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Tile-local memories.
+//!
+//! Each reMORPH tile has:
+//!
+//! * a **data memory** built from two `512 x 48` dual-port block RAMs giving
+//!   *two parallel reads and one write* per cycle (`DATA_WORDS` words), and
+//! * an **instruction register/memory** built from one `512 x 72` dual-port
+//!   BRAM (`INSTR_SLOTS` slots of `INSTR_BITS`-bit words).
+//!
+//! [`DataMemory`] optionally enforces the port discipline per cycle so the
+//! interpreter cannot silently model an un-implementable access pattern.
+
+use crate::error::FabricError;
+use crate::word::Word;
+use serde::{Deserialize, Serialize};
+
+/// Words in a tile data memory (paper: 512 x 48 dual-port BRAM pair).
+pub const DATA_WORDS: usize = 512;
+
+/// Slots in a tile instruction memory (paper: 512 x 72 BRAM).
+pub const INSTR_SLOTS: usize = 512;
+
+/// Width of one instruction word in bits.
+pub const INSTR_BITS: u32 = 72;
+
+/// Bytes of one instruction word as stored in a partial bitstream (72 bits
+/// rounded up to whole bytes).
+pub const INSTR_BYTES: usize = 9;
+
+/// Bytes of one data word as stored in a partial bitstream (48 bits = 6 B).
+pub const DATA_WORD_BYTES: usize = 6;
+
+/// Per-cycle port budget of the data memory: two reads, one write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortUsage {
+    /// Reads issued in the current cycle.
+    pub reads: u8,
+    /// Writes issued in the current cycle.
+    pub writes: u8,
+}
+
+/// Maximum reads per cycle supported by the BRAM pair.
+pub const MAX_READS_PER_CYCLE: u8 = 2;
+
+/// Maximum writes per cycle supported by the BRAM pair.
+pub const MAX_WRITES_PER_CYCLE: u8 = 1;
+
+/// A tile data memory with optional port-discipline checking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataMemory {
+    words: Vec<Word>,
+    usage: PortUsage,
+    /// When true, exceeding the 2R/1W port budget in a cycle is an error.
+    pub enforce_ports: bool,
+}
+
+impl Default for DataMemory {
+    fn default() -> Self {
+        DataMemory::new()
+    }
+}
+
+impl DataMemory {
+    /// Creates a zero-filled data memory with port checking disabled.
+    pub fn new() -> DataMemory {
+        DataMemory {
+            words: vec![Word::ZERO; DATA_WORDS],
+            usage: PortUsage::default(),
+            enforce_ports: false,
+        }
+    }
+
+    /// Creates a zero-filled data memory that enforces the 2R/1W budget.
+    pub fn with_port_checking() -> DataMemory {
+        DataMemory {
+            enforce_ports: true,
+            ..DataMemory::new()
+        }
+    }
+
+    /// Number of addressable words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false: the memory has a fixed non-zero size.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reads a word, consuming one read port if checking is enabled.
+    pub fn read(&mut self, addr: usize) -> Result<Word, FabricError> {
+        if addr >= DATA_WORDS {
+            return Err(FabricError::DataAddressOutOfRange { addr });
+        }
+        if self.enforce_ports {
+            if self.usage.reads >= MAX_READS_PER_CYCLE {
+                return Err(FabricError::PortBudgetExceeded {
+                    kind: "read",
+                    limit: MAX_READS_PER_CYCLE,
+                });
+            }
+            self.usage.reads += 1;
+        }
+        Ok(self.words[addr])
+    }
+
+    /// Writes a word, consuming the write port if checking is enabled.
+    pub fn write(&mut self, addr: usize, value: Word) -> Result<(), FabricError> {
+        if addr >= DATA_WORDS {
+            return Err(FabricError::DataAddressOutOfRange { addr });
+        }
+        if self.enforce_ports {
+            if self.usage.writes >= MAX_WRITES_PER_CYCLE {
+                return Err(FabricError::PortBudgetExceeded {
+                    kind: "write",
+                    limit: MAX_WRITES_PER_CYCLE,
+                });
+            }
+            self.usage.writes += 1;
+        }
+        self.words[addr] = value;
+        Ok(())
+    }
+
+    /// Peeks a word without consuming a port (for tooling/tests, not the
+    /// modeled datapath).
+    pub fn peek(&self, addr: usize) -> Result<Word, FabricError> {
+        self.words
+            .get(addr)
+            .copied()
+            .ok_or(FabricError::DataAddressOutOfRange { addr })
+    }
+
+    /// Pokes a word without consuming a port (preprocessing/reconfiguration
+    /// path, not the modeled datapath).
+    pub fn poke(&mut self, addr: usize, value: Word) -> Result<(), FabricError> {
+        if addr >= DATA_WORDS {
+            return Err(FabricError::DataAddressOutOfRange { addr });
+        }
+        self.words[addr] = value;
+        Ok(())
+    }
+
+    /// Bulk-loads `values` starting at `base` (reconfiguration path).
+    pub fn load(&mut self, base: usize, values: &[Word]) -> Result<(), FabricError> {
+        let end = base + values.len();
+        if end > DATA_WORDS {
+            return Err(FabricError::DataAddressOutOfRange { addr: end - 1 });
+        }
+        self.words[base..end].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Returns a snapshot of the memory contents.
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.words.clone()
+    }
+
+    /// Resets the per-cycle port usage; the simulator calls this each cycle.
+    #[inline]
+    pub fn end_cycle(&mut self) {
+        self.usage = PortUsage::default();
+    }
+
+    /// Current per-cycle port usage.
+    #[inline]
+    pub fn port_usage(&self) -> PortUsage {
+        self.usage
+    }
+
+    /// Zeroes the whole memory.
+    pub fn clear(&mut self) {
+        self.words.fill(Word::ZERO);
+    }
+}
+
+/// An opaque encoded instruction word (the ISA crate defines the encoding).
+pub type RawInstr = u128;
+
+/// A tile instruction memory holding up to [`INSTR_SLOTS`] encoded words.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstrMemory {
+    slots: Vec<RawInstr>,
+}
+
+impl InstrMemory {
+    /// Creates an empty instruction memory.
+    pub fn new() -> InstrMemory {
+        InstrMemory { slots: Vec::new() }
+    }
+
+    /// Loads an entire program image, replacing the previous contents.
+    pub fn load(&mut self, image: &[RawInstr]) -> Result<(), FabricError> {
+        if image.len() > INSTR_SLOTS {
+            return Err(FabricError::ProgramTooLarge {
+                len: image.len(),
+                cap: INSTR_SLOTS,
+            });
+        }
+        self.slots.clear();
+        self.slots.extend_from_slice(image);
+        Ok(())
+    }
+
+    /// Fetches the instruction at `pc`.
+    pub fn fetch(&self, pc: usize) -> Result<RawInstr, FabricError> {
+        self.slots
+            .get(pc)
+            .copied()
+            .ok_or(FabricError::PcOutOfRange {
+                pc,
+                len: self.slots.len(),
+            })
+    }
+
+    /// Number of loaded instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no program is loaded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The loaded program image.
+    pub fn image(&self) -> &[RawInstr] {
+        &self.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = DataMemory::new();
+        m.write(7, Word::wrap(42)).unwrap();
+        assert_eq!(m.read(7).unwrap().value(), 42);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = DataMemory::new();
+        assert!(m.read(DATA_WORDS).is_err());
+        assert!(m.write(DATA_WORDS, Word::ZERO).is_err());
+        assert!(m.peek(99999).is_err());
+    }
+
+    #[test]
+    fn port_budget_enforced() {
+        let mut m = DataMemory::with_port_checking();
+        m.read(0).unwrap();
+        m.read(1).unwrap();
+        assert!(matches!(
+            m.read(2),
+            Err(FabricError::PortBudgetExceeded { kind: "read", .. })
+        ));
+        m.write(0, Word::ONE).unwrap();
+        assert!(m.write(1, Word::ONE).is_err());
+        m.end_cycle();
+        assert!(m.read(2).is_ok());
+        assert!(m.write(1, Word::ONE).is_ok());
+    }
+
+    #[test]
+    fn port_budget_not_enforced_by_default() {
+        let mut m = DataMemory::new();
+        for i in 0..10 {
+            m.read(i).unwrap();
+        }
+    }
+
+    #[test]
+    fn bulk_load() {
+        let mut m = DataMemory::new();
+        let vals: Vec<Word> = (0..4).map(Word::wrap).collect();
+        m.load(100, &vals).unwrap();
+        assert_eq!(m.peek(103).unwrap().value(), 3);
+        assert!(m.load(DATA_WORDS - 1, &vals).is_err());
+    }
+
+    #[test]
+    fn instr_memory_capacity() {
+        let mut im = InstrMemory::new();
+        im.load(&vec![0u128; INSTR_SLOTS]).unwrap();
+        assert_eq!(im.len(), INSTR_SLOTS);
+        assert!(im.load(&vec![0u128; INSTR_SLOTS + 1]).is_err());
+    }
+
+    #[test]
+    fn fetch_bounds() {
+        let mut im = InstrMemory::new();
+        im.load(&[1, 2, 3]).unwrap();
+        assert_eq!(im.fetch(2).unwrap(), 3);
+        assert!(im.fetch(3).is_err());
+    }
+}

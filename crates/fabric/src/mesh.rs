@@ -1,0 +1,176 @@
+//! The rectangular mesh of tiles.
+
+use crate::error::FabricError;
+use crate::link::{Direction, LinkConfig, TileId};
+use serde::{Deserialize, Serialize};
+
+/// A rows x cols mesh topology (coordinates only; tile state lives in
+/// [`crate::tile::Tile`] / the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    rows: usize,
+    cols: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh of `rows x cols` tiles.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Mesh {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be non-zero");
+        Mesh { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Linear id of the tile at `(row, col)`.
+    pub fn id(&self, row: usize, col: usize) -> Result<TileId, FabricError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(FabricError::TileOutOfRange {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    /// `(row, col)` of tile `t`.
+    pub fn coords(&self, t: TileId) -> Result<(usize, usize), FabricError> {
+        if t >= self.tiles() {
+            return Err(FabricError::UnknownTile { tile: t });
+        }
+        Ok((t / self.cols, t % self.cols))
+    }
+
+    /// The neighbour of `t` in direction `dir`, if it exists.
+    pub fn neighbour(&self, t: TileId, dir: Direction) -> Option<TileId> {
+        let (r, c) = self.coords(t).ok()?;
+        let (dr, dc) = dir.delta();
+        let nr = r.checked_add_signed(dr)?;
+        let nc = c.checked_add_signed(dc)?;
+        if nr >= self.rows || nc >= self.cols {
+            None
+        } else {
+            Some(nr * self.cols + nc)
+        }
+    }
+
+    /// All in-mesh neighbours of `t` with their directions.
+    pub fn neighbours(&self, t: TileId) -> Vec<(Direction, TileId)> {
+        Direction::ALL
+            .iter()
+            .filter_map(|&d| self.neighbour(t, d).map(|n| (d, n)))
+            .collect()
+    }
+
+    /// Manhattan distance between two tiles (hops a `cp` chain must cover).
+    pub fn distance(&self, a: TileId, b: TileId) -> Result<usize, FabricError> {
+        let (ar, ac) = self.coords(a)?;
+        let (br, bc) = self.coords(b)?;
+        Ok(ar.abs_diff(br) + ac.abs_diff(bc))
+    }
+
+    /// Checks that every active link in `cfg` stays inside the mesh and that
+    /// `cfg` covers no tile beyond the mesh.
+    pub fn validate_links(&self, cfg: &LinkConfig) -> Result<(), FabricError> {
+        if cfg.len() > self.tiles() {
+            return Err(FabricError::UnknownTile {
+                tile: cfg.len() - 1,
+            });
+        }
+        for (t, dir) in cfg.iter_active() {
+            if self.neighbour(t, dir).is_none() {
+                let to = t; // off-mesh: report the source tile on both ends
+                return Err(FabricError::NotNeighbours { from: t, to });
+            }
+        }
+        Ok(())
+    }
+
+    /// A fully disconnected link configuration sized for this mesh.
+    pub fn disconnected(&self) -> LinkConfig {
+        LinkConfig::disconnected(self.tiles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coords_roundtrip() {
+        let m = Mesh::new(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                let id = m.id(r, c).unwrap();
+                assert_eq!(m.coords(id).unwrap(), (r, c));
+            }
+        }
+        assert!(m.id(3, 0).is_err());
+        assert!(m.coords(12).is_err());
+    }
+
+    #[test]
+    fn neighbours_at_edges() {
+        let m = Mesh::new(2, 2);
+        // tile 0 = (0,0): no North, no West.
+        assert_eq!(m.neighbour(0, Direction::North), None);
+        assert_eq!(m.neighbour(0, Direction::West), None);
+        assert_eq!(m.neighbour(0, Direction::East), Some(1));
+        assert_eq!(m.neighbour(0, Direction::South), Some(2));
+        assert_eq!(m.neighbours(3).len(), 2);
+        assert_eq!(m.neighbours(0).len(), 2);
+    }
+
+    #[test]
+    fn neighbour_relation_is_symmetric() {
+        let m = Mesh::new(4, 5);
+        for t in 0..m.tiles() {
+            for (d, n) in m.neighbours(t) {
+                assert_eq!(m.neighbour(n, d.opposite()), Some(t));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_manhattan() {
+        let m = Mesh::new(4, 4);
+        let a = m.id(0, 0).unwrap();
+        let b = m.id(3, 2).unwrap();
+        assert_eq!(m.distance(a, b).unwrap(), 5);
+        assert_eq!(m.distance(a, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_off_mesh_links() {
+        let m = Mesh::new(2, 2);
+        let ok = m.disconnected().with(0, Direction::East);
+        assert!(m.validate_links(&ok).is_ok());
+        let bad = m.disconnected().with(0, Direction::North);
+        assert!(m.validate_links(&bad).is_err());
+        let oversized = LinkConfig::disconnected(9);
+        assert!(m.validate_links(&oversized).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_panics() {
+        Mesh::new(0, 3);
+    }
+}

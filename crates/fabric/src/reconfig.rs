@@ -1,0 +1,225 @@
+//! The partial-reconfiguration engine (ICAP model).
+//!
+//! Between two epochs the runtime management system streams a partial
+//! bitstream through the ICAP. The bitstream touches:
+//!
+//! * the instruction memories of tiles whose program changes,
+//! * selected data-memory words (new twiddle factors, copy-process
+//!   source/destination variables, ...),
+//! * the programmable interconnect of tiles whose link changes.
+//!
+//! Because the reconfiguration is **partial**, only the touched tiles stall;
+//! every untouched tile keeps computing, which is how the paper hides most
+//! of the context-switch cost ([`ReconfigPlan::overlappable_tiles`]).
+
+use crate::cost::CostModel;
+use crate::link::{LinkConfig, TileId};
+use crate::mem::{DATA_WORD_BYTES, INSTR_BYTES};
+use crate::word::Word;
+use serde::{Deserialize, Serialize};
+
+/// A data-memory patch: `words` written starting at `base`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPatch {
+    /// First word address rewritten.
+    pub base: usize,
+    /// Replacement words.
+    pub words: Vec<Word>,
+}
+
+impl DataPatch {
+    /// Builds a patch.
+    pub fn new(base: usize, words: Vec<Word>) -> DataPatch {
+        DataPatch { base, words }
+    }
+
+    /// Number of rewritten words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the patch rewrites nothing.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Everything the ICAP must rewrite in one tile for an epoch switch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TileReconfig {
+    /// New program image, if the instructions change (`None` = keep).
+    pub program: Option<Vec<u128>>,
+    /// Data-memory patches applied during the switch.
+    pub data_patches: Vec<DataPatch>,
+}
+
+impl TileReconfig {
+    /// True when this tile is untouched by the switch.
+    pub fn is_noop(&self) -> bool {
+        self.program.is_none() && self.data_patches.iter().all(DataPatch::is_empty)
+    }
+
+    /// Bitstream bytes this tile contributes.
+    pub fn bytes(&self) -> usize {
+        let prog = self.program.as_ref().map_or(0, |p| p.len() * INSTR_BYTES);
+        let data: usize = self
+            .data_patches
+            .iter()
+            .map(|p| p.len() * DATA_WORD_BYTES)
+            .sum();
+        prog + data
+    }
+}
+
+/// A full epoch-switch plan: per-tile rewrites plus the link delta.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigPlan {
+    /// Per-tile rewrites, indexed by [`TileId`]; missing ids are no-ops.
+    pub tiles: Vec<(TileId, TileReconfig)>,
+    /// Links re-routed by the switch (count of 48-wire links).
+    pub changed_links: usize,
+}
+
+impl ReconfigPlan {
+    /// Builds the plan implied by switching link configurations, with no
+    /// memory rewrites.
+    pub fn from_link_change(from: &LinkConfig, to: &LinkConfig) -> ReconfigPlan {
+        ReconfigPlan {
+            tiles: Vec::new(),
+            changed_links: from.delta(to),
+        }
+    }
+
+    /// Adds (or merges) a tile rewrite.
+    pub fn add_tile(&mut self, tile: TileId, rc: TileReconfig) {
+        if let Some((_, existing)) = self.tiles.iter_mut().find(|(t, _)| *t == tile) {
+            if rc.program.is_some() {
+                existing.program = rc.program;
+            }
+            existing.data_patches.extend(rc.data_patches);
+        } else {
+            self.tiles.push((tile, rc));
+        }
+    }
+
+    /// Total bitstream bytes streamed through the ICAP.
+    pub fn bitstream_bytes(&self) -> usize {
+        self.tiles.iter().map(|(_, rc)| rc.bytes()).sum()
+    }
+
+    /// Time the ICAP needs for the memory rewrites, ns.
+    pub fn memory_reconfig_ns(&self, cost: &CostModel) -> f64 {
+        cost.icap_ns(self.bitstream_bytes())
+    }
+
+    /// Time to re-route the changed links, ns (`tau_ij = l_ij * L`).
+    pub fn link_reconfig_ns(&self, cost: &CostModel) -> f64 {
+        cost.links_reconfig_ns(self.changed_links)
+    }
+
+    /// Total switch time, ns.
+    pub fn total_ns(&self, cost: &CostModel) -> f64 {
+        self.memory_reconfig_ns(cost) + self.link_reconfig_ns(cost)
+    }
+
+    /// Tiles that stall during the switch (they are being rewritten).
+    pub fn stalled_tiles(&self) -> Vec<TileId> {
+        self.tiles
+            .iter()
+            .filter(|(_, rc)| !rc.is_noop())
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Of `all_tiles` tiles, those free to keep computing during the switch
+    /// — the partial-reconfiguration overlap the paper exploits.
+    pub fn overlappable_tiles(&self, all_tiles: usize) -> Vec<TileId> {
+        let stalled = self.stalled_tiles();
+        (0..all_tiles).filter(|t| !stalled.contains(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Direction;
+
+    fn patch(n: usize) -> DataPatch {
+        DataPatch::new(0, vec![Word::ZERO; n])
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let rc = TileReconfig {
+            program: Some(vec![0u128; 10]),
+            data_patches: vec![patch(4), patch(2)],
+        };
+        assert_eq!(rc.bytes(), 10 * 9 + 6 * 6);
+        assert!(!rc.is_noop());
+        assert!(TileReconfig::default().is_noop());
+    }
+
+    #[test]
+    fn plan_times_match_cost_model() {
+        let cost = CostModel::with_link_cost(100.0);
+        let mut plan = ReconfigPlan::default();
+        plan.add_tile(
+            0,
+            TileReconfig {
+                program: None,
+                data_patches: vec![patch(1)],
+            },
+        );
+        plan.changed_links = 3;
+        // one data word = 33.33ns; 3 links at 100ns = 300ns.
+        assert!((plan.memory_reconfig_ns(&cost) - cost.data_word_reload_ns()).abs() < 1e-9);
+        assert!((plan.link_reconfig_ns(&cost) - 300.0).abs() < 1e-9);
+        assert!((plan.total_ns(&cost) - (300.0 + cost.data_word_reload_ns())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_excludes_only_touched_tiles() {
+        let mut plan = ReconfigPlan::default();
+        plan.add_tile(
+            1,
+            TileReconfig {
+                program: Some(vec![0]),
+                data_patches: vec![],
+            },
+        );
+        plan.add_tile(3, TileReconfig::default()); // no-op entry
+        assert_eq!(plan.stalled_tiles(), vec![1]);
+        assert_eq!(plan.overlappable_tiles(4), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn merge_tile_rewrites() {
+        let mut plan = ReconfigPlan::default();
+        plan.add_tile(
+            2,
+            TileReconfig {
+                program: None,
+                data_patches: vec![patch(1)],
+            },
+        );
+        plan.add_tile(
+            2,
+            TileReconfig {
+                program: Some(vec![7]),
+                data_patches: vec![patch(2)],
+            },
+        );
+        assert_eq!(plan.tiles.len(), 1);
+        let (_, rc) = &plan.tiles[0];
+        assert_eq!(rc.program.as_deref(), Some(&[7u128][..]));
+        assert_eq!(rc.data_patches.len(), 2);
+    }
+
+    #[test]
+    fn from_link_change_counts_delta() {
+        let a = LinkConfig::disconnected(4).with(0, Direction::East);
+        let b = LinkConfig::disconnected(4).with(1, Direction::West);
+        let plan = ReconfigPlan::from_link_change(&a, &b);
+        assert_eq!(plan.changed_links, 2);
+    }
+}

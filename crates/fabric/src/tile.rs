@@ -1,0 +1,67 @@
+//! A coarse-grain reconfigurable module (CGRM): one tile of the array.
+
+use crate::link::TileId;
+use crate::mem::{DataMemory, InstrMemory, RawInstr};
+use crate::word::Word;
+use serde::{Deserialize, Serialize};
+
+/// One tile: a 48-bit PE with its private data and instruction memories.
+///
+/// Execution state (program counter, accumulator, address registers) lives
+/// in the ISA crate's interpreter; the `Tile` is the *hardware* the
+/// interpreter runs against, and is also what the reconfiguration engine
+/// rewrites between epochs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tile {
+    /// This tile's linear id in the mesh.
+    pub id: TileId,
+    /// 512 x 48 data memory.
+    pub dmem: DataMemory,
+    /// 512 x 72 instruction memory.
+    pub imem: InstrMemory,
+}
+
+impl Tile {
+    /// Creates a tile with empty memories.
+    pub fn new(id: TileId) -> Tile {
+        Tile {
+            id,
+            dmem: DataMemory::new(),
+            imem: InstrMemory::new(),
+        }
+    }
+
+    /// Creates a tile whose data memory enforces the 2R/1W port budget.
+    pub fn with_port_checking(id: TileId) -> Tile {
+        Tile {
+            id,
+            dmem: DataMemory::with_port_checking(),
+            imem: InstrMemory::new(),
+        }
+    }
+
+    /// Loads a program image (reconfiguration path).
+    pub fn load_program(&mut self, image: &[RawInstr]) -> Result<(), crate::FabricError> {
+        self.imem.load(image)
+    }
+
+    /// Loads data words at `base` (preprocessing / reconfiguration path).
+    pub fn load_data(&mut self, base: usize, words: &[Word]) -> Result<(), crate::FabricError> {
+        self.dmem.load(base, words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_roundtrip() {
+        let mut t = Tile::new(3);
+        t.load_program(&[1, 2, 3]).unwrap();
+        t.load_data(10, &[Word::wrap(7)]).unwrap();
+        assert_eq!(t.id, 3);
+        assert_eq!(t.imem.fetch(1).unwrap(), 2);
+        assert_eq!(t.dmem.peek(10).unwrap().value(), 7);
+    }
+}

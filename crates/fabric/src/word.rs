@@ -1,0 +1,304 @@
+//! The 48-bit machine word of the reMORPH processing element.
+//!
+//! The paper's PE operates on a 48-bit datapath (two `512 x 48` dual-port
+//! data BRAMs). We model a word as a sign-extended 48-bit integer stored in
+//! an `i64`. All arithmetic wraps modulo 2^48, mirroring what a DSP48-based
+//! datapath does when the guard bits are dropped on write-back.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of payload bits in a PE word.
+pub const WORD_BITS: u32 = 48;
+
+/// Bit mask covering the 48 payload bits.
+pub const WORD_MASK: u64 = (1u64 << WORD_BITS) - 1;
+
+/// Smallest representable word value (-2^47).
+pub const WORD_MIN: i64 = -(1i64 << (WORD_BITS - 1));
+
+/// Largest representable word value (2^47 - 1).
+pub const WORD_MAX: i64 = (1i64 << (WORD_BITS - 1)) - 1;
+
+/// A 48-bit two's-complement machine word.
+///
+/// The inner `i64` is always kept sign-extended: every constructor and
+/// arithmetic operation re-normalizes through [`Word::wrap`], so two `Word`s
+/// compare equal iff their 48-bit patterns are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Word(i64);
+
+impl Word {
+    /// The zero word.
+    pub const ZERO: Word = Word(0);
+    /// The word with value one.
+    pub const ONE: Word = Word(1);
+
+    /// Builds a word from an `i64`, wrapping into 48 bits.
+    #[inline]
+    pub fn wrap(v: i64) -> Word {
+        // Shift the 48-bit pattern to the top of the i64 and arithmetic-shift
+        // back down: this both truncates to 48 bits and sign-extends.
+        Word((v << (64 - WORD_BITS)) >> (64 - WORD_BITS))
+    }
+
+    /// Builds a word from a raw 48-bit pattern (upper 16 bits ignored).
+    #[inline]
+    pub fn from_bits(bits: u64) -> Word {
+        Word::wrap((bits & WORD_MASK) as i64)
+    }
+
+    /// The sign-extended integer value of this word.
+    #[inline]
+    pub fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The raw 48-bit pattern of this word.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        (self.0 as u64) & WORD_MASK
+    }
+
+    /// Wrapping addition.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Word) -> Word {
+        Word::wrap(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping subtraction.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Word) -> Word {
+        Word::wrap(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Fixed-point multiplication: `(self * rhs) >> frac`, computed in 128-bit
+    /// precision (the DSP48 cascade keeps the full product before the shifter
+    /// selects the output window).
+    #[inline]
+    pub fn mul_frac(self, rhs: Word, frac: u32) -> Word {
+        let prod = (self.0 as i128) * (rhs.0 as i128);
+        Word::wrap((prod >> frac) as i64)
+    }
+
+    /// Bitwise AND over the 48-bit patterns.
+    #[inline]
+    pub fn and(self, rhs: Word) -> Word {
+        Word::from_bits(self.bits() & rhs.bits())
+    }
+
+    /// Bitwise OR over the 48-bit patterns.
+    #[inline]
+    pub fn or(self, rhs: Word) -> Word {
+        Word::from_bits(self.bits() | rhs.bits())
+    }
+
+    /// Bitwise XOR over the 48-bit patterns.
+    #[inline]
+    pub fn xor(self, rhs: Word) -> Word {
+        Word::from_bits(self.bits() ^ rhs.bits())
+    }
+
+    /// Bitwise NOT over the 48-bit pattern.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Word {
+        Word::from_bits(!self.bits())
+    }
+
+    /// Logical shift left by `n` (values >= 48 produce zero).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn shl(self, n: u32) -> Word {
+        if n >= WORD_BITS {
+            Word::ZERO
+        } else {
+            Word::from_bits(self.bits() << n)
+        }
+    }
+
+    /// Arithmetic shift right by `n` (saturates at the sign fill).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, n: u32) -> Word {
+        let n = n.min(63);
+        Word::wrap(self.0 >> n)
+    }
+
+    /// True iff the word is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True iff the word is negative (bit 47 set).
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Word {
+        Word::wrap(v)
+    }
+}
+
+impl From<i32> for Word {
+    fn from(v: i32) -> Word {
+        Word::wrap(v as i64)
+    }
+}
+
+impl From<Word> for i64 {
+    fn from(w: Word) -> i64 {
+        w.value()
+    }
+}
+
+impl std::fmt::Debug for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Word({})", self.0)
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::Add for Word {
+    type Output = Word;
+    fn add(self, rhs: Word) -> Word {
+        Word::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Word {
+    type Output = Word;
+    fn sub(self, rhs: Word) -> Word {
+        Word::sub(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Word {
+    type Output = Word;
+    fn neg(self) -> Word {
+        Word::ZERO.sub(self)
+    }
+}
+
+/// Fixed-point helpers in the Q-format used by the FFT and DCT kernels.
+///
+/// The kernels store fractional values with [`fixed::FRAC_BITS`] fractional bits,
+/// leaving 23 integer bits of headroom — enough for the up-to-`N`-fold
+/// magnitude growth of an unscaled 1024-point FFT.
+pub mod fixed {
+    use super::Word;
+
+    /// Fractional bits of the kernel Q-format (Q24.24 within 48 bits).
+    pub const FRAC_BITS: u32 = 24;
+
+    /// Scale factor (2^24).
+    pub const SCALE: f64 = (1u64 << FRAC_BITS) as f64;
+
+    /// Converts an `f64` to the Q-format, rounding to nearest.
+    #[inline]
+    pub fn from_f64(v: f64) -> Word {
+        Word::wrap((v * SCALE).round() as i64)
+    }
+
+    /// Converts a Q-format word back to `f64`.
+    #[inline]
+    pub fn to_f64(w: Word) -> f64 {
+        w.value() as f64 / SCALE
+    }
+
+    /// Fixed-point multiply in the kernel Q-format.
+    #[inline]
+    pub fn mul(a: Word, b: Word) -> Word {
+        a.mul_frac(b, FRAC_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_sign_extends() {
+        assert_eq!(Word::wrap(WORD_MAX).value(), WORD_MAX);
+        assert_eq!(Word::wrap(WORD_MAX + 1).value(), WORD_MIN);
+        assert_eq!(Word::wrap(-1).value(), -1);
+        assert_eq!(Word::wrap(-1).bits(), WORD_MASK);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        for v in [0i64, 1, -1, 12345, -98765, WORD_MAX, WORD_MIN] {
+            let w = Word::wrap(v);
+            assert_eq!(Word::from_bits(w.bits()), w);
+        }
+    }
+
+    #[test]
+    fn add_wraps_at_48_bits() {
+        let max = Word::wrap(WORD_MAX);
+        assert_eq!(max.add(Word::ONE).value(), WORD_MIN);
+        let min = Word::wrap(WORD_MIN);
+        assert_eq!(min.sub(Word::ONE).value(), WORD_MAX);
+    }
+
+    #[test]
+    fn mul_frac_matches_f64() {
+        let a = fixed::from_f64(1.5);
+        let b = fixed::from_f64(-2.25);
+        let p = fixed::mul(a, b);
+        assert!((fixed::to_f64(p) - (-3.375)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_frac_uses_full_precision() {
+        // 2^30 * 2^30 = 2^60 overflows i64*i64 windows if done naively in
+        // 64-bit; with a 36-bit shift the result 2^24 must survive.
+        let a = Word::wrap(1 << 30);
+        let p = a.mul_frac(a, 36);
+        assert_eq!(p.value(), 1 << 24);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(Word::wrap(5).shl(2).value(), 20);
+        assert_eq!(Word::wrap(-8).shr(2).value(), -2);
+        assert_eq!(Word::wrap(123).shl(60), Word::ZERO);
+        assert_eq!(Word::wrap(-1).shr(100).value(), -1);
+        // shl drops bits past bit 47.
+        assert_eq!(Word::wrap(1).shl(47).value(), WORD_MIN);
+    }
+
+    #[test]
+    fn bitops_operate_on_patterns() {
+        let a = Word::wrap(-1);
+        assert_eq!(a.and(Word::wrap(0xff)).value(), 0xff);
+        assert_eq!(Word::ZERO.not(), a);
+        assert_eq!(a.xor(a), Word::ZERO);
+        assert_eq!(Word::wrap(0b1010).or(Word::wrap(0b0101)).value(), 0b1111);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Word::ZERO.is_zero());
+        assert!(Word::wrap(-3).is_negative());
+        assert!(!Word::wrap(3).is_negative());
+    }
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        for v in [0.0, 1.0, -1.0, 0.5, std::f64::consts::PI, -123.456] {
+            let w = fixed::from_f64(v);
+            assert!((fixed::to_f64(w) - v).abs() < 1e-6, "{v}");
+        }
+    }
+}

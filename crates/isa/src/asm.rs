@@ -1,0 +1,660 @@
+//! A small text assembler for the PE ISA.
+//!
+//! Syntax (one instruction per line, `;` starts a comment):
+//!
+//! ```text
+//! init:   ldi    d[0], 42          ; direct destination, 24-bit immediate
+//!         ldar   a0, 100           ; address register, immediate form
+//!         ldar   a1, d[5]          ; address register, memory form
+//! loop:   mac.24 @a0, @a1+1        ; indirect operands, frac suffix
+//!         adar   a0, 1
+//!         djnz   d[0], loop        ; label branch target
+//!         movacc d[1]
+//!         ldar   a3, 17
+//!         mov    r@a3, d[1]        ; remote (neighbour) write
+//!         halt
+//! ```
+//!
+//! Directives:
+//!
+//! * `.equ NAME, value` — a named constant usable wherever an integer is
+//!   (addresses, immediates, loop bounds),
+//! * `.data base, v0, v1, ...` — words the loader writes into data memory
+//!   before execution (collected into [`AsmUnit::data`]).
+//!
+//! The [`crate::disasm`] module emits exactly this syntax, so
+//! `assemble(disassemble(p)) == p` for every valid program.
+
+use crate::instr::{Instr, Operand};
+use std::collections::HashMap;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// A parsed operand or branch-target token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Op(Operand),
+    Ar(u8),
+    Int(i64),
+    Ident(String),
+}
+
+fn parse_token(t: &str, line: usize) -> Result<Tok, AsmError> {
+    let t = t.trim();
+    if let Some(rest) = t.strip_prefix("d[") {
+        let n = rest
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, format!("missing ']' in '{t}'")))?;
+        let a: u16 = n
+            .parse()
+            .map_err(|_| err(line, format!("bad address '{n}'")))?;
+        return Ok(Tok::Op(Operand::Dir(a)));
+    }
+    if let Some(rest) = t.strip_prefix("r@a") {
+        let (k, disp) = match rest.split_once('+') {
+            Some((k, d)) => (
+                k.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad ar in '{t}'")))?,
+                d.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad displacement in '{t}'")))?,
+            ),
+            None => (
+                rest.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad ar in '{t}'")))?,
+                0,
+            ),
+        };
+        return Ok(Tok::Op(Operand::Rem { ar: k, disp }));
+    }
+    if let Some(rest) = t.strip_prefix("@a") {
+        let (k, disp) = match rest.split_once('+') {
+            Some((k, d)) => (
+                k.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad ar in '{t}'")))?,
+                d.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad displacement in '{t}'")))?,
+            ),
+            None => (
+                rest.parse::<u8>()
+                    .map_err(|_| err(line, format!("bad ar in '{t}'")))?,
+                0,
+            ),
+        };
+        return Ok(Tok::Op(Operand::Ind { ar: k, disp }));
+    }
+    if let Some(rest) = t.strip_prefix('#') {
+        let v: i16 = rest
+            .parse()
+            .map_err(|_| err(line, format!("bad immediate '{t}'")))?;
+        return Ok(Tok::Op(Operand::Imm(v)));
+    }
+    if let Some(rest) = t.strip_prefix('a') {
+        if let Ok(k) = rest.parse::<u8>() {
+            return Ok(Tok::Ar(k));
+        }
+    }
+    if let Ok(v) = t.parse::<i64>() {
+        return Ok(Tok::Int(v));
+    }
+    if t.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !t.is_empty()
+    {
+        return Ok(Tok::Ident(t.to_string()));
+    }
+    Err(err(line, format!("cannot parse operand '{t}'")))
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+struct Line {
+    line_no: usize,
+    mnemonic: String,
+    frac: u8,
+    toks: Vec<Tok>,
+}
+
+/// An assembled translation unit: code plus initialized data segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmUnit {
+    /// The program.
+    pub program: Vec<Instr>,
+    /// `(base, words)` data segments from `.data` directives.
+    pub data: Vec<(usize, Vec<i64>)>,
+}
+
+/// Assembles source text into a validated program (directives allowed;
+/// their data segments are discarded — use [`assemble_unit`] to keep them).
+pub fn assemble(src: &str) -> Result<Vec<Instr>, AsmError> {
+    assemble_unit(src).map(|u| u.program)
+}
+
+/// Assembles source text into code plus `.data` segments.
+pub fn assemble_unit(src: &str) -> Result<AsmUnit, AsmError> {
+    // Pass 0: extract directives (.equ constants, .data segments) and
+    // apply constant substitution textually per token.
+    let mut consts: HashMap<String, i64> = HashMap::new();
+    let mut data: Vec<(usize, Vec<i64>)> = Vec::new();
+    let mut code_src = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(';') {
+            text = &text[..p];
+        }
+        let trimmed = text.trim();
+        if let Some(rest) = trimmed.strip_prefix(".equ") {
+            let (name, value) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line_no, ".equ NAME, value"))?;
+            let name = name.trim().to_string();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(err(line_no, format!("bad .equ name '{name}'")));
+            }
+            let value = resolve_int(value.trim(), &consts, line_no)?;
+            if consts.insert(name.clone(), value).is_some() {
+                return Err(err(line_no, format!("duplicate .equ '{name}'")));
+            }
+            code_src.push('\n');
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix(".data") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if parts.len() < 2 {
+                return Err(err(line_no, ".data base, v0[, v1...]"));
+            }
+            let base = resolve_int(parts[0], &consts, line_no)?;
+            if base < 0 {
+                return Err(err(line_no, "negative .data base"));
+            }
+            let words = parts[1..]
+                .iter()
+                .map(|t| resolve_int(t, &consts, line_no))
+                .collect::<Result<Vec<_>, _>>()?;
+            data.push((base as usize, words));
+            code_src.push('\n');
+            continue;
+        }
+        // Substitute constants inside operand-looking positions.
+        code_src.push_str(&substitute_consts(raw, &consts));
+        code_src.push('\n');
+    }
+    let program = assemble_code(&code_src)?;
+    Ok(AsmUnit { program, data })
+}
+
+fn resolve_int(t: &str, consts: &HashMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+    if let Ok(v) = t.parse::<i64>() {
+        return Ok(v);
+    }
+    consts
+        .get(t)
+        .copied()
+        .ok_or_else(|| err(line, format!("unknown constant '{t}'")))
+}
+
+/// Replaces known constant names appearing as whole words with their
+/// values (labels keep priority because substitution only touches names
+/// defined by `.equ`).
+fn substitute_consts(line: &str, consts: &HashMap<String, i64>) -> String {
+    if consts.is_empty() {
+        return line.to_string();
+    }
+    let mut out = String::with_capacity(line.len());
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut String| {
+        if let Some(v) = consts.get(word.as_str()) {
+            out.push_str(&v.to_string());
+        } else {
+            out.push_str(word);
+        }
+        word.clear();
+    };
+    for ch in line.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            word.push(ch);
+        } else {
+            flush(&mut word, &mut out);
+            out.push(ch);
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+fn assemble_code(src: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments, collect labels, tokenize.
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(';') {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Leading labels ("name:"), possibly several.
+        while let Some(p) = text.find(':') {
+            let (lbl, rest) = text.split_at(p);
+            let lbl = lbl.trim();
+            if lbl.is_empty()
+                || !lbl
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            if labels.insert(lbl.to_string(), lines.len() as u16).is_some() {
+                return Err(err(line_no, format!("duplicate label '{lbl}'")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r),
+            None => (text, ""),
+        };
+        let (mnem, frac) = match mnem.split_once('.') {
+            Some((m, f)) => (
+                m,
+                f.parse::<u8>()
+                    .map_err(|_| err(line_no, format!("bad frac suffix '.{f}'")))?,
+            ),
+            None => (mnem, 0u8),
+        };
+        let toks = split_operands(rest)
+            .iter()
+            .map(|t| parse_token(t, line_no))
+            .collect::<Result<Vec<_>, _>>()?;
+        lines.push(Line {
+            line_no,
+            mnemonic: mnem.to_ascii_lowercase(),
+            frac,
+            toks,
+        });
+    }
+
+    // Pass 2: build instructions.
+    let mut prog = Vec::with_capacity(lines.len());
+    for l in &lines {
+        let n = l.line_no;
+        let want = |c: usize| -> Result<(), AsmError> {
+            if l.toks.len() != c {
+                Err(err(
+                    n,
+                    format!(
+                        "{} expects {c} operand(s), got {}",
+                        l.mnemonic,
+                        l.toks.len()
+                    ),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let opnd = |i: usize| -> Result<Operand, AsmError> {
+            match &l.toks[i] {
+                Tok::Op(o) => Ok(*o),
+                Tok::Int(v) if (-256..=255).contains(v) => Ok(Operand::Imm(*v as i16)),
+                other => Err(err(n, format!("expected operand, got {other:?}"))),
+            }
+        };
+        let target = |i: usize| -> Result<u16, AsmError> {
+            match &l.toks[i] {
+                Tok::Int(v) if (0..512).contains(v) => Ok(*v as u16),
+                Tok::Ident(name) => labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| err(n, format!("unknown label '{name}'"))),
+                other => Err(err(n, format!("expected branch target, got {other:?}"))),
+            }
+        };
+        let ar = |i: usize| -> Result<u8, AsmError> {
+            match &l.toks[i] {
+                Tok::Ar(k) => Ok(*k),
+                other => Err(err(n, format!("expected address register, got {other:?}"))),
+            }
+        };
+        let int = |i: usize| -> Result<i64, AsmError> {
+            match &l.toks[i] {
+                Tok::Int(v) => Ok(*v),
+                Tok::Op(Operand::Imm(v)) => Ok(*v as i64),
+                other => Err(err(n, format!("expected integer, got {other:?}"))),
+            }
+        };
+        let i = match l.mnemonic.as_str() {
+            "nop" => {
+                want(0)?;
+                Instr::Nop
+            }
+            "halt" => {
+                want(0)?;
+                Instr::Halt
+            }
+            "clracc" => {
+                want(0)?;
+                Instr::ClrAcc
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" => {
+                want(3)?;
+                let (dst, a, b) = (opnd(0)?, opnd(1)?, opnd(2)?);
+                match l.mnemonic.as_str() {
+                    "add" => Instr::Add { dst, a, b },
+                    "sub" => Instr::Sub { dst, a, b },
+                    "and" => Instr::And { dst, a, b },
+                    "or" => Instr::Or { dst, a, b },
+                    "xor" => Instr::Xor { dst, a, b },
+                    "shl" => Instr::Shl { dst, a, b },
+                    _ => Instr::Shr { dst, a, b },
+                }
+            }
+            "mul" => {
+                want(3)?;
+                Instr::Mul {
+                    dst: opnd(0)?,
+                    a: opnd(1)?,
+                    b: opnd(2)?,
+                    frac: l.frac,
+                }
+            }
+            "mac" => {
+                want(2)?;
+                Instr::Mac {
+                    a: opnd(0)?,
+                    b: opnd(1)?,
+                    frac: l.frac,
+                }
+            }
+            "movacc" => {
+                want(1)?;
+                Instr::MovAcc { dst: opnd(0)? }
+            }
+            "not" => {
+                want(2)?;
+                Instr::Not {
+                    dst: opnd(0)?,
+                    a: opnd(1)?,
+                }
+            }
+            "mov" => {
+                want(2)?;
+                Instr::Mov {
+                    dst: opnd(0)?,
+                    a: opnd(1)?,
+                }
+            }
+            "ldi" => {
+                want(2)?;
+                let v = int(1)?;
+                Instr::Ldi {
+                    dst: opnd(0)?,
+                    imm: i32::try_from(v).map_err(|_| err(n, "immediate out of range"))?,
+                }
+            }
+            "jmp" => {
+                want(1)?;
+                Instr::Jmp { target: target(0)? }
+            }
+            "bz" | "bnz" | "bneg" | "bgez" => {
+                want(2)?;
+                let (a, t) = (opnd(0)?, target(1)?);
+                match l.mnemonic.as_str() {
+                    "bz" => Instr::Bz { a, target: t },
+                    "bnz" => Instr::Bnz { a, target: t },
+                    "bneg" => Instr::Bneg { a, target: t },
+                    _ => Instr::Bgez { a, target: t },
+                }
+            }
+            "djnz" => {
+                want(2)?;
+                Instr::Djnz {
+                    dst: opnd(0)?,
+                    target: target(1)?,
+                }
+            }
+            "ldar" => {
+                want(2)?;
+                let k = ar(0)?;
+                match &l.toks[1] {
+                    Tok::Int(v) if (0..512).contains(v) => Instr::Ldar {
+                        k,
+                        src: None,
+                        imm: *v as u16,
+                    },
+                    Tok::Op(o) if !matches!(o, Operand::Imm(_)) => Instr::Ldar {
+                        k,
+                        src: Some(*o),
+                        imm: 0,
+                    },
+                    other => return Err(err(n, format!("bad ldar source {other:?}"))),
+                }
+            }
+            "adar" => {
+                want(2)?;
+                Instr::Adar {
+                    k: ar(0)?,
+                    delta: i16::try_from(int(1)?).map_err(|_| err(n, "adar delta out of range"))?,
+                }
+            }
+            "movar" => {
+                want(2)?;
+                Instr::Movar {
+                    dst: opnd(0)?,
+                    k: ar(1)?,
+                }
+            }
+            other => return Err(err(n, format!("unknown mnemonic '{other}'"))),
+        };
+        i.validate().map_err(|msg| err(n, msg))?;
+        prog.push(i);
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run, PeState};
+    use cgra_fabric::Tile;
+
+    #[test]
+    fn assemble_and_run() {
+        let src = r#"
+            ; sum 1..5 into d[1]
+                    ldi   d[0], 5
+            loop:   add   d[1], d[1], d[0]
+                    djnz  d[0], loop
+                    halt
+        "#;
+        let prog = assemble(src).unwrap();
+        let mut t = Tile::new(0);
+        t.load_program(&crate::encode::encode_program(&prog))
+            .unwrap();
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 100).unwrap();
+        assert_eq!(t.dmem.peek(1).unwrap().value(), 15);
+    }
+
+    #[test]
+    fn all_operand_forms() {
+        let src = r#"
+            ldar  a0, 100
+            ldar  a1, d[5]
+            adar  a0, -3
+            movar d[2], a0
+            mul.24 d[3], @a0, @a1+7
+            mac.10 d[3], #-12
+            movacc r@a3+4
+            bz    #0, 0
+        "#;
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 8);
+        assert_eq!(
+            prog[4],
+            Instr::Mul {
+                dst: Operand::Dir(3),
+                a: Operand::Ind { ar: 0, disp: 0 },
+                b: Operand::Ind { ar: 1, disp: 7 },
+                frac: 24
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus d[0]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.msg.contains("unknown label"));
+        let e = assemble("add d[0], d[1]").unwrap_err();
+        assert!(e.msg.contains("expects 3"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn validation_applies() {
+        // immediate destination
+        let e = assemble("add #1, d[0], d[1]").unwrap_err();
+        assert!(e.msg.contains("destination"));
+    }
+
+    #[test]
+    fn labels_on_own_line() {
+        let prog = assemble("top:\n  jmp top\n").unwrap();
+        assert_eq!(prog, vec![Instr::Jmp { target: 0 }]);
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+    use crate::exec::{run, PeState};
+    use cgra_fabric::{Tile, Word};
+
+    #[test]
+    fn equ_substitutes_everywhere() {
+        let unit = assemble_unit(
+            "
+            .equ SRC, 100
+            .equ COUNT, 8
+            .equ STEP, 2
+                ldar a0, SRC
+                ldi  d[0], COUNT
+        top:    add  d[1], d[1], @a0
+                adar a0, STEP
+                djnz d[0], top
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            unit.program[0],
+            Instr::Ldar {
+                k: 0,
+                src: None,
+                imm: 100
+            }
+        );
+        assert_eq!(
+            unit.program[1],
+            Instr::Ldi {
+                dst: Operand::Dir(0),
+                imm: 8
+            }
+        );
+        assert_eq!(unit.program[3], Instr::Adar { k: 0, delta: 2 });
+    }
+
+    #[test]
+    fn data_segments_collected_and_runnable() {
+        let unit = assemble_unit(
+            "
+            .equ  BASE, 200
+            .data BASE, 11, 22, 33
+            .data 210, -7
+                add d[0], d[200], d[202]
+                add d[0], d[0], d[210]
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(unit.data, vec![(200, vec![11, 22, 33]), (210, vec![-7])]);
+        let mut tile = Tile::new(0);
+        for (base, words) in &unit.data {
+            for (i, &v) in words.iter().enumerate() {
+                tile.dmem.poke(base + i, Word::wrap(v)).unwrap();
+            }
+        }
+        tile.load_program(&crate::encode::encode_program(&unit.program))
+            .unwrap();
+        let mut st = PeState::new();
+        run(&mut tile, &mut st, 100).unwrap();
+        assert_eq!(tile.dmem.peek(0).unwrap().value(), 11 + 33 - 7);
+    }
+
+    #[test]
+    fn directive_errors() {
+        assert!(assemble_unit(".equ , 5").is_err());
+        assert!(assemble_unit(".equ X").is_err());
+        assert!(assemble_unit(".equ X, 1\n.equ X, 2").is_err());
+        assert!(assemble_unit(".data 5").is_err());
+        assert!(assemble_unit(".data -1, 7").is_err());
+        assert!(assemble_unit(".data UNKNOWN, 7").is_err());
+    }
+
+    #[test]
+    fn consts_do_not_clobber_labels_or_mnemonics() {
+        // A label sharing no name with constants assembles normally, and
+        // substitution never touches mnemonics.
+        let unit = assemble_unit(
+            "
+            .equ N, 3
+                ldi d[0], N
+        N3:     djnz d[0], N3
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(unit.program.len(), 3);
+    }
+
+    #[test]
+    fn plain_assemble_still_works() {
+        let prog = assemble(".equ A, 4\n ldi d[0], A\n halt").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+}

@@ -1,0 +1,395 @@
+//! Ergonomic program construction with forward-referencable labels.
+//!
+//! The kernel generators (`cgra-kernels`) build butterfly, copy and JPEG
+//! programs through this builder rather than hand-writing encodings.
+
+use crate::instr::{Instr, Operand};
+use cgra_fabric::INSTR_SLOTS;
+
+/// A forward-referencable branch label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors raised when finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// An instruction failed validation.
+    Invalid {
+        /// Instruction index.
+        at: usize,
+        /// Validation message.
+        msg: String,
+    },
+    /// The program exceeds the 512-slot instruction memory.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l} never bound"),
+            BuildError::Invalid { at, msg } => write!(f, "instruction {at}: {msg}"),
+            BuildError::TooLarge(n) => {
+                write!(f, "program of {n} instructions exceeds {INSTR_SLOTS} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+enum Pending {
+    Done(Instr),
+    /// Branch whose target label is patched at build time.
+    Branch {
+        make: fn(u16) -> Instr,
+        label: Label,
+    },
+    /// DJNZ/conditional with an operand and a label target.
+    CondBranch {
+        make: fn(Operand, u16) -> Instr,
+        opnd: Operand,
+        label: Label,
+    },
+}
+
+/// Builds validated PE programs.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    code: Vec<Pending>,
+    labels: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index (== address of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        self.labels[l.0] = Some(self.code.len());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.code.push(Pending::Done(i));
+        self
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Add { dst, a, b })
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Sub { dst, a, b })
+    }
+
+    /// `dst = (a*b) >> frac`.
+    pub fn mul(&mut self, dst: Operand, a: Operand, b: Operand, frac: u8) -> &mut Self {
+        self.push(Instr::Mul { dst, a, b, frac })
+    }
+
+    /// `acc += (a*b) >> frac`.
+    pub fn mac(&mut self, a: Operand, b: Operand, frac: u8) -> &mut Self {
+        self.push(Instr::Mac { a, b, frac })
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::And { dst, a, b })
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Or { dst, a, b })
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Xor { dst, a, b })
+    }
+
+    /// `dst = !a`.
+    pub fn not(&mut self, dst: Operand, a: Operand) -> &mut Self {
+        self.push(Instr::Not { dst, a })
+    }
+
+    /// `acc = 0`.
+    pub fn clracc(&mut self) -> &mut Self {
+        self.push(Instr::ClrAcc)
+    }
+
+    /// `dst = acc`.
+    pub fn movacc(&mut self, dst: Operand) -> &mut Self {
+        self.push(Instr::MovAcc { dst })
+    }
+
+    /// `dst = a`.
+    pub fn mov(&mut self, dst: Operand, a: Operand) -> &mut Self {
+        self.push(Instr::Mov { dst, a })
+    }
+
+    /// `dst = imm`.
+    pub fn ldi(&mut self, dst: Operand, imm: i32) -> &mut Self {
+        self.push(Instr::Ldi { dst, imm })
+    }
+
+    /// `dst = a >> b` (arithmetic).
+    pub fn shr(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Shr { dst, a, b })
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.push(Instr::Shl { dst, a, b })
+    }
+
+    /// `ar[k] = imm`.
+    pub fn ldar(&mut self, k: u8, imm: u16) -> &mut Self {
+        self.push(Instr::Ldar { k, src: None, imm })
+    }
+
+    /// `ar[k] = mem src`.
+    pub fn ldar_mem(&mut self, k: u8, src: Operand) -> &mut Self {
+        self.push(Instr::Ldar {
+            k,
+            src: Some(src),
+            imm: 0,
+        })
+    }
+
+    /// `ar[k] += delta`.
+    pub fn adar(&mut self, k: u8, delta: i16) -> &mut Self {
+        self.push(Instr::Adar { k, delta })
+    }
+
+    /// `dst = ar[k]`.
+    pub fn movar(&mut self, dst: Operand, k: u8) -> &mut Self {
+        self.push(Instr::Movar { dst, k })
+    }
+
+    /// Unconditional jump to `l`.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.code.push(Pending::Branch {
+            make: |t| Instr::Jmp { target: t },
+            label: l,
+        });
+        self
+    }
+
+    /// Branch to `l` if `a == 0`.
+    pub fn bz(&mut self, a: Operand, l: Label) -> &mut Self {
+        self.code.push(Pending::CondBranch {
+            make: |a, t| Instr::Bz { a, target: t },
+            opnd: a,
+            label: l,
+        });
+        self
+    }
+
+    /// Branch to `l` if `a != 0`.
+    pub fn bnz(&mut self, a: Operand, l: Label) -> &mut Self {
+        self.code.push(Pending::CondBranch {
+            make: |a, t| Instr::Bnz { a, target: t },
+            opnd: a,
+            label: l,
+        });
+        self
+    }
+
+    /// Branch to `l` if `a < 0`.
+    pub fn bneg(&mut self, a: Operand, l: Label) -> &mut Self {
+        self.code.push(Pending::CondBranch {
+            make: |a, t| Instr::Bneg { a, target: t },
+            opnd: a,
+            label: l,
+        });
+        self
+    }
+
+    /// Branch to `l` if `a >= 0`.
+    pub fn bgez(&mut self, a: Operand, l: Label) -> &mut Self {
+        self.code.push(Pending::CondBranch {
+            make: |a, t| Instr::Bgez { a, target: t },
+            opnd: a,
+            label: l,
+        });
+        self
+    }
+
+    /// `ctr -= 1; if ctr != 0 goto l`.
+    pub fn djnz(&mut self, ctr: Operand, l: Label) -> &mut Self {
+        self.code.push(Pending::CondBranch {
+            make: |a, t| Instr::Djnz { dst: a, target: t },
+            opnd: ctr,
+            label: l,
+        });
+        self
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Resolves labels, validates every instruction, and returns the program.
+    pub fn build(self) -> Result<Vec<Instr>, BuildError> {
+        if self.code.len() > INSTR_SLOTS {
+            return Err(BuildError::TooLarge(self.code.len()));
+        }
+        let resolve = |l: Label| -> Result<u16, BuildError> {
+            self.labels[l.0]
+                .map(|pc| pc as u16)
+                .ok_or(BuildError::UnboundLabel(l.0))
+        };
+        let mut out = Vec::with_capacity(self.code.len());
+        for (at, p) in self.code.iter().enumerate() {
+            let i = match p {
+                Pending::Done(i) => *i,
+                Pending::Branch { make, label } => make(resolve(*label)?),
+                Pending::CondBranch { make, opnd, label } => make(*opnd, resolve(*label)?),
+            };
+            i.validate()
+                .map_err(|msg| BuildError::Invalid { at, msg })?;
+            out.push(i);
+        }
+        Ok(out)
+    }
+}
+
+/// Shorthand constructors for operands.
+pub mod ops {
+    use crate::instr::Operand;
+
+    /// Direct operand `d[a]`.
+    pub const fn d(a: u16) -> Operand {
+        Operand::Dir(a)
+    }
+
+    /// Indirect operand `@aK`.
+    pub const fn at(ar: u8) -> Operand {
+        Operand::Ind { ar, disp: 0 }
+    }
+
+    /// Indirect operand `@aK+disp`.
+    pub const fn at_off(ar: u8, disp: u8) -> Operand {
+        Operand::Ind { ar, disp }
+    }
+
+    /// Immediate operand `#v`.
+    pub const fn imm(v: i16) -> Operand {
+        Operand::Imm(v)
+    }
+
+    /// Remote operand `r@aK` (neighbour write at address `ar[k]`).
+    pub const fn rem(ar: u8) -> Operand {
+        Operand::Rem { ar, disp: 0 }
+    }
+
+    /// Remote operand `r@aK+disp`.
+    pub const fn rem_off(ar: u8, disp: u8) -> Operand {
+        Operand::Rem { ar, disp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+    use crate::exec::{run, PeState};
+    use cgra_fabric::{Tile, Word};
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.ldi(d(0), 3);
+        let top = b.here_label();
+        b.bz(d(0), end);
+        b.add(d(1), d(1), d(0));
+        b.sub(d(0), d(0), imm(1));
+        b.jmp(top);
+        b.bind(end);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut t = Tile::new(0);
+        t.load_program(&crate::encode::encode_program(&prog))
+            .unwrap();
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 1000).unwrap();
+        // 3 + 2 + 1 = 6
+        assert_eq!(t.dmem.peek(1).unwrap(), Word::wrap(6));
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l);
+        assert!(matches!(b.build(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn invalid_instruction_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.add(imm(0), d(0), d(1)); // immediate destination
+        match b.build() {
+            Err(BuildError::Invalid { at: 0, .. }) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..600 {
+            b.nop();
+        }
+        assert!(matches!(b.build(), Err(BuildError::TooLarge(600))));
+    }
+
+    #[test]
+    fn djnz_label() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(d(0), 4);
+        let top = b.here_label();
+        b.add(d(1), d(1), imm(1));
+        b.djnz(d(0), top);
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut t = Tile::new(0);
+        t.load_program(&crate::encode::encode_program(&prog))
+            .unwrap();
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 100).unwrap();
+        assert_eq!(t.dmem.peek(1).unwrap().value(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Disassembler emitting the [`crate::asm`] syntax.
+
+use crate::instr::Instr;
+
+/// Renders one instruction in assembler syntax (without label names —
+/// branch targets print as absolute addresses).
+pub fn disassemble_one(i: &Instr) -> String {
+    match i {
+        Instr::Nop => "nop".into(),
+        Instr::Halt => "halt".into(),
+        Instr::ClrAcc => "clracc".into(),
+        Instr::Add { dst, a, b } => format!("add {dst}, {a}, {b}"),
+        Instr::Sub { dst, a, b } => format!("sub {dst}, {a}, {b}"),
+        Instr::Mul { dst, a, b, frac } => format!("mul.{frac} {dst}, {a}, {b}"),
+        Instr::Mac { a, b, frac } => format!("mac.{frac} {a}, {b}"),
+        Instr::MovAcc { dst } => format!("movacc {dst}"),
+        Instr::And { dst, a, b } => format!("and {dst}, {a}, {b}"),
+        Instr::Or { dst, a, b } => format!("or {dst}, {a}, {b}"),
+        Instr::Xor { dst, a, b } => format!("xor {dst}, {a}, {b}"),
+        Instr::Not { dst, a } => format!("not {dst}, {a}"),
+        Instr::Shl { dst, a, b } => format!("shl {dst}, {a}, {b}"),
+        Instr::Shr { dst, a, b } => format!("shr {dst}, {a}, {b}"),
+        Instr::Mov { dst, a } => format!("mov {dst}, {a}"),
+        Instr::Ldi { dst, imm } => format!("ldi {dst}, {imm}"),
+        Instr::Jmp { target } => format!("jmp {target}"),
+        Instr::Bz { a, target } => format!("bz {a}, {target}"),
+        Instr::Bnz { a, target } => format!("bnz {a}, {target}"),
+        Instr::Bneg { a, target } => format!("bneg {a}, {target}"),
+        Instr::Bgez { a, target } => format!("bgez {a}, {target}"),
+        Instr::Djnz { dst, target } => format!("djnz {dst}, {target}"),
+        Instr::Ldar { k, src, imm } => match src {
+            Some(s) => format!("ldar a{k}, {s}"),
+            None => format!("ldar a{k}, {imm}"),
+        },
+        Instr::Adar { k, delta } => format!("adar a{k}, {delta}"),
+        Instr::Movar { dst, k } => format!("movar {dst}, a{k}"),
+    }
+}
+
+/// Renders a whole program, one instruction per line with addresses in a
+/// leading comment column.
+pub fn disassemble(prog: &[Instr]) -> String {
+    let mut out = String::new();
+    for (pc, i) in prog.iter().enumerate() {
+        out.push_str(&format!("    {}    ; {pc:3}\n", disassemble_one(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::instr::Operand;
+
+    #[test]
+    fn roundtrip_through_assembler() {
+        let prog = vec![
+            Instr::Ldi {
+                dst: Operand::Dir(0),
+                imm: -1234,
+            },
+            Instr::Mul {
+                dst: Operand::Dir(1),
+                a: Operand::Ind { ar: 2, disp: 5 },
+                b: Operand::Imm(-3),
+                frac: 24,
+            },
+            Instr::Mov {
+                dst: Operand::Rem { ar: 2, disp: 17 },
+                a: Operand::Dir(1),
+            },
+            Instr::Djnz {
+                dst: Operand::Dir(9),
+                target: 1,
+            },
+            Instr::Ldar {
+                k: 4,
+                src: Some(Operand::Dir(2)),
+                imm: 0,
+            },
+            Instr::Ldar {
+                k: 4,
+                src: None,
+                imm: 300,
+            },
+            Instr::Adar { k: 4, delta: -17 },
+            Instr::Movar {
+                dst: Operand::Dir(3),
+                k: 4,
+            },
+            Instr::Halt,
+        ];
+        let text = disassemble(&prog);
+        let back = assemble(&text).unwrap();
+        assert_eq!(back, prog);
+    }
+}

@@ -1,0 +1,560 @@
+//! Binary encoding of instructions into 72-bit words.
+//!
+//! The tile instruction memory is a `512 x 72` BRAM; this module packs each
+//! [`Instr`] into the low 72 bits of a `u128` ([`RawInstr`]) and back.
+//!
+//! Layout (bit 71 = msb):
+//!
+//! ```text
+//! [71:66] opcode   [65:60] flags (frac / ar-index / ldar-form)
+//! [59:49] dst      [48:38] src1      [37:27] src2      (11 bits each:
+//!                                     2-bit mode + 9-bit payload)
+//! [26:3]  imm24    [2:0]   reserved (0)
+//! ```
+
+use crate::instr::{Instr, Operand};
+use cgra_fabric::RawInstr;
+
+/// Errors from decoding a raw instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode field value.
+    BadOpcode(u8),
+    /// An operand had an invalid mode for its role.
+    BadOperand {
+        /// Role of the offending operand.
+        role: &'static str,
+        /// The raw 11-bit operand field.
+        raw: u16,
+    },
+    /// Bits above bit 71 were set.
+    OverWidth,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            DecodeError::BadOperand { role, raw } => {
+                write!(f, "invalid {role} operand field {raw:#x}")
+            }
+            DecodeError::OverWidth => write!(f, "instruction word wider than 72 bits"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const ADD: u8 = 2;
+    pub const SUB: u8 = 3;
+    pub const MUL: u8 = 4;
+    pub const MAC: u8 = 5;
+    pub const CLRACC: u8 = 6;
+    pub const MOVACC: u8 = 7;
+    pub const AND: u8 = 8;
+    pub const OR: u8 = 9;
+    pub const XOR: u8 = 10;
+    pub const NOT: u8 = 11;
+    pub const SHL: u8 = 12;
+    pub const SHR: u8 = 13;
+    pub const MOV: u8 = 14;
+    pub const LDI: u8 = 15;
+    pub const JMP: u8 = 16;
+    pub const BZ: u8 = 17;
+    pub const BNZ: u8 = 18;
+    pub const BNEG: u8 = 19;
+    pub const BGEZ: u8 = 20;
+    pub const DJNZ: u8 = 21;
+    pub const LDAR: u8 = 22;
+    pub const ADAR: u8 = 23;
+    pub const MOVAR: u8 = 24;
+}
+
+const MODE_DIR: u16 = 0;
+const MODE_IND: u16 = 1;
+const MODE_IMM: u16 = 2;
+const MODE_REM: u16 = 3;
+
+fn enc_operand(o: Operand) -> u16 {
+    match o {
+        Operand::Dir(a) => (MODE_DIR << 9) | (a & 0x1ff),
+        Operand::Ind { ar, disp } => {
+            (MODE_IND << 9) | (((ar as u16) & 0x7) << 6) | ((disp as u16) & 0x3f)
+        }
+        Operand::Imm(v) => (MODE_IMM << 9) | ((v as u16) & 0x1ff),
+        Operand::Rem { ar, disp } => {
+            (MODE_REM << 9) | (((ar as u16) & 0x7) << 6) | ((disp as u16) & 0x3f)
+        }
+    }
+}
+
+fn dec_operand(raw: u16) -> Operand {
+    let mode = (raw >> 9) & 0x3;
+    let payload = raw & 0x1ff;
+    match mode {
+        MODE_DIR => Operand::Dir(payload),
+        MODE_IND => Operand::Ind {
+            ar: ((payload >> 6) & 0x7) as u8,
+            disp: (payload & 0x3f) as u8,
+        },
+        MODE_IMM => {
+            // sign-extend 9 bits
+            let v = ((payload as i16) << 7) >> 7;
+            Operand::Imm(v)
+        }
+        _ => Operand::Rem {
+            ar: ((payload >> 6) & 0x7) as u8,
+            disp: (payload & 0x3f) as u8,
+        },
+    }
+}
+
+struct Fields {
+    opcode: u8,
+    flags: u8,
+    dst: u16,
+    src1: u16,
+    src2: u16,
+    imm24: u32,
+}
+
+impl Fields {
+    fn zero(opcode: u8) -> Fields {
+        Fields {
+            opcode,
+            flags: 0,
+            dst: 0,
+            src1: 0,
+            src2: 0,
+            imm24: 0,
+        }
+    }
+
+    fn pack(&self) -> RawInstr {
+        ((self.opcode as u128 & 0x3f) << 66)
+            | ((self.flags as u128 & 0x3f) << 60)
+            | ((self.dst as u128 & 0x7ff) << 49)
+            | ((self.src1 as u128 & 0x7ff) << 38)
+            | ((self.src2 as u128 & 0x7ff) << 27)
+            | ((self.imm24 as u128 & 0xff_ffff) << 3)
+    }
+
+    fn unpack(w: RawInstr) -> Fields {
+        Fields {
+            opcode: ((w >> 66) & 0x3f) as u8,
+            flags: ((w >> 60) & 0x3f) as u8,
+            dst: ((w >> 49) & 0x7ff) as u16,
+            src1: ((w >> 38) & 0x7ff) as u16,
+            src2: ((w >> 27) & 0x7ff) as u16,
+            imm24: ((w >> 3) & 0xff_ffff) as u32,
+        }
+    }
+}
+
+fn imm24_signed(raw: u32) -> i32 {
+    ((raw as i32) << 8) >> 8
+}
+
+/// Encodes an instruction into its 72-bit word.
+pub fn encode(i: &Instr) -> RawInstr {
+    use op::*;
+    let mut f;
+    match *i {
+        Instr::Nop => f = Fields::zero(NOP),
+        Instr::Halt => f = Fields::zero(HALT),
+        Instr::Add { dst, a, b } => {
+            f = Fields::zero(ADD);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Sub { dst, a, b } => {
+            f = Fields::zero(SUB);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Mul { dst, a, b, frac } => {
+            f = Fields::zero(MUL);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+            f.flags = frac;
+        }
+        Instr::Mac { a, b, frac } => {
+            f = Fields::zero(MAC);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+            f.flags = frac;
+        }
+        Instr::ClrAcc => f = Fields::zero(CLRACC),
+        Instr::MovAcc { dst } => {
+            f = Fields::zero(MOVACC);
+            f.dst = enc_operand(dst);
+        }
+        Instr::And { dst, a, b } => {
+            f = Fields::zero(AND);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Or { dst, a, b } => {
+            f = Fields::zero(OR);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Xor { dst, a, b } => {
+            f = Fields::zero(XOR);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Not { dst, a } => {
+            f = Fields::zero(NOT);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+        }
+        Instr::Shl { dst, a, b } => {
+            f = Fields::zero(SHL);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Shr { dst, a, b } => {
+            f = Fields::zero(SHR);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+            f.src2 = enc_operand(b);
+        }
+        Instr::Mov { dst, a } => {
+            f = Fields::zero(MOV);
+            f.dst = enc_operand(dst);
+            f.src1 = enc_operand(a);
+        }
+        Instr::Ldi { dst, imm } => {
+            f = Fields::zero(LDI);
+            f.dst = enc_operand(dst);
+            f.imm24 = (imm as u32) & 0xff_ffff;
+        }
+        Instr::Jmp { target } => {
+            f = Fields::zero(JMP);
+            f.imm24 = target as u32;
+        }
+        Instr::Bz { a, target } => {
+            f = Fields::zero(BZ);
+            f.src1 = enc_operand(a);
+            f.imm24 = target as u32;
+        }
+        Instr::Bnz { a, target } => {
+            f = Fields::zero(BNZ);
+            f.src1 = enc_operand(a);
+            f.imm24 = target as u32;
+        }
+        Instr::Bneg { a, target } => {
+            f = Fields::zero(BNEG);
+            f.src1 = enc_operand(a);
+            f.imm24 = target as u32;
+        }
+        Instr::Bgez { a, target } => {
+            f = Fields::zero(BGEZ);
+            f.src1 = enc_operand(a);
+            f.imm24 = target as u32;
+        }
+        Instr::Djnz { dst, target } => {
+            f = Fields::zero(DJNZ);
+            f.dst = enc_operand(dst);
+            f.imm24 = target as u32;
+        }
+        Instr::Ldar { k, src, imm } => {
+            f = Fields::zero(LDAR);
+            f.flags = k & 0x7;
+            if let Some(s) = src {
+                f.flags |= 0x8; // memory-source form
+                f.src1 = enc_operand(s);
+            }
+            f.imm24 = imm as u32;
+        }
+        Instr::Adar { k, delta } => {
+            f = Fields::zero(ADAR);
+            f.flags = k & 0x7;
+            f.imm24 = (delta as i32 as u32) & 0xff_ffff;
+        }
+        Instr::Movar { dst, k } => {
+            f = Fields::zero(MOVAR);
+            f.flags = k & 0x7;
+            f.dst = enc_operand(dst);
+        }
+    }
+    f.pack()
+}
+
+/// Decodes a 72-bit word back into an instruction.
+pub fn decode(w: RawInstr) -> Result<Instr, DecodeError> {
+    use op::*;
+    if w >> 72 != 0 {
+        return Err(DecodeError::OverWidth);
+    }
+    let f = Fields::unpack(w);
+    let dst = || dec_operand(f.dst);
+    let a = || dec_operand(f.src1);
+    let b = || dec_operand(f.src2);
+    let target = (f.imm24 & 0x1ff) as u16;
+    let i = match f.opcode {
+        NOP => Instr::Nop,
+        HALT => Instr::Halt,
+        ADD => Instr::Add {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        SUB => Instr::Sub {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        MUL => Instr::Mul {
+            dst: dst(),
+            a: a(),
+            b: b(),
+            frac: f.flags,
+        },
+        MAC => Instr::Mac {
+            a: a(),
+            b: b(),
+            frac: f.flags,
+        },
+        CLRACC => Instr::ClrAcc,
+        MOVACC => Instr::MovAcc { dst: dst() },
+        AND => Instr::And {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        OR => Instr::Or {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        XOR => Instr::Xor {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        NOT => Instr::Not { dst: dst(), a: a() },
+        SHL => Instr::Shl {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        SHR => Instr::Shr {
+            dst: dst(),
+            a: a(),
+            b: b(),
+        },
+        MOV => Instr::Mov { dst: dst(), a: a() },
+        LDI => Instr::Ldi {
+            dst: dst(),
+            imm: imm24_signed(f.imm24),
+        },
+        JMP => Instr::Jmp { target },
+        BZ => Instr::Bz { a: a(), target },
+        BNZ => Instr::Bnz { a: a(), target },
+        BNEG => Instr::Bneg { a: a(), target },
+        BGEZ => Instr::Bgez { a: a(), target },
+        DJNZ => Instr::Djnz { dst: dst(), target },
+        LDAR => Instr::Ldar {
+            k: f.flags & 0x7,
+            src: if f.flags & 0x8 != 0 { Some(a()) } else { None },
+            imm: (f.imm24 & 0x1ff) as u16,
+        },
+        ADAR => Instr::Adar {
+            k: f.flags & 0x7,
+            delta: {
+                let d = imm24_signed(f.imm24);
+                d as i16
+            },
+        },
+        MOVAR => Instr::Movar {
+            dst: dst(),
+            k: f.flags & 0x7,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    // Re-validate decoded operand roles so corrupt words cannot smuggle an
+    // immediate destination or remote source into the executor.
+    i.validate().map_err(|_| DecodeError::BadOperand {
+        role: "decoded",
+        raw: f.dst,
+    })?;
+    Ok(i)
+}
+
+/// Encodes a whole program.
+pub fn encode_program(prog: &[Instr]) -> Vec<RawInstr> {
+    prog.iter().map(encode).collect()
+}
+
+/// Decodes a whole program image.
+pub fn decode_program(image: &[RawInstr]) -> Result<Vec<Instr>, DecodeError> {
+    image.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Instr> {
+        use Operand::*;
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Add {
+                dst: Dir(511),
+                a: Ind { ar: 7, disp: 63 },
+                b: Imm(-256),
+            },
+            Instr::Sub {
+                dst: Rem { ar: 1, disp: 2 },
+                a: Dir(3),
+                b: Dir(4),
+            },
+            Instr::Mul {
+                dst: Dir(1),
+                a: Dir(2),
+                b: Dir(3),
+                frac: 24,
+            },
+            Instr::Mac {
+                a: Ind { ar: 0, disp: 1 },
+                b: Ind { ar: 1, disp: 0 },
+                frac: 63,
+            },
+            Instr::ClrAcc,
+            Instr::MovAcc { dst: Dir(9) },
+            Instr::And {
+                dst: Dir(0),
+                a: Imm(255),
+                b: Dir(1),
+            },
+            Instr::Or {
+                dst: Dir(0),
+                a: Dir(1),
+                b: Dir(2),
+            },
+            Instr::Xor {
+                dst: Dir(0),
+                a: Dir(1),
+                b: Dir(2),
+            },
+            Instr::Not {
+                dst: Dir(5),
+                a: Dir(6),
+            },
+            Instr::Shl {
+                dst: Dir(0),
+                a: Dir(1),
+                b: Imm(4),
+            },
+            Instr::Shr {
+                dst: Dir(0),
+                a: Dir(1),
+                b: Imm(24),
+            },
+            Instr::Mov {
+                dst: Rem { ar: 7, disp: 63 },
+                a: Dir(0),
+            },
+            Instr::Ldi {
+                dst: Dir(1),
+                imm: -8_388_608,
+            },
+            Instr::Ldi {
+                dst: Dir(1),
+                imm: 8_388_607,
+            },
+            Instr::Jmp { target: 511 },
+            Instr::Bz {
+                a: Dir(1),
+                target: 0,
+            },
+            Instr::Bnz {
+                a: Imm(-1),
+                target: 37,
+            },
+            Instr::Bneg {
+                a: Dir(2),
+                target: 99,
+            },
+            Instr::Bgez {
+                a: Dir(2),
+                target: 100,
+            },
+            Instr::Djnz {
+                dst: Dir(15),
+                target: 2,
+            },
+            Instr::Ldar {
+                k: 3,
+                src: None,
+                imm: 400,
+            },
+            Instr::Ldar {
+                k: 7,
+                src: Some(Operand::Dir(31)),
+                imm: 0,
+            },
+            Instr::Adar { k: 1, delta: -512 },
+            Instr::Adar { k: 1, delta: 511 },
+            Instr::Movar { dst: Dir(44), k: 5 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_samples() {
+        for i in samples() {
+            i.validate().unwrap();
+            let w = encode(&i);
+            assert_eq!(w >> 72, 0, "{i:?} wider than 72 bits");
+            let back = decode(w).unwrap();
+            assert_eq!(back, i);
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let prog = samples();
+        let image = encode_program(&prog);
+        assert_eq!(decode_program(&image).unwrap(), prog);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let w: RawInstr = (63u128) << 66;
+        assert!(matches!(decode(w), Err(DecodeError::BadOpcode(63))));
+    }
+
+    #[test]
+    fn over_width_rejected() {
+        assert!(matches!(decode(1u128 << 72), Err(DecodeError::OverWidth)));
+    }
+
+    #[test]
+    fn corrupt_operand_roles_rejected() {
+        // ADD with an immediate destination (mode 2 in dst field).
+        let f = (op::ADD as u128) << 66 | (0b10_000000000u128) << 49;
+        assert!(decode(f).is_err());
+    }
+
+    #[test]
+    fn imm9_sign_extension() {
+        let i = Instr::Bz {
+            a: Operand::Imm(-200),
+            target: 1,
+        };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+}

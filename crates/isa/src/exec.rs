@@ -1,0 +1,598 @@
+//! Cycle-counting PE interpreter.
+//!
+//! One [`step`] executes one instruction in one cycle, faithful to the
+//! modeled hardware:
+//!
+//! * at most two data-memory reads and one write per cycle,
+//! * address registers, the MAC accumulator, and the PC live in flops,
+//! * a remote destination produces a [`StepEffect::RemoteWrite`] that the
+//!   caller (the multi-tile simulator) routes across the tile's single
+//!   active outgoing link.
+
+use crate::encode::decode;
+use crate::instr::{Instr, Operand, NUM_AR};
+use cgra_fabric::{FabricError, Tile, Word, DATA_WORDS};
+use serde::{Deserialize, Serialize};
+
+/// Architectural state of one PE (everything outside the BRAMs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PeState {
+    /// Program counter.
+    pub pc: usize,
+    /// MAC accumulator (wider than a word, like the DSP48 cascade).
+    pub acc: i128,
+    /// Address registers `a0..a7`.
+    pub ar: [u16; NUM_AR],
+    /// Set once `halt` retires.
+    pub halted: bool,
+    /// Cycles executed since reset.
+    pub cycles: u64,
+}
+
+impl PeState {
+    /// A freshly reset PE.
+    pub fn new() -> PeState {
+        PeState::default()
+    }
+
+    /// Resets pc/acc/halted/cycles but keeps address registers (the paper
+    /// reuses AR contents across epochs via the copy-process optimization).
+    pub fn soft_reset(&mut self) {
+        self.pc = 0;
+        self.acc = 0;
+        self.halted = false;
+    }
+}
+
+/// Side effect of one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEffect {
+    /// Nothing beyond local state changes.
+    None,
+    /// The instruction wrote `value` to `addr` in the linked neighbour's
+    /// data memory; the caller must deliver it.
+    RemoteWrite {
+        /// Address in the neighbour's data memory.
+        addr: usize,
+        /// Value written.
+        value: Word,
+    },
+    /// The PE retired `halt` this cycle.
+    Halted,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Underlying memory/link error.
+    Fabric(FabricError),
+    /// Word failed to decode.
+    Decode(String),
+    /// An immediate was used as a destination or a remote as a source
+    /// (unreachable for validated programs; kept for corrupt images).
+    BadOperandRole,
+    /// `run` hit its cycle budget before `halt`.
+    CycleBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Stepped a PE that already halted.
+    AlreadyHalted,
+}
+
+impl From<FabricError> for ExecError {
+    fn from(e: FabricError) -> Self {
+        ExecError::Fabric(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Fabric(e) => write!(f, "fabric: {e}"),
+            ExecError::Decode(e) => write!(f, "decode: {e}"),
+            ExecError::BadOperandRole => write!(f, "bad operand role"),
+            ExecError::CycleBudgetExhausted { budget } => {
+                write!(f, "program did not halt within {budget} cycles")
+            }
+            ExecError::AlreadyHalted => write!(f, "PE already halted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn ind_addr(st: &PeState, ar: u8, disp: u8) -> usize {
+    ((st.ar[ar as usize] as usize) + disp as usize) % DATA_WORDS
+}
+
+fn read_operand(tile: &mut Tile, st: &PeState, o: Operand) -> Result<Word, ExecError> {
+    match o {
+        Operand::Dir(a) => Ok(tile.dmem.read(a as usize)?),
+        Operand::Ind { ar, disp } => Ok(tile.dmem.read(ind_addr(st, ar, disp))?),
+        Operand::Imm(v) => Ok(Word::wrap(v as i64)),
+        Operand::Rem { .. } => Err(ExecError::BadOperandRole),
+    }
+}
+
+/// Writes `v` to `dst`, returning the remote effect if the destination is
+/// across the link.
+fn write_operand(
+    tile: &mut Tile,
+    st: &PeState,
+    dst: Operand,
+    v: Word,
+) -> Result<StepEffect, ExecError> {
+    match dst {
+        Operand::Dir(a) => {
+            tile.dmem.write(a as usize, v)?;
+            Ok(StepEffect::None)
+        }
+        Operand::Ind { ar, disp } => {
+            tile.dmem.write(ind_addr(st, ar, disp), v)?;
+            Ok(StepEffect::None)
+        }
+        Operand::Rem { ar, disp } => Ok(StepEffect::RemoteWrite {
+            addr: ind_addr(st, ar, disp),
+            value: v,
+        }),
+        Operand::Imm(_) => Err(ExecError::BadOperandRole),
+    }
+}
+
+/// Executes one instruction on `tile`, advancing `st` by one cycle.
+pub fn step(tile: &mut Tile, st: &mut PeState) -> Result<StepEffect, ExecError> {
+    if st.halted {
+        return Err(ExecError::AlreadyHalted);
+    }
+    let raw = tile.imem.fetch(st.pc)?;
+    let instr = decode(raw).map_err(|e| ExecError::Decode(e.to_string()))?;
+    st.cycles += 1;
+    tile.dmem.end_cycle();
+    let mut next_pc = st.pc + 1;
+    let mut effect = StepEffect::None;
+
+    macro_rules! binop {
+        ($dst:expr, $a:expr, $b:expr, $f:expr) => {{
+            let x = read_operand(tile, st, $a)?;
+            let y = read_operand(tile, st, $b)?;
+            effect = write_operand(tile, st, $dst, $f(x, y))?;
+        }};
+    }
+
+    match instr {
+        Instr::Nop => {}
+        Instr::Halt => {
+            st.halted = true;
+            effect = StepEffect::Halted;
+        }
+        Instr::Add { dst, a, b } => binop!(dst, a, b, |x: Word, y: Word| x.add(y)),
+        Instr::Sub { dst, a, b } => binop!(dst, a, b, |x: Word, y: Word| x.sub(y)),
+        Instr::Mul { dst, a, b, frac } => {
+            binop!(dst, a, b, |x: Word, y: Word| x.mul_frac(y, frac as u32))
+        }
+        Instr::Mac { a, b, frac } => {
+            let x = read_operand(tile, st, a)?;
+            let y = read_operand(tile, st, b)?;
+            let prod = (x.value() as i128) * (y.value() as i128);
+            st.acc = st.acc.wrapping_add(prod >> frac);
+        }
+        Instr::ClrAcc => st.acc = 0,
+        Instr::MovAcc { dst } => {
+            let v = Word::wrap(st.acc as i64);
+            effect = write_operand(tile, st, dst, v)?;
+        }
+        Instr::And { dst, a, b } => binop!(dst, a, b, |x: Word, y: Word| x.and(y)),
+        Instr::Or { dst, a, b } => binop!(dst, a, b, |x: Word, y: Word| x.or(y)),
+        Instr::Xor { dst, a, b } => binop!(dst, a, b, |x: Word, y: Word| x.xor(y)),
+        Instr::Not { dst, a } => {
+            let x = read_operand(tile, st, a)?;
+            effect = write_operand(tile, st, dst, x.not())?;
+        }
+        Instr::Shl { dst, a, b } => {
+            binop!(dst, a, b, |x: Word, y: Word| x.shl((y.value() & 63) as u32))
+        }
+        Instr::Shr { dst, a, b } => {
+            binop!(dst, a, b, |x: Word, y: Word| x.shr((y.value() & 63) as u32))
+        }
+        Instr::Mov { dst, a } => {
+            let x = read_operand(tile, st, a)?;
+            effect = write_operand(tile, st, dst, x)?;
+        }
+        Instr::Ldi { dst, imm } => {
+            effect = write_operand(tile, st, dst, Word::wrap(imm as i64))?;
+        }
+        Instr::Jmp { target } => next_pc = target as usize,
+        Instr::Bz { a, target } => {
+            if read_operand(tile, st, a)?.is_zero() {
+                next_pc = target as usize;
+            }
+        }
+        Instr::Bnz { a, target } => {
+            if !read_operand(tile, st, a)?.is_zero() {
+                next_pc = target as usize;
+            }
+        }
+        Instr::Bneg { a, target } => {
+            if read_operand(tile, st, a)?.is_negative() {
+                next_pc = target as usize;
+            }
+        }
+        Instr::Bgez { a, target } => {
+            if !read_operand(tile, st, a)?.is_negative() {
+                next_pc = target as usize;
+            }
+        }
+        Instr::Djnz { dst, target } => {
+            let v = read_operand(tile, st, dst)?.sub(Word::ONE);
+            write_operand(tile, st, dst, v)?;
+            if !v.is_zero() {
+                next_pc = target as usize;
+            }
+        }
+        Instr::Ldar { k, src, imm } => {
+            let addr = match src {
+                Some(s) => {
+                    (read_operand(tile, st, s)?
+                        .value()
+                        .rem_euclid(DATA_WORDS as i64)) as u16
+                }
+                None => imm,
+            };
+            st.ar[k as usize] = addr % DATA_WORDS as u16;
+        }
+        Instr::Adar { k, delta } => {
+            let cur = st.ar[k as usize] as i32;
+            st.ar[k as usize] = (cur + delta as i32).rem_euclid(DATA_WORDS as i32) as u16;
+        }
+        Instr::Movar { dst, k } => {
+            let v = Word::wrap(st.ar[k as usize] as i64);
+            effect = write_operand(tile, st, dst, v)?;
+        }
+    }
+    st.pc = next_pc;
+    Ok(effect)
+}
+
+/// Statistics from a completed [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cycles executed (== instructions retired).
+    pub cycles: u64,
+    /// Remote writes emitted.
+    pub remote_writes: u64,
+}
+
+/// Runs until `halt`, delivering remote writes to `sink(addr, value)`.
+///
+/// Errors with [`ExecError::CycleBudgetExhausted`] if the program does not
+/// halt within `max_cycles`.
+pub fn run_with_sink(
+    tile: &mut Tile,
+    st: &mut PeState,
+    max_cycles: u64,
+    mut sink: impl FnMut(usize, Word),
+) -> Result<RunStats, ExecError> {
+    let start = st.cycles;
+    let mut remote_writes = 0;
+    while !st.halted {
+        if st.cycles - start >= max_cycles {
+            return Err(ExecError::CycleBudgetExhausted { budget: max_cycles });
+        }
+        match step(tile, st)? {
+            StepEffect::RemoteWrite { addr, value } => {
+                remote_writes += 1;
+                sink(addr, value);
+            }
+            StepEffect::None | StepEffect::Halted => {}
+        }
+    }
+    Ok(RunStats {
+        cycles: st.cycles - start,
+        remote_writes,
+    })
+}
+
+/// Runs a self-contained program (no remote writes allowed) until `halt`.
+pub fn run(tile: &mut Tile, st: &mut PeState, max_cycles: u64) -> Result<RunStats, ExecError> {
+    let mut leaked = false;
+    let stats = run_with_sink(tile, st, max_cycles, |_, _| leaked = true)?;
+    if leaked {
+        return Err(ExecError::Fabric(FabricError::NoActiveLink {
+            tile: tile.id,
+        }));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_program;
+
+    fn load(tile: &mut Tile, prog: &[Instr]) {
+        tile.load_program(&encode_program(prog)).unwrap();
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        use Operand::*;
+        let mut t = Tile::new(0);
+        load(
+            &mut t,
+            &[
+                Instr::Ldi {
+                    dst: Dir(0),
+                    imm: 20,
+                },
+                Instr::Ldi {
+                    dst: Dir(1),
+                    imm: 22,
+                },
+                Instr::Add {
+                    dst: Dir(2),
+                    a: Dir(0),
+                    b: Dir(1),
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        let stats = run(&mut t, &mut st, 100).unwrap();
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(t.dmem.peek(2).unwrap().value(), 42);
+        assert!(st.halted);
+    }
+
+    #[test]
+    fn djnz_loops_n_times() {
+        use Operand::*;
+        // d[0] = 5; loop: d[1] += 2; djnz d[0], loop; halt
+        let mut t = Tile::new(0);
+        load(
+            &mut t,
+            &[
+                Instr::Ldi {
+                    dst: Dir(0),
+                    imm: 5,
+                },
+                Instr::Add {
+                    dst: Dir(1),
+                    a: Dir(1),
+                    b: Imm(2),
+                },
+                Instr::Djnz {
+                    dst: Dir(0),
+                    target: 1,
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        let stats = run(&mut t, &mut st, 1000).unwrap();
+        assert_eq!(t.dmem.peek(1).unwrap().value(), 10);
+        // 1 ldi + 5*(add+djnz) + halt = 12 cycles
+        assert_eq!(stats.cycles, 12);
+    }
+
+    #[test]
+    fn indirect_addressing_with_adar() {
+        use Operand::*;
+        // Sum d[100..104] into d[0] via a0.
+        let mut t = Tile::new(0);
+        for (i, v) in [3i64, 5, 7, 11, 13].iter().enumerate() {
+            t.dmem.poke(100 + i, Word::wrap(*v)).unwrap();
+        }
+        load(
+            &mut t,
+            &[
+                Instr::Ldar {
+                    k: 0,
+                    src: None,
+                    imm: 100,
+                },
+                Instr::Ldi {
+                    dst: Dir(1),
+                    imm: 5,
+                },
+                Instr::Add {
+                    dst: Dir(0),
+                    a: Dir(0),
+                    b: Ind { ar: 0, disp: 0 },
+                },
+                Instr::Adar { k: 0, delta: 1 },
+                Instr::Djnz {
+                    dst: Dir(1),
+                    target: 2,
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 1000).unwrap();
+        assert_eq!(t.dmem.peek(0).unwrap().value(), 39);
+        assert_eq!(st.ar[0], 105);
+    }
+
+    #[test]
+    fn mac_accumulates_dot_product() {
+        use Operand::*;
+        let mut t = Tile::new(0);
+        // d[10..13] = [1,2,3], d[20..23] = [4,5,6]; acc = 1*4+2*5+3*6 = 32
+        for (i, v) in [1i64, 2, 3].iter().enumerate() {
+            t.dmem.poke(10 + i, Word::wrap(*v)).unwrap();
+        }
+        for (i, v) in [4i64, 5, 6].iter().enumerate() {
+            t.dmem.poke(20 + i, Word::wrap(*v)).unwrap();
+        }
+        load(
+            &mut t,
+            &[
+                Instr::ClrAcc,
+                Instr::Ldar {
+                    k: 0,
+                    src: None,
+                    imm: 10,
+                },
+                Instr::Ldar {
+                    k: 1,
+                    src: None,
+                    imm: 20,
+                },
+                Instr::Ldi {
+                    dst: Dir(0),
+                    imm: 3,
+                },
+                Instr::Mac {
+                    a: Ind { ar: 0, disp: 0 },
+                    b: Ind { ar: 1, disp: 0 },
+                    frac: 0,
+                },
+                Instr::Adar { k: 0, delta: 1 },
+                Instr::Adar { k: 1, delta: 1 },
+                Instr::Djnz {
+                    dst: Dir(0),
+                    target: 4,
+                },
+                Instr::MovAcc { dst: Dir(1) },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 1000).unwrap();
+        assert_eq!(t.dmem.peek(1).unwrap().value(), 32);
+    }
+
+    #[test]
+    fn remote_write_reaches_sink() {
+        use Operand::*;
+        let mut t = Tile::new(0);
+        load(
+            &mut t,
+            &[
+                Instr::Ldi {
+                    dst: Dir(0),
+                    imm: 7,
+                },
+                Instr::Mov {
+                    dst: Rem { ar: 0, disp: 33 },
+                    a: Dir(0),
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        let mut seen = Vec::new();
+        let stats = run_with_sink(&mut t, &mut st, 100, |a, v| seen.push((a, v.value()))).unwrap();
+        assert_eq!(seen, vec![(33, 7)]);
+        assert_eq!(stats.remote_writes, 1);
+    }
+
+    #[test]
+    fn run_rejects_unrouted_remote_write() {
+        use Operand::*;
+        let mut t = Tile::new(4);
+        load(
+            &mut t,
+            &[
+                Instr::Mov {
+                    dst: Rem { ar: 0, disp: 0 },
+                    a: Imm(1),
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        assert!(matches!(
+            run(&mut t, &mut st, 100),
+            Err(ExecError::Fabric(FabricError::NoActiveLink { tile: 4 }))
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        let mut t = Tile::new(0);
+        load(&mut t, &[Instr::Jmp { target: 0 }]);
+        let mut st = PeState::new();
+        assert!(matches!(
+            run(&mut t, &mut st, 50),
+            Err(ExecError::CycleBudgetExhausted { budget: 50 })
+        ));
+    }
+
+    #[test]
+    fn stepping_after_halt_errors() {
+        let mut t = Tile::new(0);
+        load(&mut t, &[Instr::Halt]);
+        let mut st = PeState::new();
+        assert_eq!(step(&mut t, &mut st).unwrap(), StepEffect::Halted);
+        assert!(matches!(
+            step(&mut t, &mut st),
+            Err(ExecError::AlreadyHalted)
+        ));
+    }
+
+    #[test]
+    fn branches() {
+        use Operand::*;
+        // if d[0] >= 0 skip the poison write
+        let mut t = Tile::new(0);
+        load(
+            &mut t,
+            &[
+                Instr::Ldi {
+                    dst: Dir(0),
+                    imm: -5,
+                },
+                Instr::Bneg {
+                    a: Dir(0),
+                    target: 3,
+                },
+                Instr::Ldi {
+                    dst: Dir(1),
+                    imm: 99,
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 100).unwrap();
+        assert_eq!(t.dmem.peek(1).unwrap().value(), 0);
+    }
+
+    #[test]
+    fn fixed_point_mul() {
+        use cgra_fabric::word::fixed;
+        use Operand::*;
+        let mut t = Tile::new(0);
+        t.dmem.poke(0, fixed::from_f64(0.5)).unwrap();
+        t.dmem.poke(1, fixed::from_f64(-1.25)).unwrap();
+        load(
+            &mut t,
+            &[
+                Instr::Mul {
+                    dst: Dir(2),
+                    a: Dir(0),
+                    b: Dir(1),
+                    frac: fixed::FRAC_BITS as u8,
+                },
+                Instr::Halt,
+            ],
+        );
+        let mut st = PeState::new();
+        run(&mut t, &mut st, 10).unwrap();
+        assert!((fixed::to_f64(t.dmem.peek(2).unwrap()) + 0.625).abs() < 1e-6);
+    }
+
+    #[test]
+    fn soft_reset_preserves_ars() {
+        let mut st = PeState::new();
+        st.ar[2] = 77;
+        st.pc = 10;
+        st.halted = true;
+        st.soft_reset();
+        assert_eq!(st.ar[2], 77);
+        assert_eq!(st.pc, 0);
+        assert!(!st.halted);
+    }
+}

@@ -1,0 +1,522 @@
+//! The PE instruction set.
+//!
+//! The reMORPH PE "can implement arithmetic and logic operations along
+//! with direct and indirect addressing", enabling "complete 'C' style
+//! loops".
+//! We realize that description as a small three-operand, memory-to-memory
+//! ISA over the tile's 512-word data memory:
+//!
+//! * every instruction executes in **one cycle** (2.5 ns at 400 MHz),
+//! * an instruction reads at most two operands and writes at most one —
+//!   exactly the 2R/1W budget of the dual-port BRAM pair,
+//! * *indirect* operands go through one of eight **address registers**
+//!   (`a0..a7`, the paper's "base addresses of the registers ... register
+//!   indirect addressing"), updated by dedicated `LDAR`/`ADAR` instructions,
+//! * a `MAC` accumulator models the DSP48 multiply-accumulate cascade,
+//! * a *remote* destination writes through the tile's single active
+//!   outgoing link into the neighbour's data memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of address registers per PE.
+pub const NUM_AR: usize = 8;
+
+/// Operand addressing modes.
+///
+/// The encoding packs each operand into 11 bits (2 mode + 9 payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Direct data-memory address: `d[addr]`, `addr < 512`.
+    Dir(u16),
+    /// Register-indirect: `@aK+disp` reads/writes `dmem[(ar[k] + disp) mod 512]`.
+    Ind {
+        /// Address-register index (0..8).
+        ar: u8,
+        /// Unsigned displacement (0..64).
+        disp: u8,
+    },
+    /// Small signed immediate (-256..=255); sources only.
+    Imm(i16),
+    /// Remote write through the active link: `r@aK+disp` writes the
+    /// neighbour's data memory at `(ar[k] + disp) mod 512` — the link's
+    /// address port is driven by a local address register, so block
+    /// transfers stride with `ADAR` exactly like local indirect accesses.
+    /// Destinations only.
+    Rem {
+        /// Address-register index (0..8) supplying the remote base address.
+        ar: u8,
+        /// Unsigned displacement (0..64).
+        disp: u8,
+    },
+}
+
+impl Operand {
+    /// True iff the operand is legal as a source.
+    pub fn valid_src(self) -> bool {
+        !matches!(self, Operand::Rem { .. })
+    }
+
+    /// True iff the operand is legal as a destination.
+    pub fn valid_dst(self) -> bool {
+        !matches!(self, Operand::Imm(_))
+    }
+
+    /// True iff all encoded fields are in range.
+    pub fn in_range(self) -> bool {
+        match self {
+            Operand::Dir(a) => a < 512,
+            Operand::Rem { ar, disp } => (ar as usize) < NUM_AR && disp < 64,
+            Operand::Ind { ar, disp } => (ar as usize) < NUM_AR && disp < 64,
+            Operand::Imm(v) => (-256..=255).contains(&v),
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Dir(a) => write!(f, "d[{a}]"),
+            Operand::Ind { ar, disp } => {
+                if *disp == 0 {
+                    write!(f, "@a{ar}")
+                } else {
+                    write!(f, "@a{ar}+{disp}")
+                }
+            }
+            Operand::Imm(v) => write!(f, "#{v}"),
+            Operand::Rem { ar, disp } => {
+                if *disp == 0 {
+                    write!(f, "r@a{ar}")
+                } else {
+                    write!(f, "r@a{ar}+{disp}")
+                }
+            }
+        }
+    }
+}
+
+/// Machine operations. `frac` fields are the barrel-shifter setting of the
+/// fixed-point multiplier (result is `(a*b) >> frac`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// Do nothing for a cycle.
+    Nop,
+    /// Stop the PE; the tile signals completion to the runtime system.
+    Halt,
+    /// `dst = a + b` (48-bit wrapping).
+    Add {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// `dst = a - b` (48-bit wrapping).
+    Sub {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// `dst = (a * b) >> frac` (96-bit intermediate).
+    Mul {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+        /// Right-shift applied to the full product.
+        frac: u8,
+    },
+    /// `acc += (a * b) >> frac`.
+    Mac {
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+        /// Right-shift applied to the full product.
+        frac: u8,
+    },
+    /// `acc = 0`.
+    ClrAcc,
+    /// `dst = acc` (wrapped to 48 bits).
+    MovAcc {
+        /// Destination operand.
+        dst: Operand,
+    },
+    /// `dst = a & b`.
+    And {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// `dst = a | b`.
+    Or {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// `dst = a ^ b`.
+    Xor {
+        /// Destination operand.
+        dst: Operand,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// `dst = !a` (48-bit pattern complement).
+    Not {
+        /// Destination operand.
+        dst: Operand,
+        /// Source.
+        a: Operand,
+    },
+    /// `dst = a << (b & 63)` (logical).
+    Shl {
+        /// Destination operand.
+        dst: Operand,
+        /// Value source.
+        a: Operand,
+        /// Shift-amount source.
+        b: Operand,
+    },
+    /// `dst = a >> (b & 63)` (arithmetic).
+    Shr {
+        /// Destination operand.
+        dst: Operand,
+        /// Value source.
+        a: Operand,
+        /// Shift-amount source.
+        b: Operand,
+    },
+    /// `dst = a`.
+    Mov {
+        /// Destination operand.
+        dst: Operand,
+        /// Source.
+        a: Operand,
+    },
+    /// `dst = imm` (sign-extended 24-bit immediate).
+    Ldi {
+        /// Destination operand.
+        dst: Operand,
+        /// Immediate value (-2^23 .. 2^23-1).
+        imm: i32,
+    },
+    /// `pc = target`.
+    Jmp {
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `if a == 0 { pc = target }`.
+    Bz {
+        /// Tested source.
+        a: Operand,
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `if a != 0 { pc = target }`.
+    Bnz {
+        /// Tested source.
+        a: Operand,
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `if a < 0 { pc = target }`.
+    Bneg {
+        /// Tested source.
+        a: Operand,
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `if a >= 0 { pc = target }`.
+    Bgez {
+        /// Tested source.
+        a: Operand,
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `dst -= 1; if dst != 0 { pc = target }` — the C-style loop primitive.
+    Djnz {
+        /// Counter operand (read-modify-write).
+        dst: Operand,
+        /// Absolute branch target.
+        target: u16,
+    },
+    /// `ar[k] = src` (address taken mod 512); with an immediate source the
+    /// 24-bit immediate field is used so any address is reachable.
+    Ldar {
+        /// Address-register index.
+        k: u8,
+        /// Source of the new address (memory operand) or `None` when the
+        /// immediate form is used.
+        src: Option<Operand>,
+        /// Immediate address for the immediate form.
+        imm: u16,
+    },
+    /// `ar[k] = (ar[k] + delta) mod 512`.
+    Adar {
+        /// Address-register index.
+        k: u8,
+        /// Signed step.
+        delta: i16,
+    },
+    /// `dst = ar[k]`.
+    Movar {
+        /// Destination operand.
+        dst: Operand,
+        /// Address-register index.
+        k: u8,
+    },
+}
+
+impl Instr {
+    /// Validates operand roles and field ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_src = |o: &Operand, what: &str| -> Result<(), String> {
+            if !o.valid_src() {
+                return Err(format!("{what} operand {o} cannot be a source"));
+            }
+            if !o.in_range() {
+                return Err(format!("{what} operand {o} out of range"));
+            }
+            Ok(())
+        };
+        let check_dst = |o: &Operand| -> Result<(), String> {
+            if !o.valid_dst() {
+                return Err(format!("destination operand {o} cannot be written"));
+            }
+            if !o.in_range() {
+                return Err(format!("destination operand {o} out of range"));
+            }
+            Ok(())
+        };
+        let check_target = |t: u16| -> Result<(), String> {
+            if t >= 512 {
+                Err(format!("branch target {t} out of range"))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Instr::Nop | Instr::Halt | Instr::ClrAcc => Ok(()),
+            Instr::Add { dst, a, b }
+            | Instr::Sub { dst, a, b }
+            | Instr::And { dst, a, b }
+            | Instr::Or { dst, a, b }
+            | Instr::Xor { dst, a, b }
+            | Instr::Shl { dst, a, b }
+            | Instr::Shr { dst, a, b } => {
+                check_dst(dst)?;
+                check_src(a, "left")?;
+                check_src(b, "right")
+            }
+            Instr::Mul { dst, a, b, frac } => {
+                check_dst(dst)?;
+                check_src(a, "left")?;
+                check_src(b, "right")?;
+                if *frac >= 64 {
+                    return Err(format!("frac {frac} out of range"));
+                }
+                Ok(())
+            }
+            Instr::Mac { a, b, frac } => {
+                check_src(a, "left")?;
+                check_src(b, "right")?;
+                if *frac >= 64 {
+                    return Err(format!("frac {frac} out of range"));
+                }
+                Ok(())
+            }
+            Instr::MovAcc { dst } => check_dst(dst),
+            Instr::Not { dst, a } | Instr::Mov { dst, a } => {
+                check_dst(dst)?;
+                check_src(a, "source")
+            }
+            Instr::Ldi { dst, imm } => {
+                check_dst(dst)?;
+                if !(-(1 << 23)..(1 << 23)).contains(imm) {
+                    return Err(format!("immediate {imm} exceeds 24 bits"));
+                }
+                Ok(())
+            }
+            Instr::Jmp { target } => check_target(*target),
+            Instr::Bz { a, target }
+            | Instr::Bnz { a, target }
+            | Instr::Bneg { a, target }
+            | Instr::Bgez { a, target } => {
+                check_src(a, "tested")?;
+                check_target(*target)
+            }
+            Instr::Djnz { dst, target } => {
+                check_dst(dst)?;
+                if matches!(dst, Operand::Rem { .. }) {
+                    return Err("djnz counter cannot be remote".into());
+                }
+                check_src(dst, "counter")?;
+                check_target(*target)
+            }
+            Instr::Ldar { k, src, imm } => {
+                if *k as usize >= NUM_AR {
+                    return Err(format!("address register a{k} does not exist"));
+                }
+                if let Some(s) = src {
+                    if matches!(s, Operand::Imm(_)) {
+                        return Err(
+                            "ldar memory form cannot take an immediate; use the imm form".into(),
+                        );
+                    }
+                    check_src(s, "address")?;
+                }
+                if *imm >= 512 {
+                    return Err(format!("ldar immediate {imm} out of range"));
+                }
+                Ok(())
+            }
+            Instr::Adar { k, delta } => {
+                if *k as usize >= NUM_AR {
+                    return Err(format!("address register a{k} does not exist"));
+                }
+                if !(-512..=511).contains(delta) {
+                    return Err(format!("adar delta {delta} out of range"));
+                }
+                Ok(())
+            }
+            Instr::Movar { dst, k } => {
+                if *k as usize >= NUM_AR {
+                    return Err(format!("address register a{k} does not exist"));
+                }
+                check_dst(dst)
+            }
+        }
+    }
+
+    /// The instruction's mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Nop => "nop",
+            Instr::Halt => "halt",
+            Instr::Add { .. } => "add",
+            Instr::Sub { .. } => "sub",
+            Instr::Mul { .. } => "mul",
+            Instr::Mac { .. } => "mac",
+            Instr::ClrAcc => "clracc",
+            Instr::MovAcc { .. } => "movacc",
+            Instr::And { .. } => "and",
+            Instr::Or { .. } => "or",
+            Instr::Xor { .. } => "xor",
+            Instr::Not { .. } => "not",
+            Instr::Shl { .. } => "shl",
+            Instr::Shr { .. } => "shr",
+            Instr::Mov { .. } => "mov",
+            Instr::Ldi { .. } => "ldi",
+            Instr::Jmp { .. } => "jmp",
+            Instr::Bz { .. } => "bz",
+            Instr::Bnz { .. } => "bnz",
+            Instr::Bneg { .. } => "bneg",
+            Instr::Bgez { .. } => "bgez",
+            Instr::Djnz { .. } => "djnz",
+            Instr::Ldar { .. } => "ldar",
+            Instr::Adar { .. } => "adar",
+            Instr::Movar { .. } => "movar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_roles() {
+        assert!(Operand::Dir(0).valid_src() && Operand::Dir(0).valid_dst());
+        assert!(Operand::Imm(5).valid_src() && !Operand::Imm(5).valid_dst());
+        assert!(!Operand::Rem { ar: 0, disp: 0 }.valid_src());
+        assert!(Operand::Rem { ar: 0, disp: 0 }.valid_dst());
+        assert!(!Operand::Rem { ar: 8, disp: 0 }.in_range());
+        assert!(Operand::Ind { ar: 7, disp: 63 }.in_range());
+        assert!(!Operand::Ind { ar: 8, disp: 0 }.in_range());
+        assert!(!Operand::Dir(512).in_range());
+        assert!(!Operand::Imm(256).in_range());
+        assert!(Operand::Imm(-256).in_range());
+    }
+
+    #[test]
+    fn validate_catches_bad_roles() {
+        let bad = Instr::Add {
+            dst: Operand::Imm(1),
+            a: Operand::Dir(0),
+            b: Operand::Dir(1),
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = Instr::Mov {
+            dst: Operand::Dir(0),
+            a: Operand::Rem { ar: 3, disp: 0 },
+        };
+        assert!(bad2.validate().is_err());
+        let ok = Instr::Mov {
+            dst: Operand::Rem { ar: 3, disp: 0 },
+            a: Operand::Dir(0),
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_ranges() {
+        assert!(Instr::Jmp { target: 511 }.validate().is_ok());
+        assert!(Instr::Jmp { target: 512 }.validate().is_err());
+        assert!(Instr::Ldi {
+            dst: Operand::Dir(0),
+            imm: (1 << 23) - 1
+        }
+        .validate()
+        .is_ok());
+        assert!(Instr::Ldi {
+            dst: Operand::Dir(0),
+            imm: 1 << 23
+        }
+        .validate()
+        .is_err());
+        assert!(Instr::Adar { k: 3, delta: -512 }.validate().is_ok());
+        assert!(Instr::Adar { k: 9, delta: 0 }.validate().is_err());
+        assert!(Instr::Mul {
+            dst: Operand::Dir(1),
+            a: Operand::Dir(2),
+            b: Operand::Dir(3),
+            frac: 64
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn djnz_counter_cannot_be_remote() {
+        assert!(Instr::Djnz {
+            dst: Operand::Rem { ar: 1, disp: 0 },
+            target: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn display_operands() {
+        assert_eq!(Operand::Dir(42).to_string(), "d[42]");
+        assert_eq!(Operand::Ind { ar: 2, disp: 0 }.to_string(), "@a2");
+        assert_eq!(Operand::Ind { ar: 2, disp: 5 }.to_string(), "@a2+5");
+        assert_eq!(Operand::Imm(-7).to_string(), "#-7");
+        assert_eq!(Operand::Rem { ar: 1, disp: 0 }.to_string(), "r@a1");
+        assert_eq!(Operand::Rem { ar: 1, disp: 9 }.to_string(), "r@a1+9");
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixed-point FFT with the PE's 48-bit word semantics.
+//!
+//! This is the bit-level model of what the tile programs compute: complex
+//! values are pairs of Q24.24 words, butterflies use the same
+//! multiply-shift the `MUL`/`MAC` instructions perform, and all additions
+//! wrap at 48 bits. The host-level implementation here must agree **bit for
+//! bit** with the generated PE programs executed by the interpreter (tested
+//! in `programs.rs`), and approximately with the `f64` reference.
+
+use super::reference::{bit_reverse, Cf64};
+use cgra_fabric::word::{fixed, Word};
+
+/// A complex number held as two Q24.24 48-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cfx {
+    /// Real part (Q24.24).
+    pub re: Word,
+    /// Imaginary part (Q24.24).
+    pub im: Word,
+}
+
+impl Cfx {
+    /// Converts from `f64` parts.
+    pub fn from_f64(re: f64, im: f64) -> Cfx {
+        Cfx {
+            re: fixed::from_f64(re),
+            im: fixed::from_f64(im),
+        }
+    }
+
+    /// Converts from a reference complex.
+    pub fn from_c(c: Cf64) -> Cfx {
+        Cfx::from_f64(c.re, c.im)
+    }
+
+    /// Converts to a reference complex.
+    pub fn to_c(self) -> Cf64 {
+        Cf64::new(fixed::to_f64(self.re), fixed::to_f64(self.im))
+    }
+
+    /// Wrapping complex addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Cfx) -> Cfx {
+        Cfx {
+            re: self.re.add(o.re),
+            im: self.im.add(o.im),
+        }
+    }
+
+    /// Wrapping complex subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Cfx) -> Cfx {
+        Cfx {
+            re: self.re.sub(o.re),
+            im: self.im.sub(o.im),
+        }
+    }
+
+    /// Complex multiplication in the PE Q-format: four `MUL`-equivalent
+    /// fixed-point products and two wrapping adds.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Cfx) -> Cfx {
+        let rr = fixed::mul(self.re, o.re);
+        let ii = fixed::mul(self.im, o.im);
+        let ri = fixed::mul(self.re, o.im);
+        let ir = fixed::mul(self.im, o.re);
+        Cfx {
+            re: rr.sub(ii),
+            im: ri.add(ir),
+        }
+    }
+}
+
+/// The Q-format twiddle factor `W_N^k`, rounded exactly as the preprocessing
+/// loader writes it into tile data memory.
+pub fn twiddle_fx(n: usize, k: usize) -> Cfx {
+    Cfx::from_c(super::reference::twiddle(n, k))
+}
+
+/// The decimation-in-time radix-2 butterfly:
+/// `(a, b, w) -> (a + w*b, a - w*b)`.
+#[inline]
+pub fn butterfly(a: Cfx, b: Cfx, w: Cfx) -> (Cfx, Cfx) {
+    let t = w.mul(b);
+    (a.add(t), a.sub(t))
+}
+
+/// The decimation-in-frequency radix-2 butterfly the `BF` tile processes
+/// execute: `(a, b, w) -> (a + b, (a - b) * w)`.
+#[inline]
+pub fn butterfly_dif(a: Cfx, b: Cfx, w: Cfx) -> (Cfx, Cfx) {
+    (a.add(b), a.sub(b).mul(w))
+}
+
+/// In-place fixed-point radix-2 DIT FFT, matching [`super::reference::fft`]
+/// up to Q24.24 rounding.
+pub fn fft_fixed(data: &mut [Cfx]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let mut half = 1;
+    while half < n {
+        let step = n / (2 * half);
+        for start in (0..n).step_by(2 * half) {
+            for j in 0..half {
+                let w = twiddle_fx(n, j * step);
+                let (x, y) = butterfly(data[start + j], data[start + j + half], w);
+                data[start + j] = x;
+                data[start + j + half] = y;
+            }
+        }
+        half *= 2;
+    }
+}
+
+/// Maximum absolute error of `got` against the `f64` oracle on the same
+/// input, normalized by the oracle's peak magnitude.
+pub fn relative_error(got: &[Cfx], oracle: &[Cf64]) -> f64 {
+    let peak = oracle.iter().map(|c| c.abs()).fold(1e-30, f64::max);
+    got.iter()
+        .zip(oracle)
+        .map(|(g, o)| g.to_c().sub(*o).abs())
+        .fold(0.0, f64::max)
+        / peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::reference::{dft_naive, fft};
+
+    fn test_signal(n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|i| Cf64::new((i as f64 * 0.61).sin() * 0.9, (i as f64 * 0.23).cos() * 0.7))
+            .collect()
+    }
+
+    #[test]
+    fn fixed_matches_reference_small() {
+        for n in [4usize, 16, 64] {
+            let sig = test_signal(n);
+            let mut oracle = sig.clone();
+            fft(&mut oracle);
+            let mut fx: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+            fft_fixed(&mut fx);
+            let err = relative_error(&fx, &oracle);
+            assert!(err < 1e-5, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn fixed_matches_reference_1024() {
+        let sig = test_signal(1024);
+        let mut oracle = sig.clone();
+        fft(&mut oracle);
+        let mut fx: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+        fft_fixed(&mut fx);
+        let err = relative_error(&fx, &oracle);
+        assert!(err < 1e-4, "err={err}");
+    }
+
+    #[test]
+    fn butterfly_identity_twiddle() {
+        let a = Cfx::from_f64(0.25, -0.5);
+        let b = Cfx::from_f64(-0.125, 0.375);
+        let one = Cfx::from_f64(1.0, 0.0);
+        let (x, y) = butterfly(a, b, one);
+        assert_eq!(x, a.add(b));
+        assert_eq!(y, a.sub(b));
+    }
+
+    #[test]
+    fn fixed_matches_naive_dft() {
+        let n = 32;
+        let sig = test_signal(n);
+        let oracle = dft_naive(&sig);
+        let mut fx: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+        fft_fixed(&mut fx);
+        assert!(relative_error(&fx, &oracle) < 1e-5);
+    }
+
+    #[test]
+    fn complex_mul_sign_conventions() {
+        // (0+i) * (0+i) = -1
+        let i = Cfx::from_f64(0.0, 1.0);
+        let m = i.mul(i).to_c();
+        assert!((m.re + 1.0).abs() < 1e-6 && m.im.abs() < 1e-6);
+    }
+}

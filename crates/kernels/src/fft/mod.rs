@@ -1,0 +1,16 @@
+//! The radix-2 FFT kernel family (Sec. 3.1–3.3).
+//!
+//! * [`mod@reference`] — f64 oracle FFT (and the paper's PC baseline),
+//! * [`fixed`] — 48-bit Q24.24 fixed-point FFT with PE semantics,
+//! * [`partition`] — the N/M row–column decomposition and its invariants,
+//! * [`twiddle`] — red/green/yellow/blue twiddle-factor management,
+//! * [`pipeline`] — functional model of the tile-parallel dataflow,
+//! * [`programs`] — generated PE programs (`BF`, `vcp`, `hcp`) and the
+//!   Table 1 measurement harness.
+
+pub mod fixed;
+pub mod partition;
+pub mod pipeline;
+pub mod programs;
+pub mod reference;
+pub mod twiddle;

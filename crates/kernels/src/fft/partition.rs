@@ -1,0 +1,295 @@
+//! Partitioning an N-point radix-2 FFT onto tiles of size M (Sec. 3.1).
+//!
+//! * the computational structure is broken into `N/M` horizontal rows,
+//! * every input passes through `log2 N` stages,
+//! * stages are grouped into `cols` columns of tiles; each column holds
+//!   `N/M` tiles (one per row),
+//! * the first `log2 N - log2 M` stages pair data across tiles and need
+//!   vertical exchange (`vcp`) + vertical link reconfiguration; the rest
+//!   are tile-local,
+//! * `M` itself is bounded by the 512-word data memory:
+//!   `2M` input + `M` twiddle + 41 temporary words (`M = 128` for DM=512).
+
+use cgra_fabric::DATA_WORDS;
+use serde::{Deserialize, Serialize};
+
+/// Words of tile data memory reserved for temporaries/control by a BF
+/// process (the paper's constant 41).
+pub const BF_TEMP_WORDS: usize = 41;
+
+/// The largest partition size M a tile with `dm` data words supports when
+/// outputs reuse the input locations: `3M + 41 <= dm`, M a power of two.
+///
+/// For the reMORPH tile (`dm = 512`) this is the paper's `M = 128`.
+pub fn max_partition_size(dm: usize) -> usize {
+    let budget = (dm.saturating_sub(BF_TEMP_WORDS)) / 3;
+    if budget == 0 {
+        return 0;
+    }
+    // largest power of two <= budget
+    1 << (usize::BITS - 1 - budget.leading_zeros())
+}
+
+/// A partitioned N-point FFT plan on tiles of size M.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FftPlan {
+    /// Transform size (power of two).
+    pub n: usize,
+    /// Partition size: complex points per tile (power of two, <= n).
+    pub m: usize,
+}
+
+impl FftPlan {
+    /// Builds a plan, validating the paper's constraints.
+    pub fn new(n: usize, m: usize) -> Result<FftPlan, String> {
+        if !n.is_power_of_two() || !m.is_power_of_two() {
+            return Err(format!("n={n} and m={m} must be powers of two"));
+        }
+        if m > n {
+            return Err(format!("partition size m={m} exceeds n={n}"));
+        }
+        if m < 2 {
+            return Err("partition size must be at least 2".into());
+        }
+        Ok(FftPlan { n, m })
+    }
+
+    /// The paper's 1024-point plan on reMORPH tiles (M=128).
+    pub fn paper_1024() -> FftPlan {
+        FftPlan::new(1024, max_partition_size(DATA_WORDS)).expect("valid plan")
+    }
+
+    /// log2 N: total butterfly stages.
+    pub fn stages(&self) -> usize {
+        self.n.trailing_zeros() as usize
+    }
+
+    /// N/M: rows (tiles per column).
+    pub fn rows(&self) -> usize {
+        self.n / self.m
+    }
+
+    /// `log2 N - log2 M`: leading stages that pair data across tiles and
+    /// need vertical exchange.
+    pub fn cross_stages(&self) -> usize {
+        self.stages() - self.m.trailing_zeros() as usize
+    }
+
+    /// Valid column counts: divisors of the stage count (equal stage
+    /// distribution per column, the "good" mappings of Figure 7).
+    pub fn valid_cols(&self) -> Vec<usize> {
+        let s = self.stages();
+        (1..=s).filter(|c| s.is_multiple_of(*c)).collect()
+    }
+
+    /// Stages per column for `cols` columns (must divide the stage count).
+    pub fn stages_per_col(&self, cols: usize) -> Result<usize, String> {
+        let s = self.stages();
+        if cols == 0 || !s.is_multiple_of(cols) {
+            return Err(format!("{cols} columns do not evenly divide {s} stages"));
+        }
+        Ok(s / cols)
+    }
+
+    /// Tiles used by a `cols`-column implementation.
+    pub fn tiles(&self, cols: usize) -> usize {
+        self.rows() * cols
+    }
+
+    /// Minimum tiles (one column).
+    pub fn min_tiles(&self) -> usize {
+        self.rows()
+    }
+
+    /// Maximum tiles (one column per stage); 80 for the 1024-point plan.
+    pub fn max_tiles(&self) -> usize {
+        self.rows() * self.stages()
+    }
+
+    /// The global stage indices executed by column `col` of a `cols`-column
+    /// implementation.
+    pub fn column_stages(&self, cols: usize, col: usize) -> Result<std::ops::Range<usize>, String> {
+        let spc = self.stages_per_col(cols)?;
+        if col >= cols {
+            return Err(format!("column {col} out of range for {cols} columns"));
+        }
+        Ok(col * spc..(col + 1) * spc)
+    }
+
+    /// The row a tile in row `r` exchanges halves with at cross-tile stage
+    /// `s` (`r XOR rows/2^(s+1)`), or `None` for tile-local stages.
+    pub fn exchange_partner(&self, s: usize, r: usize) -> Option<usize> {
+        if s >= self.cross_stages() {
+            return None;
+        }
+        let span = self.rows() >> (s + 1);
+        Some(r ^ span)
+    }
+
+    /// Number of in-column yellow twiddle-reload events for a
+    /// `cols`-column implementation: a reload is needed whenever two
+    /// consecutive stages `s-1, s` with `s <= cross_stages` execute in the
+    /// *same* column (the tile must overwrite its twiddle complement at
+    /// runtime); when the boundary falls between columns the next column's
+    /// twiddles were preloaded.
+    ///
+    /// Reproduces the paper's Eq. 7 counts for N=1024, M=128:
+    /// cols 1 -> 3, 2 -> 3, 5 -> 2, 10 -> 0.
+    pub fn yellow_reload_events(&self, cols: usize) -> Result<usize, String> {
+        let spc = self.stages_per_col(cols)?;
+        let cross = self.cross_stages();
+        Ok((1..=cross).filter(|s| s % spc != 0).count())
+    }
+
+    /// Words reloaded per yellow event: N/2 twiddle values (Sec. 3.1's
+    /// `(log2 N - log2 M) x N/2` total, spread over the reload events).
+    pub fn yellow_words_per_event(&self) -> usize {
+        self.n / 2
+    }
+}
+
+/// One of the Figure-7 style mappings: how many stages each column takes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSplit {
+    /// Stages assigned to each column, left to right.
+    pub per_col: Vec<usize>,
+}
+
+impl StageSplit {
+    /// An even split into `cols` columns.
+    pub fn even(plan: &FftPlan, cols: usize) -> Result<StageSplit, String> {
+        let spc = plan.stages_per_col(cols)?;
+        Ok(StageSplit {
+            per_col: vec![spc; cols],
+        })
+    }
+
+    /// An arbitrary split (Figure 7d's unequal case allowed).
+    pub fn custom(plan: &FftPlan, per_col: Vec<usize>) -> Result<StageSplit, String> {
+        if per_col.iter().sum::<usize>() != plan.stages() {
+            return Err(format!(
+                "split {:?} does not cover {} stages",
+                per_col,
+                plan.stages()
+            ));
+        }
+        if per_col.contains(&0) {
+            return Err("empty column in split".into());
+        }
+        Ok(StageSplit { per_col })
+    }
+
+    /// Columns in the split.
+    pub fn cols(&self) -> usize {
+        self.per_col.len()
+    }
+
+    /// True when all columns carry the same number of stages — the paper's
+    /// criterion for a good pipelined mapping ("the complexity ... is
+    /// decomposed into partitions uniformly"; Figure 7d fails this).
+    pub fn is_balanced(&self) -> bool {
+        self.per_col.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Pipeline imbalance: max stages per column over mean stages per
+    /// column (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.per_col.iter().max().unwrap_or(&0) as f64;
+        let mean = self.per_col.iter().sum::<usize>() as f64 / self.cols() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_partition_size() {
+        // DM=512 => M=128 (the paper's derivation).
+        assert_eq!(max_partition_size(512), 128);
+        // (512-41)/3 = 157 -> 128.
+        assert_eq!(max_partition_size(1024), 256);
+        assert_eq!(max_partition_size(41), 0);
+    }
+
+    #[test]
+    fn paper_1024_plan() {
+        let p = FftPlan::paper_1024();
+        assert_eq!(p.m, 128);
+        assert_eq!(p.rows(), 8);
+        assert_eq!(p.stages(), 10);
+        assert_eq!(p.cross_stages(), 3);
+        // "atleast 8 and at most 80 tiles"
+        assert_eq!(p.min_tiles(), 8);
+        assert_eq!(p.max_tiles(), 80);
+        assert_eq!(p.valid_cols(), vec![1, 2, 5, 10]);
+    }
+
+    #[test]
+    fn sixteen_point_example() {
+        // Figure 6: N=16, M=4 -> 4 rows, 4 stages.
+        let p = FftPlan::new(16, 4).unwrap();
+        assert_eq!(p.rows(), 4);
+        assert_eq!(p.stages(), 4);
+        assert_eq!(p.cross_stages(), 2);
+        assert_eq!(p.valid_cols(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn column_stage_ranges() {
+        let p = FftPlan::paper_1024();
+        assert_eq!(p.column_stages(5, 0).unwrap(), 0..2);
+        assert_eq!(p.column_stages(5, 4).unwrap(), 8..10);
+        assert!(p.column_stages(5, 5).is_err());
+        assert!(p.column_stages(3, 0).is_err());
+    }
+
+    #[test]
+    fn yellow_reload_counts_match_eq7() {
+        let p = FftPlan::paper_1024();
+        assert_eq!(p.yellow_reload_events(1).unwrap(), 3);
+        assert_eq!(p.yellow_reload_events(2).unwrap(), 3);
+        assert_eq!(p.yellow_reload_events(5).unwrap(), 2);
+        assert_eq!(p.yellow_reload_events(10).unwrap(), 0);
+        assert_eq!(p.yellow_words_per_event(), 512);
+    }
+
+    #[test]
+    fn exchange_partners() {
+        let p = FftPlan::paper_1024(); // 8 rows, 3 cross stages
+        assert_eq!(p.exchange_partner(0, 0), Some(4));
+        assert_eq!(p.exchange_partner(0, 5), Some(1));
+        assert_eq!(p.exchange_partner(1, 0), Some(2));
+        assert_eq!(p.exchange_partner(2, 0), Some(1));
+        assert_eq!(p.exchange_partner(3, 0), None);
+        // partnering is an involution
+        for s in 0..3 {
+            for r in 0..8 {
+                let q = p.exchange_partner(s, r).unwrap();
+                assert_eq!(p.exchange_partner(s, q), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn splits() {
+        let p = FftPlan::new(16, 4).unwrap();
+        let even = StageSplit::even(&p, 2).unwrap();
+        assert!(even.is_balanced());
+        assert!((even.imbalance() - 1.0).abs() < 1e-12);
+        // Figure 7d: unequal 3+1 split.
+        let uneq = StageSplit::custom(&p, vec![3, 1]).unwrap();
+        assert!(!uneq.is_balanced());
+        assert!(uneq.imbalance() > 1.4);
+        assert!(StageSplit::custom(&p, vec![2, 1]).is_err());
+        assert!(StageSplit::custom(&p, vec![4, 0]).is_err());
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        assert!(FftPlan::new(100, 4).is_err());
+        assert!(FftPlan::new(16, 32).is_err());
+        assert!(FftPlan::new(16, 1).is_err());
+    }
+}

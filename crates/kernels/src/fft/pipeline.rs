@@ -1,0 +1,213 @@
+//! Functional model of the partitioned, tile-parallel FFT dataflow.
+//!
+//! This executes the *exact* dataflow the tile array implements — rows of M
+//! complex points, decimation-in-frequency stages, half-exchanges between
+//! partner tiles at cross-tile stages (Figure 9), bit-reversed unscramble at
+//! the output — using the PE's 48-bit fixed-point arithmetic. It is the
+//! bridge between the architectural model (who moves what, when) and
+//! numerical correctness (validated against the f64 reference).
+
+use super::fixed::{butterfly_dif, twiddle_fx, Cfx};
+use super::partition::FftPlan;
+use super::reference::bit_reverse;
+use super::twiddle::butterfly_twiddle;
+
+/// Data-movement statistics of one partitioned execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataflowStats {
+    /// Complex values exchanged vertically between partner tiles (vcp).
+    pub vertical_exchanged: usize,
+    /// Butterflies executed.
+    pub butterflies: usize,
+    /// Cross-tile stages executed.
+    pub cross_stages: usize,
+    /// Tile-local stages executed.
+    pub local_stages: usize,
+}
+
+/// The partitioned FFT state: one `Vec<Cfx>` of length M per row-tile.
+#[derive(Debug, Clone)]
+pub struct PartitionedFft {
+    plan: FftPlan,
+    rows: Vec<Vec<Cfx>>,
+    stats: DataflowStats,
+}
+
+impl PartitionedFft {
+    /// Distributes `input` (natural order, length N) across the row-tiles.
+    pub fn load(plan: FftPlan, input: &[Cfx]) -> Result<PartitionedFft, String> {
+        if input.len() != plan.n {
+            return Err(format!(
+                "input length {} does not match plan N={}",
+                input.len(),
+                plan.n
+            ));
+        }
+        let rows = input.chunks(plan.m).map(|c| c.to_vec()).collect();
+        Ok(PartitionedFft {
+            plan,
+            rows,
+            stats: DataflowStats::default(),
+        })
+    }
+
+    /// The plan this state was partitioned under.
+    pub fn plan(&self) -> &FftPlan {
+        &self.plan
+    }
+
+    /// Executes stage `s` (0-based, DIF order).
+    pub fn run_stage(&mut self, s: usize) {
+        let (n, m) = (self.plan.n, self.plan.m);
+        if self.plan.exchange_partner(s, 0).is_some() {
+            // Cross-tile stage: partner rows exchange halves and compute
+            // M/2 butterflies each (modeled at the pair level).
+            self.stats.cross_stages += 1;
+            let span = self.plan.rows() >> (s + 1);
+            for r in 0..self.plan.rows() {
+                let q = r ^ span;
+                if r > q {
+                    continue;
+                }
+                // Each tile of the pair ships half its points to the other
+                // (Figure 9's in-column exchange).
+                self.stats.vertical_exchanged += m;
+                for i in 0..m {
+                    let g_top = r * m + i;
+                    let w = twiddle_fx(n, butterfly_twiddle(n, s, g_top).expect("top"));
+                    let (t, u) = butterfly_dif(self.rows[r][i], self.rows[q][i], w);
+                    self.rows[r][i] = t;
+                    self.rows[q][i] = u;
+                    self.stats.butterflies += 1;
+                }
+            }
+        } else {
+            // Tile-local stage: butterflies stay inside each row.
+            self.stats.local_stages += 1;
+            let h = n >> (s + 1);
+            for r in 0..self.plan.rows() {
+                let base = r * m;
+                for i in 0..m {
+                    let g = base + i;
+                    if g % (2 * h) < h {
+                        let w = twiddle_fx(n, butterfly_twiddle(n, s, g).expect("top"));
+                        let j = i + h;
+                        let (t, u) = butterfly_dif(self.rows[r][i], self.rows[r][j], w);
+                        self.rows[r][i] = t;
+                        self.rows[r][j] = u;
+                        self.stats.butterflies += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs all stages.
+    pub fn run_all(&mut self) {
+        for s in 0..self.plan.stages() {
+            self.run_stage(s);
+        }
+    }
+
+    /// Gathers the result in natural frequency order (undoing the DIF
+    /// output bit-reversal).
+    pub fn gather(&self) -> Vec<Cfx> {
+        let n = self.plan.n;
+        let bits = n.trailing_zeros();
+        let mut out = vec![Cfx::default(); n];
+        for (g, v) in self.rows.iter().flatten().enumerate() {
+            out[bit_reverse(g, bits)] = *v;
+        }
+        out
+    }
+
+    /// Data-movement statistics accumulated so far.
+    pub fn stats(&self) -> DataflowStats {
+        self.stats
+    }
+}
+
+/// Convenience: full partitioned FFT of `input` under `plan`.
+pub fn run_partitioned(plan: FftPlan, input: &[Cfx]) -> Result<(Vec<Cfx>, DataflowStats), String> {
+    let mut p = PartitionedFft::load(plan, input)?;
+    p.run_all();
+    Ok((p.gather(), p.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fixed::relative_error;
+    use crate::fft::reference::{fft, Cf64};
+
+    fn signal(n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|i| Cf64::new((i as f64 * 0.19).sin() * 0.8, (i as f64 * 0.41).cos() * 0.6))
+            .collect()
+    }
+
+    fn check(n: usize, m: usize) {
+        let plan = FftPlan::new(n, m).unwrap();
+        let sig = signal(n);
+        let mut oracle = sig.clone();
+        fft(&mut oracle);
+        let input: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+        let (got, stats) = run_partitioned(plan, &input).unwrap();
+        let err = relative_error(&got, &oracle);
+        assert!(err < 1e-4, "n={n} m={m} err={err}");
+        assert_eq!(stats.butterflies, (n / 2) * plan.stages());
+        assert_eq!(stats.cross_stages, plan.cross_stages());
+        assert_eq!(stats.local_stages, plan.stages() - plan.cross_stages());
+    }
+
+    #[test]
+    fn partitioned_matches_reference_16_4() {
+        check(16, 4);
+    }
+
+    #[test]
+    fn partitioned_matches_reference_64_8() {
+        check(64, 8);
+    }
+
+    #[test]
+    fn partitioned_matches_reference_256_32() {
+        check(256, 32);
+    }
+
+    #[test]
+    fn partitioned_matches_reference_paper_1024_128() {
+        check(1024, 128);
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        // m == n: everything tile-local (no exchanges).
+        let plan = FftPlan::new(64, 64).unwrap();
+        let sig = signal(64);
+        let input: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+        let (_, stats) = run_partitioned(plan, &input).unwrap();
+        assert_eq!(stats.vertical_exchanged, 0);
+        assert_eq!(stats.cross_stages, 0);
+    }
+
+    #[test]
+    fn exchange_volume_matches_half_transfers() {
+        // Each cross stage ships M complex per tile pair; rows/2 pairs.
+        let plan = FftPlan::new(1024, 128).unwrap();
+        let sig = signal(1024);
+        let input: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
+        let (_, stats) = run_partitioned(plan, &input).unwrap();
+        let pairs = plan.rows() / 2;
+        assert_eq!(
+            stats.vertical_exchanged,
+            plan.cross_stages() * pairs * plan.m
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_length() {
+        let plan = FftPlan::new(16, 4).unwrap();
+        assert!(PartitionedFft::load(plan, &[Cfx::default(); 8]).is_err());
+    }
+}

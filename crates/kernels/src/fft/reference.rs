@@ -1,0 +1,199 @@
+//! Double-precision reference FFT (the "high end PC" baseline of Sec. 3.3).
+//!
+//! An iterative, in-place, decimation-in-time radix-2 Cooley-Tukey FFT with
+//! bit-reversal reordering — the textbook structure the paper's Figure 5
+//! draws. Used both as the correctness oracle for the fixed-point PE kernel
+//! and as the host baseline the paper compares its throughput against
+//! ("throughput in a high end PC computer is roughly 1000" FFT/s).
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cf64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cf64 {
+    /// Constructs `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Cf64 {
+        Cf64 { re, im }
+    }
+
+    /// Complex addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Cf64) -> Cf64 {
+        Cf64::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Cf64) -> Cf64 {
+        Cf64::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Cf64) -> Cf64 {
+        Cf64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// The twiddle factor `W_N^k = exp(-2*pi*i*k/N)`.
+pub fn twiddle(n: usize, k: usize) -> Cf64 {
+    let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    Cf64::new(theta.cos(), theta.sin())
+}
+
+/// Bit-reverses `x` within `bits` bits.
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permutes `data` into bit-reversed order (the paper's "Input Scrambler").
+pub fn scramble<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place radix-2 DIT FFT. `data.len()` must be a power of two.
+pub fn fft(data: &mut [Cf64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    scramble(data);
+    let mut half = 1;
+    while half < n {
+        let step = n / (2 * half);
+        for start in (0..n).step_by(2 * half) {
+            for j in 0..half {
+                let w = twiddle(n, j * step);
+                let a = data[start + j];
+                let b = data[start + j + half].mul(w);
+                data[start + j] = a.add(b);
+                data[start + j + half] = a.sub(b);
+            }
+        }
+        half *= 2;
+    }
+}
+
+/// In-place inverse FFT (unscaled result divided by `n`).
+pub fn ifft(data: &mut [Cf64]) {
+    for c in data.iter_mut() {
+        c.im = -c.im;
+    }
+    fft(data);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im = -c.im / n;
+    }
+}
+
+/// Direct O(n^2) DFT used as the oracle for [`fft`] in tests.
+pub fn dft_naive(input: &[Cf64]) -> Vec<Cf64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cf64::default();
+            for (j, &x) in input.iter().enumerate() {
+                acc = acc.add(x.mul(twiddle(n, (j * k) % n)));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cf64, b: Cf64, tol: f64) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let mut d = vec![Cf64::default(); 8];
+        d[0] = Cf64::new(1.0, 0.0);
+        fft(&mut d);
+        for c in d {
+            assert!(close(c, Cf64::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn dc_transforms_to_delta() {
+        let mut d = vec![Cf64::new(1.0, 0.0); 16];
+        fft(&mut d);
+        assert!(close(d[0], Cf64::new(16.0, 0.0), 1e-12));
+        for c in &d[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let input: Vec<Cf64> = (0..n)
+                .map(|i| {
+                    Cf64::new(
+                        ((i * 37 + 11) % 17) as f64 - 8.0,
+                        ((i * 53 + 3) % 23) as f64 - 11.0,
+                    )
+                })
+                .collect();
+            let want = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(close(*g, *w, 1e-8 * n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let input: Vec<Cf64> = (0..128)
+            .map(|i| Cf64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut d = input.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&input) {
+            assert!(close(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involutive() {
+        for bits in 1..10u32 {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut d = vec![Cf64::default(); 12];
+        fft(&mut d);
+    }
+}

@@ -1,0 +1,187 @@
+//! Entropy-coded segment bit I/O with JPEG byte stuffing.
+//!
+//! JPEG writes bits MSB-first; any `0xFF` byte produced inside the entropy
+//! stream must be followed by a stuffed `0x00` so decoders do not mistake
+//! it for a marker.
+
+/// MSB-first bit writer with `0xFF 0x00` stuffing.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `n` bits of `bits` (MSB of the field first), `n <= 24`.
+    pub fn put(&mut self, bits: u32, n: u32) {
+        debug_assert!(n <= 24, "put supports at most 24 bits at a time");
+        if n == 0 {
+            return;
+        }
+        let mask = (1u32 << n) - 1;
+        self.acc = (self.acc << n) | (bits & mask);
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = (self.acc >> (self.nbits - 8)) as u8;
+            self.out.push(byte);
+            if byte == 0xff {
+                self.out.push(0x00); // stuffing
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads the final partial byte with 1-bits (JPEG convention) and
+    /// returns the stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1 << pad) - 1, pad);
+        }
+        self.out
+    }
+
+    /// Bits buffered or emitted so far (including stuffing bytes).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+}
+
+/// MSB-first bit reader that skips stuffed `0x00` after `0xFF`.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from an entropy-coded segment.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn fill(&mut self) -> bool {
+        while self.nbits <= 24 {
+            if self.pos >= self.data.len() {
+                return self.nbits > 0;
+            }
+            let byte = self.data[self.pos];
+            self.pos += 1;
+            if byte == 0xff {
+                // Skip the stuffed zero; a non-zero next byte is a marker,
+                // which ends the entropy segment.
+                match self.data.get(self.pos) {
+                    Some(0x00) => {
+                        self.pos += 1;
+                    }
+                    _ => {
+                        self.pos = self.data.len();
+                        return self.nbits > 0;
+                    }
+                }
+            }
+            self.acc = (self.acc << 8) | byte as u32;
+            self.nbits += 8;
+        }
+        true
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn bit(&mut self) -> Option<u32> {
+        if self.nbits == 0 && !self.fill() {
+            return None;
+        }
+        if self.nbits == 0 {
+            return None;
+        }
+        self.nbits -= 1;
+        Some((self.acc >> self.nbits) & 1)
+    }
+
+    /// Reads `n` bits MSB-first, or `None` if the stream runs out.
+    pub fn bits(&mut self, n: u32) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_msb_first() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b01100, 5);
+        assert_eq!(w.finish(), vec![0b10101100]);
+    }
+
+    #[test]
+    fn pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b10, 2);
+        assert_eq!(w.finish(), vec![0b10111111]);
+    }
+
+    #[test]
+    fn stuffs_ff() {
+        let mut w = BitWriter::new();
+        w.put(0xff, 8);
+        w.put(0xab, 8);
+        assert_eq!(w.finish(), vec![0xff, 0x00, 0xab]);
+    }
+
+    #[test]
+    fn reader_skips_stuffing() {
+        let mut r = BitReader::new(&[0xff, 0x00, 0xab]);
+        assert_eq!(r.bits(8), Some(0xff));
+        assert_eq!(r.bits(8), Some(0xab));
+        assert_eq!(r.bit(), None);
+    }
+
+    #[test]
+    fn roundtrip_random_fields() {
+        let mut w = BitWriter::new();
+        let mut fields = Vec::new();
+        let mut s = 0x12345u64;
+        for _ in 0..500 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let n = 1 + (s % 16) as u32;
+            let v = (s >> 16) as u32 & ((1 << n) - 1);
+            fields.push((v, n));
+            w.put(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.bits(n), Some(v));
+        }
+    }
+
+    #[test]
+    fn reader_stops_at_marker() {
+        // 0xFF followed by non-zero = marker: entropy data ends.
+        let mut r = BitReader::new(&[0xaa, 0xff, 0xd9]);
+        assert_eq!(r.bits(8), Some(0xaa));
+        assert_eq!(r.bits(8), None);
+    }
+}

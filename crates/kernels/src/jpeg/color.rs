@@ -1,0 +1,642 @@
+//! Color JPEG: RGB images, YCbCr conversion, and a baseline 4:4:4
+//! three-component JFIF encoder/decoder.
+//!
+//! The paper's evaluation is grayscale ("images of sizes 200 x 200
+//! pixels"); color support extends the encoder kernel to the full baseline
+//! profile a camera pipeline would need, reusing every stage — the only
+//! additions are the color transform and interleaved MCU scanning with
+//! separate quantization/Huffman tables for chroma.
+
+use super::bitio::{BitReader, BitWriter};
+use super::dct::{dct2d_fixed, idct2d};
+use super::decoder::DecodeError;
+use super::huffman::{
+    ac_luma_spec, dc_luma_spec, decode_block, encode_block, DecTable, EncTable, HuffSpec,
+};
+use super::image::{GrayImage, BLOCK};
+use super::quant::QuantTable;
+use super::zigzag::{unzigzag, zigzag, ZIGZAG};
+
+/// Annex K.3/K.6-style typical chrominance DC table.
+pub fn dc_chroma_spec() -> HuffSpec {
+    HuffSpec {
+        bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+        vals: (0..=11).collect(),
+    }
+}
+
+/// Annex K.6: typical AC chrominance table.
+pub fn ac_chroma_spec() -> HuffSpec {
+    HuffSpec {
+        bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77],
+        vals: vec![
+            0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07,
+            0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09,
+            0x23, 0x33, 0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25,
+            0xf1, 0x17, 0x18, 0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38,
+            0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56,
+            0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74,
+            0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+            0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5,
+            0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba,
+            0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6,
+            0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf2,
+            0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+        ],
+    }
+}
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Interleaved RGB samples, row-major.
+    pub pixels: Vec<[u8; 3]>,
+}
+
+impl RgbImage {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> RgbImage {
+        assert!(width > 0 && height > 0);
+        RgbImage {
+            width,
+            height,
+            pixels: vec![[0; 3]; width * height],
+        }
+    }
+
+    /// A colorful synthetic test card (hue wheel over a gradient).
+    pub fn test_card(width: usize, height: usize) -> RgbImage {
+        let mut img = RgbImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f64 / width as f64;
+                let fy = y as f64 / height as f64;
+                img.pixels[y * width + x] = [
+                    (255.0 * (0.5 + 0.5 * (6.3 * fx).sin())) as u8,
+                    (255.0 * fy) as u8,
+                    (255.0 * (0.5 + 0.5 * (6.3 * (fx + fy)).cos())) as u8,
+                ];
+            }
+        }
+        img
+    }
+
+    /// Per-channel PSNR (dB) against another image of equal size.
+    pub fn psnr(&self, other: &RgbImage) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let mse: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .flat_map(|(a, b)| (0..3).map(move |c| (a[c] as f64 - b[c] as f64).powi(2)))
+            .sum::<f64>()
+            / (self.pixels.len() * 3) as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+/// JFIF RGB -> YCbCr (BT.601 full range), one pixel.
+pub fn rgb_to_ycbcr(rgb: [u8; 3]) -> [u8; 3] {
+    let (r, g, b) = (rgb[0] as f64, rgb[1] as f64, rgb[2] as f64);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    [
+        y.round().clamp(0.0, 255.0) as u8,
+        cb.round().clamp(0.0, 255.0) as u8,
+        cr.round().clamp(0.0, 255.0) as u8,
+    ]
+}
+
+/// JFIF YCbCr -> RGB, one pixel.
+pub fn ycbcr_to_rgb(ycc: [u8; 3]) -> [u8; 3] {
+    let (y, cb, cr) = (ycc[0] as f64, ycc[1] as f64 - 128.0, ycc[2] as f64 - 128.0);
+    let r = y + 1.402 * cr;
+    let g = y - 0.344136 * cb - 0.714136 * cr;
+    let b = y + 1.772 * cb;
+    [
+        r.round().clamp(0.0, 255.0) as u8,
+        g.round().clamp(0.0, 255.0) as u8,
+        b.round().clamp(0.0, 255.0) as u8,
+    ]
+}
+
+/// Splits an RGB image into Y, Cb, Cr planes.
+pub fn to_planes(img: &RgbImage) -> [GrayImage; 3] {
+    let mut planes = std::array::from_fn::<_, 3, _>(|_| GrayImage::new(img.width, img.height));
+    for (i, &px) in img.pixels.iter().enumerate() {
+        let ycc = rgb_to_ycbcr(px);
+        for c in 0..3 {
+            planes[c].pixels[i] = ycc[c];
+        }
+    }
+    planes
+}
+
+/// Recombines Y, Cb, Cr planes into RGB.
+pub fn from_planes(planes: &[GrayImage; 3]) -> RgbImage {
+    let (w, h) = (planes[0].width, planes[0].height);
+    let mut img = RgbImage::new(w, h);
+    for i in 0..w * h {
+        img.pixels[i] = ycbcr_to_rgb([
+            planes[0].pixels[i],
+            planes[1].pixels[i],
+            planes[2].pixels[i],
+        ]);
+    }
+    img
+}
+
+fn write_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn write_marker(out: &mut Vec<u8>, m: u8) {
+    out.extend_from_slice(&[0xff, m]);
+}
+
+/// 2x2 box-filter chroma downsampling (4:2:0).
+pub fn downsample_2x2(plane: &GrayImage) -> GrayImage {
+    let (w, h) = (plane.width.div_ceil(2), plane.height.div_ceil(2));
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0u32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    acc += plane.get_clamped(2 * x + dx, 2 * y + dy) as u32;
+                }
+            }
+            out.pixels[y * w + x] = ((acc + 2) / 4) as u8;
+        }
+    }
+    out
+}
+
+/// Encodes an RGB image as baseline 4:2:0 YCbCr JFIF (2x2-subsampled
+/// chroma, 16x16-pixel MCUs of four Y blocks plus one Cb and one Cr).
+pub fn encode_color_420(img: &RgbImage, quality: u8) -> Vec<u8> {
+    let planes = to_planes(img);
+    let y_plane = planes[0].clone();
+    let cb = downsample_2x2(&planes[1]);
+    let cr = downsample_2x2(&planes[2]);
+    encode_ycbcr(img.width, img.height, 2, &y_plane, &cb, &cr, quality)
+}
+
+/// Encodes an RGB image as baseline 4:4:4 YCbCr JFIF.
+pub fn encode_color(img: &RgbImage, quality: u8) -> Vec<u8> {
+    let planes = to_planes(img);
+    encode_ycbcr(
+        img.width, img.height, 1, &planes[0], &planes[1], &planes[2], quality,
+    )
+}
+
+/// Shared three-component encoder over prepared planes; `samp` is the luma
+/// sampling factor (1 = 4:4:4, 2 = 4:2:0).
+#[allow(clippy::too_many_arguments)]
+fn encode_ycbcr(
+    width: usize,
+    height: usize,
+    samp: usize,
+    y_plane: &GrayImage,
+    cb_plane: &GrayImage,
+    cr_plane: &GrayImage,
+    quality: u8,
+) -> Vec<u8> {
+    let qt_y = QuantTable::luma(quality);
+    let qt_c = QuantTable::chroma(quality);
+    let specs = [
+        (dc_luma_spec(), ac_luma_spec()),
+        (dc_chroma_spec(), ac_chroma_spec()),
+    ];
+    let enc: Vec<(EncTable, EncTable)> = specs
+        .iter()
+        .map(|(d, a)| (EncTable::from_spec(d), EncTable::from_spec(a)))
+        .collect();
+
+    let mut out = Vec::new();
+    write_marker(&mut out, 0xd8);
+    // APP0.
+    write_marker(&mut out, 0xe0);
+    write_u16(&mut out, 16);
+    out.extend_from_slice(b"JFIF\0");
+    out.extend_from_slice(&[1, 1, 0]);
+    write_u16(&mut out, 1);
+    write_u16(&mut out, 1);
+    out.extend_from_slice(&[0, 0]);
+    // DQT x2.
+    for (id, qt) in [(0u8, &qt_y), (1u8, &qt_c)] {
+        write_marker(&mut out, 0xdb);
+        write_u16(&mut out, 2 + 1 + 64);
+        out.push(id);
+        for &nat in ZIGZAG.iter() {
+            out.push(qt.q[nat] as u8);
+        }
+    }
+    // SOF0: three components; luma sampling samp x samp.
+    write_marker(&mut out, 0xc0);
+    write_u16(&mut out, 2 + 6 + 3 * 3);
+    out.push(8);
+    write_u16(&mut out, height as u16);
+    write_u16(&mut out, width as u16);
+    out.push(3);
+    let y_samp = ((samp as u8) << 4) | samp as u8;
+    out.extend_from_slice(&[1, y_samp, 0]); // Y -> qtable 0
+    out.extend_from_slice(&[2, 0x11, 1]); // Cb -> qtable 1
+    out.extend_from_slice(&[3, 0x11, 1]); // Cr -> qtable 1
+                                          // DHT x4.
+    for (th, (dc, ac)) in specs.iter().enumerate() {
+        for (class, spec) in [(0u8, dc), (1u8, ac)] {
+            write_marker(&mut out, 0xc4);
+            write_u16(&mut out, 2 + 1 + 16 + spec.vals.len() as u16);
+            out.push((class << 4) | th as u8);
+            out.extend_from_slice(&spec.bits);
+            out.extend_from_slice(&spec.vals);
+        }
+    }
+    // SOS.
+    write_marker(&mut out, 0xda);
+    write_u16(&mut out, 2 + 1 + 2 * 3 + 3);
+    out.push(3);
+    out.extend_from_slice(&[1, 0x00, 2, 0x11, 3, 0x11]);
+    out.extend_from_slice(&[0, 63, 0]);
+
+    // Interleaved MCUs: samp*samp Y blocks then one Cb and one Cr.
+    let mut w = BitWriter::new();
+    let mut preds = [0i32; 3];
+    let code_block = |w: &mut BitWriter,
+                      plane: &GrayImage,
+                      bx: usize,
+                      by: usize,
+                      qt: &QuantTable,
+                      tables: &(EncTable, EncTable),
+                      pred: &mut i32| {
+        let raw = plane.block(bx, by);
+        let shifted: [i32; 64] = std::array::from_fn(|i| raw[i] as i32 - 128);
+        let coef = dct2d_fixed(&shifted);
+        let q = qt.quantize_recip(&coef);
+        let scan = zigzag(&q);
+        encode_block(w, &tables.0, &tables.1, &scan, pred);
+    };
+    let mcu_x = width.div_ceil(samp * 8);
+    let mcu_y = height.div_ceil(samp * 8);
+    for my in 0..mcu_y {
+        for mx in 0..mcu_x {
+            for sy in 0..samp {
+                for sx in 0..samp {
+                    code_block(
+                        &mut w,
+                        y_plane,
+                        mx * samp + sx,
+                        my * samp + sy,
+                        &qt_y,
+                        &enc[0],
+                        &mut preds[0],
+                    );
+                }
+            }
+            code_block(&mut w, cb_plane, mx, my, &qt_c, &enc[1], &mut preds[1]);
+            code_block(&mut w, cr_plane, mx, my, &qt_c, &enc[1], &mut preds[2]);
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out.extend_from_slice(&[0xff, 0xd9]);
+    out
+}
+
+/// Decodes a baseline 4:4:4 three-component stream produced by
+/// [`encode_color`].
+pub fn decode_color(data: &[u8]) -> Result<RgbImage, DecodeError> {
+    // Minimal parser specialized to our own output profile.
+    let mut pos = 2usize;
+    if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
+        return Err(DecodeError::NotAJpeg);
+    }
+    let mut qts: [Option<QuantTable>; 2] = [None, None];
+    let mut dcs: [Option<DecTable>; 2] = [None, None];
+    let mut acs: [Option<DecTable>; 2] = [None, None];
+    let mut dims: Option<(usize, usize, usize)> = None;
+    loop {
+        if pos + 4 > data.len() {
+            return Err(DecodeError::Truncated);
+        }
+        if data[pos] != 0xff {
+            return Err(DecodeError::BadSegment("marker alignment"));
+        }
+        let marker = data[pos + 1];
+        pos += 2;
+        let len = ((data[pos] as usize) << 8 | data[pos + 1] as usize)
+            .checked_sub(2)
+            .ok_or(DecodeError::BadSegment("length"))?;
+        let body = data
+            .get(pos + 2..pos + 2 + len)
+            .ok_or(DecodeError::Truncated)?;
+        pos += 2 + len;
+        match marker {
+            0xdb => {
+                let id = (body[0] & 0x0f) as usize;
+                if id > 1 || body.len() != 65 {
+                    return Err(DecodeError::Unsupported("DQT layout"));
+                }
+                let mut zz = [0i32; 64];
+                for k in 0..64 {
+                    zz[k] = body[1 + k] as i32;
+                }
+                let nat = unzigzag(&zz);
+                let mut q = [0u16; 64];
+                for i in 0..64 {
+                    q[i] = nat[i] as u16;
+                }
+                qts[id] = Some(QuantTable { q });
+            }
+            0xc0 => {
+                if body[5] != 3 {
+                    return Err(DecodeError::Unsupported("component count"));
+                }
+                let h = (body[1] as usize) << 8 | body[2] as usize;
+                let w = (body[3] as usize) << 8 | body[4] as usize;
+                // Component 0's sampling byte: 0x11 = 4:4:4, 0x22 = 4:2:0.
+                let samp = match body[7] {
+                    0x11 => 1,
+                    0x22 => 2,
+                    _ => return Err(DecodeError::Unsupported("sampling factors")),
+                };
+                dims = Some((w, h, samp));
+            }
+            0xc4 => {
+                let mut o = 0usize;
+                while o < body.len() {
+                    let tc_th = body[o];
+                    let mut bits = [0u8; 16];
+                    bits.copy_from_slice(&body[o + 1..o + 17]);
+                    let total: usize = bits.iter().map(|&b| b as usize).sum();
+                    let vals = body[o + 17..o + 17 + total].to_vec();
+                    let table = DecTable::from_spec(&HuffSpec { bits, vals });
+                    let th = (tc_th & 0x0f) as usize;
+                    if th > 1 {
+                        return Err(DecodeError::Unsupported("table id"));
+                    }
+                    if tc_th >> 4 == 0 {
+                        dcs[th] = Some(table);
+                    } else {
+                        acs[th] = Some(table);
+                    }
+                    o += 17 + total;
+                }
+            }
+            0xda => {
+                let (w, h, samp) = dims.ok_or(DecodeError::BadSegment("SOS before SOF"))?;
+                let entropy = &data[pos..];
+                return decode_color_scan(entropy, w, h, samp, &qts, &dcs, &acs);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_one_block(
+    r: &mut BitReader<'_>,
+    dc: &DecTable,
+    ac: &DecTable,
+    qt: &QuantTable,
+    pred: &mut i32,
+    plane: &mut GrayImage,
+    bx: usize,
+    by: usize,
+) -> Option<()> {
+    let scan = decode_block(r, dc, ac, pred)?;
+    let coef = qt.dequantize(&unzigzag(&scan));
+    let coef_f: [f64; 64] = std::array::from_fn(|i| coef[i] as f64);
+    let spatial = idct2d(&coef_f);
+    let px: [i32; BLOCK * BLOCK] = std::array::from_fn(|i| spatial[i].round() as i32 + 128);
+    plane.set_block(bx, by, &px);
+    Some(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_color_scan(
+    entropy: &[u8],
+    width: usize,
+    height: usize,
+    samp: usize,
+    qts: &[Option<QuantTable>; 2],
+    dcs: &[Option<DecTable>; 2],
+    acs: &[Option<DecTable>; 2],
+) -> Result<RgbImage, DecodeError> {
+    let (cw, ch) = (width.div_ceil(samp), height.div_ceil(samp));
+    let mut y_plane = GrayImage::new(width, height);
+    let mut cb_plane = GrayImage::new(cw, ch);
+    let mut cr_plane = GrayImage::new(cw, ch);
+    let mut r = BitReader::new(entropy);
+    let mut preds = [0i32; 3];
+    // MCUs cover samp*8 x samp*8 luma pixels.
+    let mcu_x = width.div_ceil(samp * BLOCK);
+    let mcu_y = height.div_ceil(samp * BLOCK);
+    let total = mcu_x * mcu_y * (samp * samp + 2);
+    let mut done = 0usize;
+    let table = |t: usize| -> Result<(&DecTable, &DecTable, &QuantTable), DecodeError> {
+        Ok((
+            dcs[t].as_ref().ok_or(DecodeError::BadSegment("DHT"))?,
+            acs[t].as_ref().ok_or(DecodeError::BadSegment("DHT"))?,
+            qts[t].as_ref().ok_or(DecodeError::BadSegment("DQT"))?,
+        ))
+    };
+    for my in 0..mcu_y {
+        for mx in 0..mcu_x {
+            // Y blocks of the MCU, raster order.
+            for sy in 0..samp {
+                for sx in 0..samp {
+                    let (dc, ac, qt) = table(0)?;
+                    decode_one_block(
+                        &mut r,
+                        dc,
+                        ac,
+                        qt,
+                        &mut preds[0],
+                        &mut y_plane,
+                        mx * samp + sx,
+                        my * samp + sy,
+                    )
+                    .ok_or(DecodeError::EntropyTruncated {
+                        decoded: done,
+                        expected: total,
+                    })?;
+                    done += 1;
+                }
+            }
+            // One chroma block each.
+            for (c, plane) in [(1usize, &mut cb_plane), (2, &mut cr_plane)] {
+                let (dc, ac, qt) = table(1)?;
+                decode_one_block(&mut r, dc, ac, qt, &mut preds[c], plane, mx, my).ok_or(
+                    DecodeError::EntropyTruncated {
+                        decoded: done,
+                        expected: total,
+                    },
+                )?;
+                done += 1;
+            }
+        }
+    }
+    // Upsample chroma back to full resolution (nearest neighbour).
+    let mut planes = [
+        y_plane,
+        GrayImage::new(width, height),
+        GrayImage::new(width, height),
+    ];
+    for ypix in 0..height {
+        for xpix in 0..width {
+            planes[1].pixels[ypix * width + xpix] = cb_plane.get_clamped(xpix / samp, ypix / samp);
+            planes[2].pixels[ypix * width + xpix] = cr_plane.get_clamped(xpix / samp, ypix / samp);
+        }
+    }
+    Ok(from_planes(&planes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_conversion_roundtrip() {
+        for px in [
+            [0u8, 0, 0],
+            [255, 255, 255],
+            [255, 0, 0],
+            [0, 255, 0],
+            [0, 0, 255],
+            [12, 200, 99],
+        ] {
+            let back = ycbcr_to_rgb(rgb_to_ycbcr(px));
+            for c in 0..3 {
+                assert!(
+                    (back[c] as i32 - px[c] as i32).abs() <= 2,
+                    "{px:?} -> {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primaries_map_to_expected_ycbcr() {
+        // White: Y=255, Cb=Cr=128. Red: high Cr.
+        assert_eq!(rgb_to_ycbcr([255, 255, 255]), [255, 128, 128]);
+        let red = rgb_to_ycbcr([255, 0, 0]);
+        assert!(red[2] > 200, "{red:?}");
+        let blue = rgb_to_ycbcr([0, 0, 255]);
+        assert!(blue[1] > 200, "{blue:?}");
+    }
+
+    #[test]
+    fn chroma_tables_are_prefix_free() {
+        for spec in [dc_chroma_spec(), ac_chroma_spec()] {
+            let total: usize = spec.bits.iter().map(|&b| b as usize).sum();
+            assert_eq!(total, spec.vals.len());
+            // Kraft inequality holds with equality margin for a valid code.
+            let kraft: f64 = spec
+                .bits
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n as f64 / (1u64 << (i + 1)) as f64)
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+        }
+    }
+
+    #[test]
+    fn color_roundtrip_quality() {
+        let img = RgbImage::test_card(48, 40);
+        let bytes = encode_color(&img, 90);
+        let back = decode_color(&bytes).unwrap();
+        assert_eq!((back.width, back.height), (48, 40));
+        let psnr = img.psnr(&back);
+        assert!(psnr > 28.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn quality_ordering_color() {
+        let img = RgbImage::test_card(32, 32);
+        let lo = encode_color(&img, 20);
+        let hi = encode_color(&img, 95);
+        assert!(hi.len() > lo.len());
+        let psnr_lo = img.psnr(&decode_color(&lo).unwrap());
+        let psnr_hi = img.psnr(&decode_color(&hi).unwrap());
+        assert!(psnr_hi > psnr_lo + 3.0);
+    }
+
+    #[test]
+    fn gray_input_stays_gray() {
+        // A neutral image has flat chroma; the color path must not invent
+        // color.
+        let mut img = RgbImage::new(24, 24);
+        for (i, px) in img.pixels.iter_mut().enumerate() {
+            let v = ((i * 7) % 251) as u8;
+            *px = [v, v, v];
+        }
+        let back = decode_color(&encode_color(&img, 85)).unwrap();
+        for px in &back.pixels {
+            let spread = px.iter().max().unwrap().abs_diff(*px.iter().min().unwrap());
+            assert!(spread <= 6, "{px:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_color(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn subsampled_roundtrip_quality() {
+        let img = RgbImage::test_card(48, 48);
+        let bytes = encode_color_420(&img, 90);
+        let back = decode_color(&bytes).unwrap();
+        assert_eq!((back.width, back.height), (48, 48));
+        let psnr = img.psnr(&back);
+        assert!(psnr > 24.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn subsampling_shrinks_the_stream() {
+        let img = RgbImage::test_card(64, 64);
+        let full = encode_color(&img, 85);
+        let sub = encode_color_420(&img, 85);
+        assert!(
+            sub.len() < full.len(),
+            "4:2:0 {} should beat 4:4:4 {}",
+            sub.len(),
+            full.len()
+        );
+        // The hue-wheel card is chroma-dense, so 4:2:0 gives up real
+        // fidelity — but the image must stay recognizable.
+        let p_full = img.psnr(&decode_color(&full).unwrap());
+        let p_sub = img.psnr(&decode_color(&sub).unwrap());
+        assert!(p_sub > 25.0 && p_full > p_sub, "{p_full} vs {p_sub}");
+    }
+
+    #[test]
+    fn subsampled_odd_dimensions() {
+        // Dimensions not multiples of 16 exercise MCU padding.
+        let img = RgbImage::test_card(35, 21);
+        let back = decode_color(&encode_color_420(&img, 88)).unwrap();
+        assert_eq!((back.width, back.height), (35, 21));
+        assert!(img.psnr(&back) > 22.0);
+    }
+
+    #[test]
+    fn downsample_box_filter() {
+        let mut p = GrayImage::new(4, 2);
+        p.pixels.copy_from_slice(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let d = downsample_2x2(&p);
+        assert_eq!((d.width, d.height), (2, 1));
+        assert_eq!(d.pixels, vec![35, 55]); // (10+20+50+60+2)/4, (30+40+70+80+2)/4
+    }
+}

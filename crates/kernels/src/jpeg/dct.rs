@@ -1,0 +1,244 @@
+//! 8x8 two-dimensional DCT-II / DCT-III (the `DCT` and `Alpha` processes).
+//!
+//! The paper splits the transform into a raw basis-projection (`DCT`) and a
+//! normalization pass (`Alpha`, the `c(u)c(v)/4` scaling); we expose both
+//! fused and split forms. A fixed-point variant mirrors the PE's Q24.24
+//! multiply-accumulate semantics and is the host oracle for the generated
+//! tile program.
+
+use super::image::BLOCK;
+use cgra_fabric::word::{fixed, Word};
+
+const N: usize = BLOCK;
+
+/// `cos((2x+1) u pi / 16)` basis matrix, row `u`, column `x`.
+fn cos_basis() -> [[f64; N]; N] {
+    let mut c = [[0.0; N]; N];
+    for (u, row) in c.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+        }
+    }
+    c
+}
+
+/// DCT normalization factor `c(u)`: `1/sqrt(2)` for `u = 0`, else 1.
+pub fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        std::f64::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Full normalized 2-D DCT-II of a level-shifted block (f64 reference).
+pub fn dct2d(input: &[f64; N * N]) -> [f64; N * N] {
+    let c = cos_basis();
+    let mut out = [0.0; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0;
+            for x in 0..N {
+                for y in 0..N {
+                    acc += input[x * N + y] * c[u][x] * c[v][y];
+                }
+            }
+            out[u * N + v] = 0.25 * alpha(u) * alpha(v) * acc;
+        }
+    }
+    out
+}
+
+/// Unnormalized projection only (the paper's `DCT` process, before `Alpha`).
+pub fn dct2d_raw(input: &[f64; N * N]) -> [f64; N * N] {
+    let c = cos_basis();
+    let mut out = [0.0; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0;
+            for x in 0..N {
+                for y in 0..N {
+                    acc += input[x * N + y] * c[u][x] * c[v][y];
+                }
+            }
+            out[u * N + v] = acc;
+        }
+    }
+    out
+}
+
+/// The `Alpha` normalization applied after [`dct2d_raw`].
+pub fn apply_alpha(raw: &[f64; N * N]) -> [f64; N * N] {
+    let mut out = [0.0; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            out[u * N + v] = 0.25 * alpha(u) * alpha(v) * raw[u * N + v];
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT (DCT-III), producing level-shifted samples.
+pub fn idct2d(coef: &[f64; N * N]) -> [f64; N * N] {
+    let c = cos_basis();
+    let mut out = [0.0; N * N];
+    for x in 0..N {
+        for y in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                for v in 0..N {
+                    acc += alpha(u) * alpha(v) * coef[u * N + v] * c[u][x] * c[v][y];
+                }
+            }
+            out[x * N + y] = 0.25 * acc;
+        }
+    }
+    out
+}
+
+/// The Q24.24 cosine basis the tile program multiplies against.
+pub fn cos_basis_fx() -> [[Word; N]; N] {
+    let c = cos_basis();
+    let mut out = [[Word::ZERO; N]; N];
+    for u in 0..N {
+        for x in 0..N {
+            out[u][x] = fixed::from_f64(c[u][x]);
+        }
+    }
+    out
+}
+
+/// Fixed-point separable 2-D DCT with PE MAC semantics: two passes of
+/// 8-point basis projections, then the alpha scaling. Matches what the
+/// generated tile program computes (same operation order and rounding).
+pub fn dct2d_fixed(input: &[i32; N * N]) -> [i32; N * N] {
+    let c = cos_basis_fx();
+    let frac = fixed::FRAC_BITS;
+    // Eight guard bits ride through both passes so per-term MAC truncation
+    // stays below 2^-8; the alpha step rounds back to integers.
+    let guard = 8;
+    // Pass 1 (columns): tmp[u][y] = sum_x in[x][y] * C[u][x], in Q8.
+    // MAC shift = 24 - 8 = 16, exactly what the tile program uses.
+    let mut tmp = [Word::ZERO; N * N];
+    for u in 0..N {
+        for y in 0..N {
+            let mut acc: i128 = 0;
+            for x in 0..N {
+                let a = Word::wrap(input[x * N + y] as i64);
+                let prod = (a.value() as i128) * (c[u][x].value() as i128);
+                acc += prod >> (frac - guard);
+            }
+            tmp[u * N + y] = Word::wrap(acc as i64);
+        }
+    }
+    // Pass 2 (rows): raw[u][v] = sum_y tmp[u][y] * C[v][y], still Q8.
+    let mut out = [0i32; N * N];
+    let alpha_fx: [Word; N] = std::array::from_fn(|u| fixed::from_f64(0.5 * alpha(u)));
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc: i128 = 0;
+            for y in 0..N {
+                let prod = (tmp[u * N + y].value() as i128) * (c[v][y].value() as i128);
+                acc += prod >> frac;
+            }
+            // Alpha: 0.25 c(u) c(v) as (0.5 c(u)) * (0.5 c(v)); lift Q8 to
+            // Q24, scale, then round-half-up back to an integer.
+            let raw = Word::wrap(acc as i64);
+            let scaled = fixed::mul(fixed::mul(raw.shl(frac - guard), alpha_fx[u]), alpha_fx[v]);
+            let rounded = scaled.add(Word::wrap(1 << (frac - 1))).shr(frac);
+            out[u * N + v] = rounded.value() as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_block(seed: u64) -> [f64; 64] {
+        let mut s = seed | 1;
+        std::array::from_fn(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 24) as u8) as f64 - 128.0
+        })
+    }
+
+    #[test]
+    fn constant_block_is_pure_dc() {
+        let input = [10.0; 64];
+        let out = dct2d(&input);
+        // DC = 8 * value for the normalized transform.
+        assert!((out[0] - 80.0).abs() < 1e-9);
+        for &c in &out[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn raw_plus_alpha_equals_fused() {
+        let input = shifted_block(3);
+        let fused = dct2d(&input);
+        let split = apply_alpha(&dct2d_raw(&input));
+        for (a, b) in fused.iter().zip(&split) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let input = shifted_block(11);
+        let back = idct2d(&dct2d(&input));
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let input = shifted_block(5);
+        let out = dct2d(&input);
+        let ein: f64 = input.iter().map(|v| v * v).sum();
+        let eout: f64 = out.iter().map(|v| v * v).sum();
+        assert!((ein - eout).abs() / ein < 1e-12);
+    }
+
+    #[test]
+    fn fixed_matches_f64_within_rounding() {
+        for seed in [1u64, 9, 42, 1234] {
+            let f = shifted_block(seed);
+            let i: [i32; 64] = std::array::from_fn(|k| f[k] as i32);
+            let fi: [f64; 64] = std::array::from_fn(|k| i[k] as f64);
+            let want = dct2d(&fi);
+            let got = dct2d_fixed(&i);
+            for (k, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g as f64 - w).abs() <= 2.0,
+                    "seed={seed} k={k} got={g} want={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basis_orthogonality() {
+        let c = cos_basis();
+        for u in 0..8 {
+            for v in 0..8 {
+                let dot: f64 = (0..8).map(|x| c[u][x] * c[v][x]).sum();
+                let want = if u == v {
+                    if u == 0 {
+                        8.0
+                    } else {
+                        4.0
+                    }
+                } else {
+                    0.0
+                };
+                assert!((dot - want).abs() < 1e-9, "u={u} v={v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! A baseline JPEG decoder for round-trip validation of the encoder.
+//!
+//! Parses exactly the profile our encoder emits (single-component baseline
+//! JFIF with one DC and one AC table) plus enough generality to reject
+//! malformed streams with useful errors. The paper had no way to validate
+//! its encoder output end-to-end; we do.
+
+use super::bitio::BitReader;
+use super::dct::idct2d;
+use super::huffman::{decode_block, DecTable, HuffSpec};
+use super::image::{GrayImage, BLOCK};
+use super::quant::QuantTable;
+use super::zigzag::unzigzag;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with SOI.
+    NotAJpeg,
+    /// Unexpected end of data.
+    Truncated,
+    /// A marker segment was malformed.
+    BadSegment(&'static str),
+    /// The stream uses a feature outside the baseline profile we accept.
+    Unsupported(&'static str),
+    /// Entropy data ended before all blocks decoded.
+    EntropyTruncated {
+        /// Blocks successfully decoded.
+        decoded: usize,
+        /// Blocks expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotAJpeg => write!(f, "missing SOI marker"),
+            DecodeError::Truncated => write!(f, "unexpected end of stream"),
+            DecodeError::BadSegment(s) => write!(f, "malformed {s} segment"),
+            DecodeError::Unsupported(s) => write!(f, "unsupported feature: {s}"),
+            DecodeError::EntropyTruncated { decoded, expected } => {
+                write!(f, "entropy data ended after {decoded}/{expected} blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Parser<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let v = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(((self.u8()? as u16) << 8) | self.u8()? as u16)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Decodes a baseline grayscale JFIF stream produced by
+/// [`super::encoder::encode`].
+pub fn decode(data: &[u8]) -> Result<GrayImage, DecodeError> {
+    let mut p = Parser { data, pos: 0 };
+    if p.u8()? != 0xff || p.u8()? != 0xd8 {
+        return Err(DecodeError::NotAJpeg);
+    }
+    let mut qt: Option<QuantTable> = None;
+    let mut dc: Option<DecTable> = None;
+    let mut ac: Option<DecTable> = None;
+    let mut dims: Option<(usize, usize)> = None;
+
+    loop {
+        // Seek to the next marker.
+        let mut byte = p.u8()?;
+        while byte != 0xff {
+            byte = p.u8()?;
+        }
+        let mut marker = p.u8()?;
+        while marker == 0xff {
+            marker = p.u8()?;
+        }
+        match marker {
+            0xd9 => return Err(DecodeError::BadSegment("EOI before SOS")),
+            0xe0..=0xef | 0xfe => {
+                // APPn / COM: skip.
+                let len = p.u16()? as usize;
+                p.bytes(len.checked_sub(2).ok_or(DecodeError::BadSegment("APPn"))?)?;
+            }
+            0xdb => {
+                let len = p.u16()? as usize;
+                let body = p.bytes(len - 2)?;
+                if body.len() != 65 {
+                    return Err(DecodeError::Unsupported("multi-table or 16-bit DQT"));
+                }
+                if body[0] & 0xf0 != 0 {
+                    return Err(DecodeError::Unsupported("16-bit DQT"));
+                }
+                let mut zz = [0i32; 64];
+                for k in 0..64 {
+                    zz[k] = body[1 + k] as i32;
+                }
+                let natural = unzigzag(&zz);
+                let mut q = [0u16; 64];
+                for i in 0..64 {
+                    q[i] = natural[i] as u16;
+                }
+                qt = Some(QuantTable { q });
+            }
+            0xc0 => {
+                let len = p.u16()? as usize;
+                let body = p.bytes(len - 2)?;
+                if body.len() < 6 || body[0] != 8 {
+                    return Err(DecodeError::BadSegment("SOF0"));
+                }
+                let h = ((body[1] as usize) << 8) | body[2] as usize;
+                let w = ((body[3] as usize) << 8) | body[4] as usize;
+                if body[5] != 1 {
+                    return Err(DecodeError::Unsupported("multi-component image"));
+                }
+                dims = Some((w, h));
+            }
+            0xc1..=0xcf if marker != 0xc4 && marker != 0xc8 && marker != 0xcc => {
+                return Err(DecodeError::Unsupported("non-baseline SOF"));
+            }
+            0xc4 => {
+                let len = p.u16()? as usize;
+                let mut body = Parser {
+                    data: p.bytes(len - 2)?,
+                    pos: 0,
+                };
+                while body.pos < body.data.len() {
+                    let tc_th = body.u8()?;
+                    let mut bits = [0u8; 16];
+                    for b in bits.iter_mut() {
+                        *b = body.u8()?;
+                    }
+                    let total: usize = bits.iter().map(|&b| b as usize).sum();
+                    let vals = body.bytes(total)?.to_vec();
+                    let spec = HuffSpec { bits, vals };
+                    let table = DecTable::from_spec(&spec);
+                    match tc_th >> 4 {
+                        0 => dc = Some(table),
+                        1 => ac = Some(table),
+                        _ => return Err(DecodeError::BadSegment("DHT class")),
+                    }
+                }
+            }
+            0xda => {
+                let len = p.u16()? as usize;
+                p.bytes(len - 2)?;
+                let (w, h) = dims.ok_or(DecodeError::BadSegment("SOS before SOF"))?;
+                let qt = qt.ok_or(DecodeError::BadSegment("SOS before DQT"))?;
+                let dc = dc.ok_or(DecodeError::BadSegment("SOS before DC DHT"))?;
+                let ac = ac.ok_or(DecodeError::BadSegment("SOS before AC DHT"))?;
+                return decode_scan(&p.data[p.pos..], w, h, &qt, &dc, &ac);
+            }
+            _ => {
+                let len = p.u16()? as usize;
+                p.bytes(
+                    len.checked_sub(2)
+                        .ok_or(DecodeError::BadSegment("marker"))?,
+                )?;
+            }
+        }
+    }
+}
+
+fn decode_scan(
+    entropy: &[u8],
+    width: usize,
+    height: usize,
+    qt: &QuantTable,
+    dc: &DecTable,
+    ac: &DecTable,
+) -> Result<GrayImage, DecodeError> {
+    let mut img = GrayImage::new(width, height);
+    let mut r = BitReader::new(entropy);
+    let mut pred = 0i32;
+    let (bx_max, by_max) = (img.blocks_x(), img.blocks_y());
+    let expected = bx_max * by_max;
+    let mut done = 0usize;
+    for by in 0..by_max {
+        for bx in 0..bx_max {
+            let scan =
+                decode_block(&mut r, dc, ac, &mut pred).ok_or(DecodeError::EntropyTruncated {
+                    decoded: done,
+                    expected,
+                })?;
+            let q = unzigzag(&scan);
+            let coef = qt.dequantize(&q);
+            let coef_f: [f64; 64] = std::array::from_fn(|i| coef[i] as f64);
+            let spatial = idct2d(&coef_f);
+            let px: [i32; BLOCK * BLOCK] =
+                std::array::from_fn(|i| (spatial[i].round() as i32) + 128);
+            img.set_block(bx, by, &px);
+            done += 1;
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpeg::encoder::{encode, EncoderConfig};
+
+    #[test]
+    fn roundtrip_psnr_by_content() {
+        let cases = [
+            ("gradient", GrayImage::gradient(48, 48), 38.0),
+            ("rings", GrayImage::rings(48, 48), 30.0),
+            ("checker", GrayImage::checkerboard(48, 48, 4), 26.0),
+        ];
+        for (name, img, min_psnr) in cases {
+            let bytes = encode(&img, &EncoderConfig { quality: 90 });
+            let back = decode(&bytes).unwrap();
+            let psnr = img.psnr(&back);
+            assert!(psnr > min_psnr, "{name}: psnr {psnr:.1} < {min_psnr}");
+        }
+    }
+
+    #[test]
+    fn quality_improves_psnr() {
+        let img = GrayImage::rings(64, 64);
+        let lo = decode(&encode(&img, &EncoderConfig { quality: 10 })).unwrap();
+        let hi = decode(&encode(&img, &EncoderConfig { quality: 95 })).unwrap();
+        assert!(img.psnr(&hi) > img.psnr(&lo) + 5.0);
+    }
+
+    #[test]
+    fn non_multiple_of_8_dimensions() {
+        let img = GrayImage::gradient(45, 37);
+        let back = decode(&encode(&img, &EncoderConfig { quality: 85 })).unwrap();
+        assert_eq!((back.width, back.height), (45, 37));
+        assert!(img.psnr(&back) > 30.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(&[0x00, 0x01]), Err(DecodeError::NotAJpeg));
+        assert_eq!(decode(&[0xff, 0xd8]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_truncated_entropy() {
+        let img = GrayImage::rings(32, 32);
+        let mut bytes = encode(&img, &EncoderConfig::default());
+        bytes.truncate(bytes.len() - 40);
+        match decode(&bytes) {
+            Err(DecodeError::EntropyTruncated { .. }) | Err(DecodeError::Truncated) => {}
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+}

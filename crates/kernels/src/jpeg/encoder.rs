@@ -1,0 +1,194 @@
+//! The complete baseline JPEG/JFIF grayscale encoder.
+//!
+//! This is the monolithic "golden" encoder: the process-network mapping of
+//! the paper (shift -> DCT -> alpha -> quantize -> zigzag -> huffman) must
+//! produce byte-identical entropy data, which the integration tests check.
+
+use super::dct::dct2d_fixed;
+use super::huffman::{ac_luma_spec, dc_luma_spec, encode_block, EncTable, HuffSpec};
+use super::image::GrayImage;
+use super::quant::QuantTable;
+use super::zigzag::{zigzag, ZIGZAG};
+use crate::jpeg::bitio::BitWriter;
+
+/// Encoder configuration.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// IJG quality, 1..=100.
+    pub quality: u8,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig { quality: 75 }
+    }
+}
+
+/// Per-block stages, exposed so the process-network implementation can run
+/// each step on a separate tile and compare intermediates.
+pub mod stages {
+    use super::*;
+
+    /// `shift`: level-shift 8-bit samples to signed (`p - 128`).
+    pub fn shift(block: &[u8; 64]) -> [i32; 64] {
+        std::array::from_fn(|i| block[i] as i32 - 128)
+    }
+
+    /// `DCT` + `Alpha`: fixed-point 2-D DCT of a shifted block.
+    pub fn dct(shifted: &[i32; 64]) -> [i32; 64] {
+        dct2d_fixed(shifted)
+    }
+
+    /// `Quantize` — uses the reciprocal-multiply path, which is what the
+    /// divider-less PE datapath computes; the process-network execution on
+    /// tiles is byte-identical to this encoder because of it.
+    pub fn quantize(coef: &[i32; 64], table: &QuantTable) -> [i32; 64] {
+        table.quantize_recip(coef)
+    }
+
+    /// `ZigZag`.
+    pub fn zig(q: &[i32; 64]) -> [i32; 64] {
+        zigzag(q)
+    }
+}
+
+/// Encodes a grayscale image to a complete JFIF byte stream.
+pub fn encode(img: &GrayImage, cfg: &EncoderConfig) -> Vec<u8> {
+    let qt = QuantTable::luma(cfg.quality);
+    let dc_spec = dc_luma_spec();
+    let ac_spec = ac_luma_spec();
+    let enc_dc = EncTable::from_spec(&dc_spec);
+    let enc_ac = EncTable::from_spec(&ac_spec);
+
+    let mut out = Vec::new();
+    write_headers(&mut out, img, &qt, &dc_spec, &ac_spec);
+
+    // Entropy-coded segment.
+    let mut w = BitWriter::new();
+    let mut dc_pred = 0i32;
+    for by in 0..img.blocks_y() {
+        for bx in 0..img.blocks_x() {
+            let scan = encode_block_pipeline(img, bx, by, &qt);
+            encode_block(&mut w, &enc_dc, &enc_ac, &scan, &mut dc_pred);
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out.extend_from_slice(&[0xff, 0xd9]); // EOI
+    out
+}
+
+/// Runs the per-block pipeline (shift..zigzag) for block `(bx, by)`.
+pub fn encode_block_pipeline(img: &GrayImage, bx: usize, by: usize, qt: &QuantTable) -> [i32; 64] {
+    let raw = img.block(bx, by);
+    let shifted = stages::shift(&raw);
+    let coef = stages::dct(&shifted);
+    let q = stages::quantize(&coef, qt);
+    stages::zig(&q)
+}
+
+fn write_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn write_marker(out: &mut Vec<u8>, m: u8) {
+    out.extend_from_slice(&[0xff, m]);
+}
+
+fn write_headers(
+    out: &mut Vec<u8>,
+    img: &GrayImage,
+    qt: &QuantTable,
+    dc: &HuffSpec,
+    ac: &HuffSpec,
+) {
+    write_marker(out, 0xd8); // SOI
+
+    // APP0 / JFIF.
+    write_marker(out, 0xe0);
+    write_u16(out, 16);
+    out.extend_from_slice(b"JFIF\0");
+    out.extend_from_slice(&[1, 1, 0]); // v1.1, no density units
+    write_u16(out, 1);
+    write_u16(out, 1);
+    out.extend_from_slice(&[0, 0]); // no thumbnail
+
+    // DQT (table 0, zig-zag order on the wire).
+    write_marker(out, 0xdb);
+    write_u16(out, 2 + 1 + 64);
+    out.push(0x00);
+    for &nat in ZIGZAG.iter() {
+        out.push(qt.q[nat] as u8);
+    }
+
+    // SOF0: baseline, 8-bit, one component.
+    write_marker(out, 0xc0);
+    write_u16(out, 2 + 6 + 3);
+    out.push(8);
+    write_u16(out, img.height as u16);
+    write_u16(out, img.width as u16);
+    out.push(1); // one component
+    out.extend_from_slice(&[1, 0x11, 0]); // id 1, 1x1 sampling, qtable 0
+
+    // DHT: DC table 0 and AC table 0.
+    for (class, spec) in [(0u8, dc), (1u8, ac)] {
+        write_marker(out, 0xc4);
+        write_u16(out, 2 + 1 + 16 + spec.vals.len() as u16);
+        out.push(class << 4);
+        out.extend_from_slice(&spec.bits);
+        out.extend_from_slice(&spec.vals);
+    }
+
+    // SOS.
+    write_marker(out, 0xda);
+    write_u16(out, 2 + 1 + 2 + 3);
+    out.push(1);
+    out.extend_from_slice(&[1, 0x00]); // component 1 uses DC 0 / AC 0
+    out.extend_from_slice(&[0, 63, 0]); // full spectral range, no approx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_wellformed_markers() {
+        let img = GrayImage::gradient(32, 24);
+        let bytes = encode(&img, &EncoderConfig::default());
+        assert_eq!(&bytes[0..2], &[0xff, 0xd8], "SOI");
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xff, 0xd9], "EOI");
+        // APP0 directly after SOI.
+        assert_eq!(&bytes[2..4], &[0xff, 0xe0]);
+        assert_eq!(&bytes[6..10], b"JFIF");
+        // Contains SOF0, DHT, DQT, SOS markers.
+        for m in [0xc0u8, 0xc4, 0xdb, 0xda] {
+            assert!(
+                bytes.windows(2).any(|w| w == [0xff, m]),
+                "missing marker {m:02x}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_image_compresses_tightly() {
+        let img = GrayImage::new(64, 64); // all black
+        let bytes = encode(&img, &EncoderConfig::default());
+        // 64 blocks of pure DC compress to a few bytes each at most.
+        assert!(bytes.len() < 900, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn noise_is_larger_than_gradient() {
+        let cfg = EncoderConfig::default();
+        let smooth = encode(&GrayImage::gradient(64, 64), &cfg);
+        let noisy = encode(&GrayImage::noise(64, 64, 5), &cfg);
+        assert!(noisy.len() > smooth.len());
+    }
+
+    #[test]
+    fn quality_monotonic_in_size() {
+        let img = GrayImage::rings(64, 64);
+        let lo = encode(&img, &EncoderConfig { quality: 20 });
+        let hi = encode(&img, &EncoderConfig { quality: 95 });
+        assert!(hi.len() > lo.len());
+    }
+}

@@ -1,0 +1,518 @@
+//! PE-executed Huffman entropy coding (the paper's `Hman1..Hman5`).
+//!
+//! The paper calls Huffman "the most code intensive process which does not
+//! fit in a tile" and splits it five ways. We realize the same pipeline as
+//! two generated tile programs with an explicit intermediate
+//! representation, mirroring the split's structure:
+//!
+//! * [`prep_program`] (Hman1/Hman2's role) — walks the zig-zag scan,
+//!   performs DC prediction, zero-run-length coding with ZRL/EOB, computes
+//!   each value's JPEG category and magnitude bits, and writes packed
+//!   *triples* `(run<<20 | cat<<16 | magbits)`,
+//! * [`emit_program`] (Hman3..Hman5's role) — looks the triples up in the
+//!   DC/AC code tables resident in data memory and packs the variable-
+//!   length codes into 48-bit words with a branchy bit-buffer, exactly the
+//!   arithmetic a divider-less 48-bit PE can do.
+//!
+//! Both programs run on the interpreter and the resulting bit stream is
+//! validated **bit-exact** against the host encoder
+//! ([`super::huffman::encode_block`]).
+//!
+//! ## Tile data-memory layout
+//!
+//! ```text
+//! [0   ..  64)  SCAN   zig-zag scan of the quantized block
+//! [64  .. 130)  TRI    packed triples (one per emitted symbol) + slack
+//! [130 .. 142)  DCTAB  DC code table: (len << 24) | code, per category
+//! [142 .. 398)  ACTAB  AC code table, indexed by (run << 4) | cat
+//! [400 .. 436)  OUT    packed 48-bit output words
+//! [440 .. 470)  V      variables (DC predictor, counts, bit buffer...)
+//! ```
+
+use super::huffman::EncTable;
+use cgra_fabric::{Tile, Word};
+use cgra_isa::ops::{at, d, imm};
+use cgra_isa::{encode_program, run, Instr, PeState, ProgramBuilder};
+
+/// Zig-zag scan input region.
+pub const SCAN: u16 = 0;
+/// Triple buffer region.
+pub const TRI: u16 = 64;
+/// DC code table region (12 categories).
+pub const DCTAB: u16 = 130;
+/// AC code table region (256 symbols).
+pub const ACTAB: u16 = 142;
+/// Output bit-word region.
+pub const OUT: u16 = 400;
+/// Variable block.
+pub const V: u16 = 440;
+
+// Variable slots.
+const DC_PRED: u16 = V; // DC predictor (persists across blocks)
+const NTRI: u16 = V + 1; // triples produced by prep
+const NWORDS: u16 = V + 2; // output words flushed by emit
+const NBITS_LAST: u16 = V + 3; // bits used in the last (unflushed) word
+const TOTAL_BITS: u16 = V + 4; // total bits emitted
+                               // prep scratch
+const RUN: u16 = V + 5;
+const VAL: u16 = V + 6;
+const CAT: u16 = V + 7;
+const MAG: u16 = V + 8;
+const ABSV: u16 = V + 9;
+const K: u16 = V + 10;
+// emit scratch
+const CUR: u16 = V + 11; // bit accumulator
+const NB: u16 = V + 12; // bits in accumulator
+const LEN: u16 = V + 13;
+const CODE: u16 = V + 14;
+const ROOM: u16 = V + 15;
+const TMP: u16 = V + 16;
+const TMP2: u16 = V + 17;
+const MASK24: u16 = V + 18; // 2^24 - 1 constant (built at runtime)
+const IDX: u16 = V + 19;
+
+/// Builds the preparation program (RLE + categories + magnitudes).
+///
+/// Consumes `SCAN`, updates `DC_PRED`, produces `NTRI` triples at `TRI`.
+pub fn prep_program() -> Vec<Instr> {
+    let mut p = ProgramBuilder::new();
+    // a0 walks SCAN, a1 walks TRI.
+    p.ldar(0, SCAN);
+    p.ldar(1, TRI);
+    p.ldi(d(NTRI), 0);
+    p.ldi(d(RUN), 0);
+
+    // --- DC: val = scan[0] - pred; pred = scan[0]. -----------------------
+    p.sub(d(VAL), at(0), d(DC_PRED));
+    p.mov(d(DC_PRED), at(0));
+    p.adar(0, 1);
+    // category + magnitude of VAL, then store triple (run=0).
+    emit_catmag(&mut p);
+    store_triple(&mut p);
+
+    // --- AC loop over k = 1..64. ----------------------------------------
+    p.ldi(d(K), 63);
+    let k_loop = p.here_label();
+    let next_k = p.label();
+    let nonzero = p.label();
+    p.mov(d(VAL), at(0));
+    p.adar(0, 1);
+    p.bnz(d(VAL), nonzero);
+    // zero coefficient: run += 1.
+    p.add(d(RUN), d(RUN), imm(1));
+    p.jmp(next_k);
+    p.bind(nonzero);
+    // while run >= 16: emit ZRL (run=15, cat=0, mag=0).
+    let zrl_check = p.here_label();
+    let zrl_done = p.label();
+    p.sub(d(TMP), d(RUN), imm(16));
+    p.bneg(d(TMP), zrl_done);
+    p.ldi(d(TMP2), 15);
+    p.shl(d(TMP2), d(TMP2), imm(20));
+    p.mov(at(1), d(TMP2));
+    p.adar(1, 1);
+    p.add(d(NTRI), d(NTRI), imm(1));
+    p.mov(d(RUN), d(TMP));
+    p.jmp(zrl_check);
+    p.bind(zrl_done);
+    // triple (run, cat(val), mag(val)).
+    emit_catmag(&mut p);
+    store_triple(&mut p);
+    p.ldi(d(RUN), 0);
+    p.bind(next_k);
+    p.djnz(d(K), k_loop);
+
+    // --- trailing zeros: emit EOB (0,0,0). -------------------------------
+    let done = p.label();
+    p.bz(d(RUN), done);
+    p.ldi(d(TMP2), 0);
+    p.mov(at(1), d(TMP2));
+    p.adar(1, 1);
+    p.add(d(NTRI), d(NTRI), imm(1));
+    p.bind(done);
+    p.halt();
+    p.build().expect("prep program is valid")
+}
+
+/// Emits `CAT = category(VAL)` and `MAG = magnitude_bits(VAL, CAT)`.
+fn emit_catmag(p: &mut ProgramBuilder) {
+    let not_neg = p.label();
+    let cat_loop_end = p.label();
+    // ABSV = |VAL|
+    p.mov(d(ABSV), d(VAL));
+    p.bgez(d(VAL), not_neg);
+    p.sub(d(ABSV), imm(0), d(VAL));
+    p.bind(not_neg);
+    // CAT = bit length of ABSV.
+    p.ldi(d(CAT), 0);
+    p.mov(d(TMP), d(ABSV));
+    let cat_loop = p.here_label();
+    p.bz(d(TMP), cat_loop_end);
+    p.shr(d(TMP), d(TMP), imm(1));
+    p.add(d(CAT), d(CAT), imm(1));
+    p.jmp(cat_loop);
+    p.bind(cat_loop_end);
+    // MAG = VAL >= 0 ? VAL : VAL + (1 << CAT) - 1.
+    let pos = p.label();
+    let magdone = p.label();
+    p.bgez(d(VAL), pos);
+    p.shl(d(TMP), imm(1), d(CAT));
+    p.add(d(MAG), d(VAL), d(TMP));
+    p.sub(d(MAG), d(MAG), imm(1));
+    p.jmp(magdone);
+    p.bind(pos);
+    p.mov(d(MAG), d(VAL));
+    p.bind(magdone);
+}
+
+/// Stores the packed triple `(RUN<<20) | (CAT<<16) | MAG` at `@a1++`.
+fn store_triple(p: &mut ProgramBuilder) {
+    p.shl(d(TMP), d(RUN), imm(20));
+    p.shl(d(TMP2), d(CAT), imm(16));
+    p.or(d(TMP), d(TMP), d(TMP2));
+    p.or(d(TMP), d(TMP), d(MAG));
+    p.mov(at(1), d(TMP));
+    p.adar(1, 1);
+    p.add(d(NTRI), d(NTRI), imm(1));
+}
+
+/// Builds the emission program: triples -> packed 48-bit code words.
+pub fn emit_program() -> Vec<Instr> {
+    let mut p = ProgramBuilder::new();
+    // a0 walks TRI, a1 walks OUT, a2 indexes the code tables.
+    p.ldar(0, TRI);
+    p.ldar(1, OUT);
+    p.ldi(d(CUR), 0);
+    p.ldi(d(NB), 0);
+    p.ldi(d(NWORDS), 0);
+    p.ldi(d(TOTAL_BITS), 0);
+    // MASK24 = 2^24 - 1.
+    p.ldi(d(TMP), 1);
+    p.shl(d(TMP), d(TMP), imm(24));
+    p.sub(d(MASK24), d(TMP), imm(1));
+
+    let finish = p.label();
+    // Loop counter: NTRI triples (prep guarantees >= 1). The first
+    // triple (K == NTRI) selects the DC table, the rest the AC table.
+    p.mov(d(K), d(NTRI));
+    let tri_loop = p.here_label();
+    // Fetch triple fields.
+    p.mov(d(TMP), at(0));
+    p.adar(0, 1);
+    p.shr(d(RUN), d(TMP), imm(20)); // run (4 bits; garbage above is zero)
+    p.shr(d(CAT), d(TMP), imm(16));
+    p.and(d(CAT), d(CAT), imm(0x0f));
+    // MAG is the low 16 bits: isolate with a shift pair.
+    p.shl(d(MAG), d(TMP), imm(32));
+    p.shr(d(MAG), d(MAG), imm(32));
+    // Table select: DC for the first triple (K == NTRI), else AC.
+    let use_ac = p.label();
+    let have_idx = p.label();
+    p.sub(d(TMP2), d(K), d(NTRI));
+    p.bnz(d(TMP2), use_ac);
+    p.ldi(d(IDX), DCTAB as i32);
+    p.add(d(IDX), d(IDX), d(CAT));
+    p.jmp(have_idx);
+    p.bind(use_ac);
+    // symbol = run<<4 | cat; IDX = ACTAB + symbol.
+    p.shl(d(TMP2), d(RUN), imm(4));
+    p.add(d(TMP2), d(TMP2), d(CAT));
+    p.ldi(d(IDX), ACTAB as i32);
+    p.add(d(IDX), d(IDX), d(TMP2));
+    p.bind(have_idx);
+    p.ldar_mem(2, d(IDX));
+    // entry = (len << 24) | code.
+    p.mov(d(TMP), at(2));
+    p.shr(d(LEN), d(TMP), imm(24));
+    p.and(d(CODE), d(TMP), d(MASK24));
+    emit_bits(&mut p);
+    // Magnitude bits: LEN = CAT, CODE = MAG (skipped when CAT == 0).
+    let skip_mag = p.label();
+    p.bz(d(CAT), skip_mag);
+    p.mov(d(LEN), d(CAT));
+    p.mov(d(CODE), d(MAG));
+    emit_bits(&mut p);
+    p.bind(skip_mag);
+    p.djnz(d(K), tri_loop);
+
+    // Flush the partial word (left-aligned within 48 bits for unpacking).
+    p.bind(finish);
+    let no_tail = p.label();
+    p.bz(d(NB), no_tail);
+    p.ldi(d(TMP), 48);
+    p.sub(d(TMP), d(TMP), d(NB));
+    p.shl(d(TMP2), d(CUR), d(TMP));
+    p.mov(at(1), d(TMP2));
+    p.bind(no_tail);
+    p.mov(d(NBITS_LAST), d(NB));
+    p.halt();
+    p.build().expect("emit program is valid")
+}
+
+/// Inline bit-buffer append: `CUR/NB += (CODE, LEN)`, flushing full 48-bit
+/// words to `@a1`.
+fn emit_bits(p: &mut ProgramBuilder) {
+    let fits = p.label();
+    let done = p.label();
+    p.add(d(TOTAL_BITS), d(TOTAL_BITS), d(LEN));
+    // ROOM = 48 - NB.
+    p.ldi(d(ROOM), 48);
+    p.sub(d(ROOM), d(ROOM), d(NB));
+    p.sub(d(TMP), d(ROOM), d(LEN));
+    p.bgez(d(TMP), fits);
+    // Split: HI = LEN - ROOM bits overflow into the next word.
+    // CUR = (CUR << ROOM) | (CODE >> HI); flush; CUR = CODE & ((1<<HI)-1).
+    p.sub(d(TMP2), d(LEN), d(ROOM)); // HI
+    p.shl(d(CUR), d(CUR), d(ROOM));
+    p.shr(d(TMP), d(CODE), d(TMP2));
+    p.or(d(CUR), d(CUR), d(TMP));
+    p.mov(at(1), d(CUR));
+    p.adar(1, 1);
+    p.add(d(NWORDS), d(NWORDS), imm(1));
+    p.shl(d(TMP), imm(1), d(TMP2));
+    p.sub(d(TMP), d(TMP), imm(1));
+    p.and(d(CUR), d(CODE), d(TMP));
+    p.mov(d(NB), d(TMP2));
+    p.jmp(done);
+    p.bind(fits);
+    p.shl(d(CUR), d(CUR), d(LEN));
+    p.or(d(CUR), d(CUR), d(CODE));
+    p.add(d(NB), d(NB), d(LEN));
+    p.bind(done);
+}
+
+/// Loads the DC/AC code tables as `(len << 24) | code` entries.
+pub fn load_entropy_tables(tile: &mut Tile, dc: &EncTable, ac: &EncTable) {
+    for cat in 0..12u16 {
+        let (code, len) = dc.code(cat as u8).expect("DC category coded");
+        tile.dmem
+            .poke(
+                (DCTAB + cat) as usize,
+                Word::wrap(((len as i64) << 24) | code as i64),
+            )
+            .unwrap();
+    }
+    for sym in 0..=255u16 {
+        let entry = match ac.code(sym as u8) {
+            Some((code, len)) => ((len as i64) << 24) | code as i64,
+            None => 0, // unused symbol: never referenced by valid input
+        };
+        tile.dmem
+            .poke((ACTAB + sym) as usize, Word::wrap(entry))
+            .unwrap();
+    }
+}
+
+/// Result of running the two entropy programs on a tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntropyRun {
+    /// The emitted bit stream.
+    pub bits: Vec<bool>,
+    /// Cycles of the preparation program.
+    pub prep_cycles: u64,
+    /// Cycles of the emission program.
+    pub emit_cycles: u64,
+    /// Triples produced (symbols emitted).
+    pub triples: usize,
+}
+
+/// Runs prep + emit for one zig-zag scan on `tile` (tables must already be
+/// loaded). `DC_PRED` persists in the tile across calls, exactly like the
+/// hardware pipeline's predictor.
+pub fn run_entropy_block(tile: &mut Tile, scan: &[i32; 64]) -> EntropyRun {
+    for (i, &v) in scan.iter().enumerate() {
+        tile.dmem
+            .poke(SCAN as usize + i, Word::wrap(v as i64))
+            .unwrap();
+    }
+    let run_prog = |tile: &mut Tile, prog: &[Instr]| -> u64 {
+        tile.load_program(&encode_program(prog)).unwrap();
+        let mut st = PeState::new();
+        run(tile, &mut st, 1_000_000)
+            .expect("entropy program halts")
+            .cycles
+    };
+    let prep_cycles = run_prog(tile, &prep_program());
+    let emit_cycles = run_prog(tile, &emit_program());
+    let triples = tile.dmem.peek(NTRI as usize).unwrap().value() as usize;
+    let nwords = tile.dmem.peek(NWORDS as usize).unwrap().value() as usize;
+    let nb_last = tile.dmem.peek(NBITS_LAST as usize).unwrap().value() as usize;
+    let total = tile.dmem.peek(TOTAL_BITS as usize).unwrap().value() as usize;
+    // Unpack: full words then the left-aligned tail.
+    let mut bits = Vec::with_capacity(total);
+    for w in 0..nwords {
+        let word = tile.dmem.peek(OUT as usize + w).unwrap().bits();
+        for b in (0..48).rev() {
+            bits.push((word >> b) & 1 == 1);
+        }
+    }
+    if nb_last > 0 {
+        let word = tile.dmem.peek(OUT as usize + nwords).unwrap().bits();
+        for b in 0..nb_last {
+            bits.push((word >> (47 - b)) & 1 == 1);
+        }
+    }
+    debug_assert_eq!(bits.len(), total);
+    EntropyRun {
+        bits,
+        prep_cycles,
+        emit_cycles,
+        triples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpeg::bitio::{BitReader, BitWriter};
+    use crate::jpeg::huffman::{ac_luma_spec, category, dc_luma_spec, encode_block, EncTable};
+
+    fn tables() -> (EncTable, EncTable) {
+        (
+            EncTable::from_spec(&dc_luma_spec()),
+            EncTable::from_spec(&ac_luma_spec()),
+        )
+    }
+
+    /// Host bit stream of `encode_block` (destuffed, exact length).
+    fn host_bits(blocks: &[[i32; 64]]) -> Vec<bool> {
+        let (dc, ac) = tables();
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        let mut total = 0usize;
+        let mut count_pred = 0;
+        for scan in blocks {
+            total += count_bits(scan, &dc, &ac, count_pred);
+            count_pred = scan[0];
+            encode_block(&mut w, &dc, &ac, scan, &mut pred);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        (0..total).map(|_| r.bit().unwrap() == 1).collect()
+    }
+
+    fn count_bits(scan: &[i32; 64], dc: &EncTable, ac: &EncTable, pred: i32) -> usize {
+        let mut bits = 0usize;
+        let diff = scan[0] - pred;
+        let cat = category(diff);
+        bits += dc.code(cat as u8).unwrap().1 as usize + cat as usize;
+        let mut run = 0u32;
+        for &v in &scan[1..] {
+            if v == 0 {
+                run += 1;
+                continue;
+            }
+            while run >= 16 {
+                bits += ac.code(0xf0).unwrap().1 as usize;
+                run -= 16;
+            }
+            let cat = category(v);
+            bits += ac.code(((run as u8) << 4) | cat as u8).unwrap().1 as usize + cat as usize;
+            run = 0;
+        }
+        if run > 0 {
+            bits += ac.code(0x00).unwrap().1 as usize;
+        }
+        bits
+    }
+
+    fn sparse_block(seed: u64, density: u64) -> [i32; 64] {
+        let mut s = seed | 1;
+        std::array::from_fn(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(density) {
+                ((s >> 20) % 255) as i32 - 127
+            } else {
+                0
+            }
+        })
+    }
+
+    #[test]
+    fn programs_fit_instruction_memory() {
+        assert!(prep_program().len() <= 512, "{}", prep_program().len());
+        assert!(emit_program().len() <= 512, "{}", emit_program().len());
+    }
+
+    #[test]
+    fn single_block_bit_exact() {
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        for seed in [3u64, 17, 99, 12345] {
+            let scan = sparse_block(seed, 4);
+            // fresh predictor per comparison
+            tile.dmem.poke(super::DC_PRED as usize, Word::ZERO).unwrap();
+            let got = run_entropy_block(&mut tile, &scan);
+            let want = host_bits(&[scan]);
+            assert_eq!(got.bits, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_block_dc_prediction_persists() {
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        let blocks: Vec<[i32; 64]> = (0..6).map(|i| sparse_block(1000 + i, 5)).collect();
+        let mut got = Vec::new();
+        for b in &blocks {
+            got.extend(run_entropy_block(&mut tile, b).bits);
+        }
+        assert_eq!(got, host_bits(&blocks));
+    }
+
+    #[test]
+    fn long_zero_runs_and_eob() {
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        // One DC, a coefficient after 39 zeros (2 ZRLs), then trailing EOB.
+        let mut scan = [0i32; 64];
+        scan[0] = -100;
+        scan[40] = 7;
+        let got = run_entropy_block(&mut tile, &scan);
+        assert_eq!(got.bits, host_bits(&[scan]));
+        // triples: DC + 2 ZRL + coefficient + EOB = 5.
+        assert_eq!(got.triples, 5);
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        let scan = [0i32; 64];
+        let got = run_entropy_block(&mut tile, &scan);
+        assert_eq!(got.bits, host_bits(&[scan]));
+        assert_eq!(got.triples, 2); // DC(cat 0) + EOB
+    }
+
+    #[test]
+    fn dense_block_stress() {
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        // Every coefficient non-zero: worst-case 64 triples, many flushes.
+        let scan: [i32; 64] = std::array::from_fn(|i| ((i as i32 % 19) - 9) * 3 + 1);
+        tile.dmem.poke(super::DC_PRED as usize, Word::ZERO).unwrap();
+        let got = run_entropy_block(&mut tile, &scan);
+        assert_eq!(got.bits, host_bits(&[scan]));
+        assert_eq!(got.triples, 64);
+    }
+
+    #[test]
+    fn cycle_costs_in_paper_ballpark() {
+        // Paper: Hman1..Hman5 total ~20 300 cycles per block. Our two
+        // programs are leaner but must land within an order of magnitude.
+        let (dc, ac) = tables();
+        let mut tile = Tile::new(0);
+        load_entropy_tables(&mut tile, &dc, &ac);
+        let scan = sparse_block(7, 4);
+        let got = run_entropy_block(&mut tile, &scan);
+        let total = got.prep_cycles + got.emit_cycles;
+        assert!(total > 400 && total < 20_000, "total={total}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Baseline Huffman entropy coding (the `Hman1..Hman5` processes).
+//!
+//! Implements the ITU-T T.81 Annex K "typical" DC/AC tables, the
+//! category/magnitude split, zero-run-length coding with ZRL and EOB, and
+//! both encode and decode directions. The paper splits this stage into
+//! five sub-processes because the code tables exceed one tile's
+//! instruction memory; functionally it is one pass per block.
+
+use super::bitio::{BitReader, BitWriter};
+
+/// A Huffman table in the JPEG (BITS, HUFFVAL) form.
+#[derive(Debug, Clone)]
+pub struct HuffSpec {
+    /// `bits[i]` = number of codes of length `i+1` (16 entries).
+    pub bits: [u8; 16],
+    /// Symbol values in code order.
+    pub vals: Vec<u8>,
+}
+
+/// Annex K.3: typical DC luminance table.
+pub fn dc_luma_spec() -> HuffSpec {
+    HuffSpec {
+        bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+        vals: (0..=11).collect(),
+    }
+}
+
+/// Annex K.5: typical AC luminance table.
+pub fn ac_luma_spec() -> HuffSpec {
+    HuffSpec {
+        bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d],
+        vals: vec![
+            0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51,
+            0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1,
+            0x15, 0x52, 0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18,
+            0x19, 0x1a, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+            0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57,
+            0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75,
+            0x76, 0x77, 0x78, 0x79, 0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92,
+            0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+            0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3,
+            0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8,
+            0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf1, 0xf2,
+            0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+        ],
+    }
+}
+
+/// An encoder-side table: symbol -> (code, length).
+#[derive(Debug, Clone)]
+pub struct EncTable {
+    codes: Vec<Option<(u32, u32)>>,
+}
+
+impl EncTable {
+    /// Derives canonical codes from a spec (T.81 Annex C).
+    pub fn from_spec(spec: &HuffSpec) -> EncTable {
+        let mut codes = vec![None; 256];
+        let mut code = 0u32;
+        let mut k = 0usize;
+        for len in 1..=16u32 {
+            for _ in 0..spec.bits[len as usize - 1] {
+                codes[spec.vals[k] as usize] = Some((code, len));
+                code += 1;
+                k += 1;
+            }
+            code <<= 1;
+        }
+        EncTable { codes }
+    }
+
+    /// The `(code, length)` for `symbol`.
+    pub fn code(&self, symbol: u8) -> Option<(u32, u32)> {
+        self.codes[symbol as usize]
+    }
+}
+
+/// A decoder-side table built for canonical code lookup.
+#[derive(Debug, Clone)]
+pub struct DecTable {
+    /// `(first_code, first_index, count)` per code length 1..=16.
+    lens: [(u32, usize, usize); 16],
+    vals: Vec<u8>,
+}
+
+impl DecTable {
+    /// Derives the decode structure from a spec.
+    pub fn from_spec(spec: &HuffSpec) -> DecTable {
+        let mut lens = [(0u32, 0usize, 0usize); 16];
+        let mut code = 0u32;
+        let mut idx = 0usize;
+        for (len, slot) in lens.iter_mut().enumerate() {
+            let count = spec.bits[len] as usize;
+            *slot = (code, idx, count);
+            code = (code + count as u32) << 1;
+            idx += count;
+        }
+        DecTable {
+            lens,
+            vals: spec.vals.clone(),
+        }
+    }
+
+    /// Decodes one symbol from the reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Option<u8> {
+        let mut code = 0u32;
+        for len in 0..16 {
+            code = (code << 1) | r.bit()?;
+            let (first, idx, count) = self.lens[len];
+            if count > 0 && code < first + count as u32 && code >= first {
+                return Some(self.vals[idx + (code - first) as usize]);
+            }
+        }
+        None
+    }
+}
+
+/// JPEG magnitude category of `v` (number of bits to represent |v|).
+pub fn category(v: i32) -> u32 {
+    32 - v.unsigned_abs().leading_zeros()
+}
+
+/// The magnitude bits for `v` in category `cat` (one's-complement form for
+/// negatives).
+pub fn magnitude_bits(v: i32, cat: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << cat) - 1) as u32
+    }
+}
+
+/// Inverse of [`magnitude_bits`].
+pub fn extend(bits: u32, cat: u32) -> i32 {
+    if cat == 0 {
+        return 0;
+    }
+    let v = bits as i32;
+    if v < (1 << (cat - 1)) {
+        v - (1 << cat) + 1
+    } else {
+        v
+    }
+}
+
+/// Encodes one zig-zag-ordered quantized block. `dc_pred` carries the DC
+/// predictor across blocks and is updated in place.
+pub fn encode_block(
+    w: &mut BitWriter,
+    dc: &EncTable,
+    ac: &EncTable,
+    scan: &[i32; 64],
+    dc_pred: &mut i32,
+) {
+    // DC: category + magnitude of the prediction difference.
+    let diff = scan[0] - *dc_pred;
+    *dc_pred = scan[0];
+    let cat = category(diff);
+    let (code, len) = dc.code(cat as u8).expect("dc category has a code");
+    w.put(code, len);
+    w.put(magnitude_bits(diff, cat), cat);
+    // AC: (run, size) symbols with ZRL (0xF0) and EOB (0x00).
+    let mut run = 0u32;
+    for &v in &scan[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            let (c, l) = ac.code(0xf0).expect("ZRL");
+            w.put(c, l);
+            run -= 16;
+        }
+        let cat = category(v);
+        let sym = ((run as u8) << 4) | cat as u8;
+        let (c, l) = ac.code(sym).expect("ac symbol has a code");
+        w.put(c, l);
+        w.put(magnitude_bits(v, cat), cat);
+        run = 0;
+    }
+    if run > 0 {
+        let (c, l) = ac.code(0x00).expect("EOB");
+        w.put(c, l);
+    }
+}
+
+/// Decodes one block into zig-zag order, updating the DC predictor.
+pub fn decode_block(
+    r: &mut BitReader<'_>,
+    dc: &DecTable,
+    ac: &DecTable,
+    dc_pred: &mut i32,
+) -> Option<[i32; 64]> {
+    let mut scan = [0i32; 64];
+    let cat = dc.decode(r)? as u32;
+    if cat > 15 {
+        // A corrupted table can map to symbols outside the DC category
+        // range; baseline JPEG never exceeds 11 (15 with 12-bit extension).
+        return None;
+    }
+    let bits = r.bits(cat)?;
+    *dc_pred += extend(bits, cat);
+    scan[0] = *dc_pred;
+    let mut k = 1usize;
+    while k < 64 {
+        let sym = ac.decode(r)?;
+        if sym == 0x00 {
+            break; // EOB
+        }
+        let run = (sym >> 4) as usize;
+        let cat = (sym & 0x0f) as u32;
+        if sym == 0xf0 {
+            k += 16;
+            continue;
+        }
+        k += run;
+        if k >= 64 {
+            return None; // corrupt stream
+        }
+        let bits = r.bits(cat)?;
+        scan[k] = extend(bits, cat);
+        k += 1;
+    }
+    Some(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-1024), 11);
+    }
+
+    #[test]
+    fn magnitude_extend_roundtrip() {
+        for v in -2000..=2000 {
+            let cat = category(v);
+            assert_eq!(extend(magnitude_bits(v, cat), cat), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        for spec in [dc_luma_spec(), ac_luma_spec()] {
+            let t = EncTable::from_spec(&spec);
+            let codes: Vec<(u32, u32)> = spec
+                .vals
+                .iter()
+                .map(|&v| t.code(v).expect("every val coded"))
+                .collect();
+            for (i, &(ci, li)) in codes.iter().enumerate() {
+                for (j, &(cj, lj)) in codes.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let l = li.min(lj);
+                    assert_ne!(ci >> (li - l), cj >> (lj - l), "prefix collision");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_dc_codes() {
+        // With Annex K DC luma: category 0 -> "00" (2 bits).
+        let t = EncTable::from_spec(&dc_luma_spec());
+        assert_eq!(t.code(0), Some((0b00, 2)));
+        assert_eq!(t.code(1), Some((0b010, 3)));
+        assert_eq!(t.code(11), Some((0b111111110, 9)));
+    }
+
+    #[test]
+    fn known_ac_codes() {
+        let t = EncTable::from_spec(&ac_luma_spec());
+        // EOB = "1010" (4 bits), ZRL = "11111111001" (11 bits) per Annex K.5.
+        assert_eq!(t.code(0x00), Some((0b1010, 4)));
+        assert_eq!(t.code(0xf0), Some((0b11111111001, 11)));
+        assert_eq!(t.code(0x01), Some((0b00, 2)));
+    }
+
+    #[test]
+    fn encode_decode_block_roundtrip() {
+        let dc_spec = dc_luma_spec();
+        let ac_spec = ac_luma_spec();
+        let (enc_dc, enc_ac) = (EncTable::from_spec(&dc_spec), EncTable::from_spec(&ac_spec));
+        let (dec_dc, dec_ac) = (DecTable::from_spec(&dc_spec), DecTable::from_spec(&ac_spec));
+        let mut blocks = Vec::new();
+        let mut s = 99u64;
+        for _ in 0..50 {
+            let mut b = [0i32; 64];
+            for v in b.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                // sparse-ish, small coefficients like real quantized data
+                *v = if s.is_multiple_of(5) {
+                    ((s >> 20) % 63) as i32 - 31
+                } else {
+                    0
+                };
+            }
+            blocks.push(b);
+        }
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        for b in &blocks {
+            encode_block(&mut w, &enc_dc, &enc_ac, b, &mut pred);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut pred = 0;
+        for b in &blocks {
+            let got = decode_block(&mut r, &dec_dc, &dec_ac, &mut pred).expect("decodes");
+            assert_eq!(&got, b);
+        }
+    }
+
+    #[test]
+    fn long_zero_runs_use_zrl() {
+        let (enc_dc, enc_ac) = (
+            EncTable::from_spec(&dc_luma_spec()),
+            EncTable::from_spec(&ac_luma_spec()),
+        );
+        let (dec_dc, dec_ac) = (
+            DecTable::from_spec(&dc_luma_spec()),
+            DecTable::from_spec(&ac_luma_spec()),
+        );
+        let mut b = [0i32; 64];
+        b[0] = 5;
+        b[40] = -7; // 39 zeros => two ZRLs + run 7
+        b[63] = 1; // tail coefficient, no EOB needed after it... still fine
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        encode_block(&mut w, &enc_dc, &enc_ac, &b, &mut pred);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut pred = 0;
+        let got = decode_block(&mut r, &dec_dc, &dec_ac, &mut pred).unwrap();
+        assert_eq!(got, b);
+    }
+}

@@ -1,0 +1,226 @@
+//! Grayscale images and synthetic workload generators.
+//!
+//! The paper's evaluation streams 200x200-pixel camera images through the
+//! encoder; lacking those, we synthesize test patterns with comparable
+//! block statistics (smooth gradients, textured noise, sharp edges).
+
+use serde::{Deserialize, Serialize};
+
+/// Width/height of a JPEG coding block.
+pub const BLOCK: usize = 8;
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major samples.
+    pub pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> GrayImage {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        GrayImage {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Sample at `(x, y)`, clamping coordinates to the edge (JPEG block
+    /// padding semantics).
+    pub fn get_clamped(&self, x: usize, y: usize) -> u8 {
+        let x = x.min(self.width - 1);
+        let y = y.min(self.height - 1);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the sample at `(x, y)`.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Blocks per row (ceil division).
+    pub fn blocks_x(&self) -> usize {
+        self.width.div_ceil(BLOCK)
+    }
+
+    /// Blocks per column (ceil division).
+    pub fn blocks_y(&self) -> usize {
+        self.height.div_ceil(BLOCK)
+    }
+
+    /// Total 8x8 blocks the encoder processes.
+    pub fn block_count(&self) -> usize {
+        self.blocks_x() * self.blocks_y()
+    }
+
+    /// Extracts the 8x8 block at block coordinates `(bx, by)` with edge
+    /// clamping, row-major.
+    pub fn block(&self, bx: usize, by: usize) -> [u8; BLOCK * BLOCK] {
+        let mut out = [0u8; BLOCK * BLOCK];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                out[y * BLOCK + x] = self.get_clamped(bx * BLOCK + x, by * BLOCK + y);
+            }
+        }
+        out
+    }
+
+    /// Writes an 8x8 block back (pixels outside the image are dropped).
+    pub fn set_block(&mut self, bx: usize, by: usize, data: &[i32; BLOCK * BLOCK]) {
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                let (px, py) = (bx * BLOCK + x, by * BLOCK + y);
+                if px < self.width && py < self.height {
+                    self.pixels[py * self.width + px] = data[y * BLOCK + x].clamp(0, 255) as u8;
+                }
+            }
+        }
+    }
+
+    /// Smooth diagonal gradient — DC-heavy blocks.
+    pub fn gradient(width: usize, height: usize) -> GrayImage {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.pixels[y * width + x] = (((x + y) * 255) / (width + height - 2).max(1)) as u8;
+            }
+        }
+        img
+    }
+
+    /// Concentric sine rings — mid-frequency content.
+    pub fn rings(width: usize, height: usize) -> GrayImage {
+        let mut img = GrayImage::new(width, height);
+        let (cx, cy) = (width as f64 / 2.0, height as f64 / 2.0);
+        for y in 0..height {
+            for x in 0..width {
+                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                img.pixels[y * width + x] = ((0.5 + 0.5 * (d * 0.35).sin()) * 255.0) as u8;
+            }
+        }
+        img
+    }
+
+    /// Deterministic pseudo-random texture (xorshift) — high-frequency
+    /// stress content.
+    pub fn noise(width: usize, height: usize, seed: u64) -> GrayImage {
+        let mut img = GrayImage::new(width, height);
+        let mut s = seed | 1;
+        for p in img.pixels.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *p = (s >> 24) as u8;
+        }
+        img
+    }
+
+    /// Checkerboard with `cell`-pixel cells — hard edges.
+    pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
+        let mut img = GrayImage::new(width, height);
+        let cell = cell.max(1);
+        for y in 0..height {
+            for x in 0..width {
+                img.pixels[y * width + x] = if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                    230
+                } else {
+                    25
+                };
+            }
+        }
+        img
+    }
+
+    /// Peak signal-to-noise ratio against another image of equal size, dB.
+    pub fn psnr(&self, other: &GrayImage) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let mse: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixels.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts_round_up() {
+        let img = GrayImage::new(200, 200);
+        assert_eq!(img.blocks_x(), 25);
+        assert_eq!(img.block_count(), 625);
+        let odd = GrayImage::new(201, 17);
+        assert_eq!(odd.blocks_x(), 26);
+        assert_eq!(odd.blocks_y(), 3);
+    }
+
+    #[test]
+    fn edge_clamping() {
+        let mut img = GrayImage::new(9, 9);
+        img.set(8, 8, 77);
+        let b = img.block(1, 1);
+        // Everything beyond column/row 8 clamps to the last sample.
+        assert!(b.iter().all(|&p| p == 77 || p == 0));
+        assert_eq!(b[0], 77);
+        assert_eq!(b[63], 77);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let img = GrayImage::rings(32, 32);
+        let b = img.block(1, 2);
+        let as_i32: [i32; 64] = std::array::from_fn(|i| b[i] as i32);
+        let mut copy = GrayImage::new(32, 32);
+        copy.set_block(1, 2, &as_i32);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(
+                    copy.get_clamped(8 + x, 16 + y),
+                    img.get_clamped(8 + x, 16 + y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = GrayImage::noise(16, 16, 42);
+        assert_eq!(img.psnr(&img), f64::INFINITY);
+        let other = GrayImage::noise(16, 16, 77);
+        assert!(img.psnr(&other) < 20.0);
+    }
+
+    #[test]
+    fn generators_fill_range() {
+        for img in [
+            GrayImage::gradient(40, 40),
+            GrayImage::rings(40, 40),
+            GrayImage::noise(40, 40, 7),
+            GrayImage::checkerboard(40, 40, 5),
+        ] {
+            let min = *img.pixels.iter().min().unwrap();
+            let max = *img.pixels.iter().max().unwrap();
+            assert!(max > min, "degenerate test image");
+        }
+    }
+}

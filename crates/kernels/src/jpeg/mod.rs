@@ -1,0 +1,23 @@
+//! The JPEG encoder kernel family (Sec. 3.4-3.5).
+//!
+//! * [`image`] — grayscale images and synthetic workloads,
+//! * [`dct`]/[`quant`]/[`zigzag`]/[`huffman`]/[`bitio`] — the coding
+//!   stages,
+//! * [`encoder`]/[`decoder`] — the monolithic JFIF encoder and a
+//!   validating decoder,
+//! * [`processes`] — the paper's Table 3 process network,
+//! * [`programs`] — generated PE programs for the pipeline stages,
+//!   bit-exact with the host encoder.
+
+pub mod bitio;
+pub mod color;
+pub mod dct;
+pub mod decoder;
+pub mod encoder;
+pub mod entropy_programs;
+pub mod huffman;
+pub mod image;
+pub mod processes;
+pub mod programs;
+pub mod quant;
+pub mod zigzag;

@@ -1,0 +1,146 @@
+//! The paper's JPEG Encoder process network (Table 3).
+//!
+//! Processes `p0..p9` are the main pipeline (shift, DCT, Alpha, Quantize,
+//! ZigZag, Hman1..Hman5 — Huffman is split five ways because its code
+//! tables exceed one tile's instruction memory). `p10` is the quarter-DCT
+//! helper `dct`, and `p11..p13` are the CP16/CP32/CP64 copy helpers in two
+//! flavours (memory-optimal vs time-optimal).
+//!
+//! Two parameter sources are provided:
+//!
+//! * [`paper_network`] — the exact Table 3 annotations, used to reproduce
+//!   the paper's Tables 4-5 and Figures 16-17,
+//! * a measured variant — the same pipeline annotated with cycle counts
+//!   measured by executing our generated PE programs (`programs.rs`),
+//!   reported side-by-side in EXPERIMENTS.md.
+
+use cgra_map::{ProcessNetwork, ProcessSpec};
+
+/// Blocks per image implied by the paper's Table 4 (419 us/block-unit x
+/// 800 = 1/2.98 s per image for the one-tile mapping; a 200x200 image
+/// padded to 200x256 is exactly 800 8x8 blocks).
+pub const BLOCKS_PER_IMAGE: usize = 800;
+
+/// Index of each pipeline process in the paper's numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JpegProcess {
+    /// p0: level shift.
+    Shift = 0,
+    /// p1: full 8x8 DCT.
+    Dct = 1,
+    /// p2: alpha normalization.
+    Alpha = 2,
+    /// p3: quantization.
+    Quantize = 3,
+    /// p4: zig-zag reorder.
+    ZigZag = 4,
+    /// p5..p9: the five Huffman sub-processes.
+    Hman1 = 5,
+    /// p6.
+    Hman2 = 6,
+    /// p7.
+    Hman3 = 7,
+    /// p8.
+    Hman4 = 8,
+    /// p9.
+    Hman5 = 9,
+}
+
+/// The Table 3 main pipeline `p0..p9` with the paper's annotations
+/// (insts, data1, data2, data3, runtime cycles per 8x8 block).
+pub fn paper_network() -> ProcessNetwork {
+    ProcessNetwork::new(vec![
+        ProcessSpec::new("shift", 11, 0, 2, 9, 720),
+        ProcessSpec::new("DCT", 62, 64, 14, 13, 133_324),
+        ProcessSpec::new("Alpha", 12, 64, 2, 7, 720),
+        ProcessSpec::new("Quantize", 35, 64, 7, 7, 1_576),
+        ProcessSpec::new("ZigZag", 65, 0, 0, 0, 65),
+        ProcessSpec::new("Hman1", 71, 0, 10, 9, 7_934),
+        ProcessSpec::new("Hman2", 56, 0, 10, 6, 1_587),
+        ProcessSpec::new("Hman3", 151, 0, 43, 12, 1_651),
+        ProcessSpec::new("Hman4", 180, 0, 17, 12, 2_300),
+        ProcessSpec::new("Hman5", 109, 21, 14, 17, 6_823),
+    ])
+}
+
+/// Table 3's auxiliary quarter-DCT `dct` (p10): the paper splits `DCT`
+/// into four of these to relieve the pipeline bottleneck.
+pub fn quarter_dct() -> ProcessSpec {
+    ProcessSpec::new("dct", 62, 64, 14, 13, 33_372)
+}
+
+/// Table 3's copy helpers, memory-optimal flavour (small loops).
+pub fn copy_processes_mem_optimal() -> Vec<ProcessSpec> {
+    vec![
+        ProcessSpec::new("CP16", 11, 0, 2, 2, 196),
+        ProcessSpec::new("CP32", 11, 0, 2, 2, 369),
+        ProcessSpec::new("CP64", 11, 0, 2, 2, 720),
+    ]
+}
+
+/// Table 3's copy helpers, time-optimal flavour (straight-line).
+pub fn copy_processes_time_optimal() -> Vec<ProcessSpec> {
+    vec![
+        ProcessSpec::new("CP16", 17, 0, 0, 0, 17),
+        ProcessSpec::new("CP32", 33, 0, 0, 0, 33),
+        ProcessSpec::new("CP64", 65, 0, 0, 0, 65),
+    ]
+}
+
+/// The paper network with `DCT` replaced by four pipelined quarter-DCT
+/// tiles (used by Table 4's implementations 4 and 5): the process chain
+/// keeps one slot for `dct` and the mapping replicates it.
+pub fn paper_network_split_dct() -> ProcessNetwork {
+    let mut procs = paper_network().processes;
+    procs[JpegProcess::Dct as usize] = quarter_dct();
+    ProcessNetwork::new(procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals() {
+        let net = paper_network();
+        assert_eq!(net.len(), 10);
+        // Total main-pipeline work per block.
+        assert_eq!(net.total_cycles(), 156_700);
+        // DCT dominates (85% of the work) — the paper's motivation for
+        // splitting it.
+        assert_eq!(net.heaviest(), JpegProcess::Dct as usize);
+        // Huffman does not fit one tile: p5..p9 instructions exceed 512.
+        let hman_insts: usize = net.processes[5..=9].iter().map(|p| p.insts).sum();
+        assert!(hman_insts > 512, "{hman_insts}");
+        // ...but every individual process does fit.
+        assert!(net.processes.iter().all(|p| p.insts <= 512));
+    }
+
+    #[test]
+    fn quarter_dct_is_a_quarter() {
+        let q = quarter_dct();
+        let full = paper_network().processes[1].runtime_cycles;
+        let ratio = full as f64 / q.runtime_cycles as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn copy_flavours_tradeoff() {
+        let mem = copy_processes_mem_optimal();
+        let time = copy_processes_time_optimal();
+        for (m, t) in mem.iter().zip(&time) {
+            // Time-optimal runs faster but uses more instruction slots.
+            assert!(t.runtime_cycles < m.runtime_cycles);
+            assert!(t.insts > m.insts);
+        }
+    }
+
+    #[test]
+    fn blocks_per_image_matches_table4_anchor() {
+        // Impl 1: one tile, 419 us per block-unit in the paper; at 800
+        // blocks/image that is 2.98 images/s — the published number.
+        let time_per_image_s = 419e-6 * BLOCKS_PER_IMAGE as f64;
+        let images_per_s = 1.0 / time_per_image_s;
+        assert!((images_per_s - 2.98).abs() < 0.01, "{images_per_s}");
+    }
+}

@@ -1,0 +1,439 @@
+//! Generated PE programs for the JPEG pipeline stages.
+//!
+//! Each program runs on the `cgra-isa` interpreter and is validated
+//! **bit-exact** against the host stage functions in
+//! [`super::encoder::stages`] — so a block pushed through tiles produces
+//! the same bytes as the monolithic encoder. Measured cycle counts feed
+//! the "ours" column of the Table 3 bench.
+//!
+//! ## Tile data-memory layout (one JPEG block pipeline)
+//!
+//! ```text
+//! [0   ..  64)  PX   input pixels (0..255)
+//! [64  .. 128)  SH   shifted samples; reused as the zig-zag output
+//! [128 .. 192)  T1   DCT pass-1 temporaries; reused as quantized output
+//! [192 .. 256)  T2   DCT coefficients
+//! [256 .. 320)  COS  8x8 cosine basis, Q24.24, row-major [u][x]
+//! [320 .. 328)  AL   0.5*c(u) alpha factors, Q24.24
+//! [328 .. 392)  QR   quantizer reciprocals round(2^24/q), natural order
+//! [392 .. 400)  K    constants (K+0 = 2^23 rounding half)
+//! [400 .. 416)  W    scratch + loop counters
+//! ```
+
+use super::dct::{alpha, cos_basis_fx};
+use super::quant::QuantTable;
+use super::zigzag::ZIGZAG;
+use cgra_fabric::word::fixed;
+use cgra_fabric::{Tile, Word};
+use cgra_isa::ops::{at_off, d, imm};
+use cgra_isa::{Instr, ProgramBuilder};
+
+/// Input pixel region base.
+pub const PX: u16 = 0;
+/// Shifted-sample / zig-zag-output region base.
+pub const SH: u16 = 64;
+/// Pass-1 temporary / quantized-output region base.
+pub const T1: u16 = 128;
+/// DCT coefficient region base.
+pub const T2: u16 = 192;
+/// Cosine basis base.
+pub const COS: u16 = 256;
+/// Alpha factor base.
+pub const AL: u16 = 320;
+/// Quantizer reciprocal base.
+pub const QR: u16 = 328;
+/// Constant pool base (K+0 holds 2^23).
+pub const KONST: u16 = 392;
+/// Scratch/counter base.
+pub const WRK: u16 = 400;
+
+const FRAC: u8 = fixed::FRAC_BITS as u8;
+
+/// `shift`: `SH[i] = PX[i] - 128`, unrolled by four.
+pub fn shift_program() -> Vec<Instr> {
+    let ctr = d(WRK);
+    let mut p = ProgramBuilder::new();
+    p.ldar(0, PX);
+    p.ldar(1, SH);
+    p.ldi(ctr, 16);
+    let l = p.here_label();
+    for k in 0..4 {
+        p.sub(at_off(1, k), at_off(0, k), imm(128));
+    }
+    p.adar(0, 4);
+    p.adar(1, 4);
+    p.djnz(ctr, l);
+    p.halt();
+    p.build().expect("shift program")
+}
+
+/// `DCT` + `Alpha`, fused: separable two-pass 8x8 DCT over `SH` into `T2`
+/// with the alpha scaling applied in pass 2. Bit-exact with
+/// [`super::dct::dct2d_fixed`].
+pub fn dct_program() -> Vec<Instr> {
+    let (cu, cy, cv) = (d(WRK), d(WRK + 1), d(WRK + 2));
+    let t = d(WRK + 3);
+    let mut p = ProgramBuilder::new();
+
+    // ---- Pass 1: T1[u*8+y] = sum_x SH[x*8+y] * COS[u*8+x] ----
+    // a0 -> SH (+y walk), a1 -> COS row u, a2 -> T1 walk.
+    p.ldar(0, SH);
+    p.ldar(1, COS);
+    p.ldar(2, T1);
+    p.ldi(cu, 8);
+    let uloop = p.here_label();
+    p.ldi(cy, 8);
+    let yloop = p.here_label();
+    p.clracc();
+    for x in 0..8u8 {
+        // SH[x*8 + y] stride-8 via displacement; COS[u*8 + x] stride-1.
+        // Shift by FRAC-8: the running sums keep 8 guard bits (Q8).
+        p.mac(at_off(0, 8 * x), at_off(1, x), FRAC - 8);
+    }
+    p.movacc(at_off(2, 0));
+    p.adar(2, 1);
+    p.adar(0, 1); // next y
+    p.djnz(cy, yloop);
+    p.adar(0, -8); // y walked 0..8: back to SH
+    p.adar(1, 8); // next cosine row
+    p.djnz(cu, uloop);
+
+    // ---- Pass 2 + alpha: T2[u*8+v] = ((sum_y T1[u*8+y] * COS[v*8+y])
+    //      << 24) *q AL[u] *q AL[v] >> 24 ----
+    // a0 -> T1 row u, a1 -> COS row v, a2 -> T2 walk,
+    // a3 -> AL[u], a4 -> AL[v].
+    p.ldar(0, T1);
+    p.ldar(1, COS);
+    p.ldar(2, T2);
+    p.ldar(3, AL);
+    p.ldi(cu, 8);
+    let u2 = p.here_label();
+    p.ldar(1, COS);
+    p.ldar(4, AL);
+    p.ldi(cv, 8);
+    let v2 = p.here_label();
+    p.clracc();
+    for y in 0..8u8 {
+        p.mac(at_off(0, y), at_off(1, y), FRAC);
+    }
+    p.movacc(t);
+    p.shl(t, t, imm((FRAC - 8) as i16)); // Q8 -> Q24
+    p.mul(t, t, at_off(3, 0), FRAC);
+    p.mul(t, t, at_off(4, 0), FRAC);
+    p.add(t, t, d(KONST)); // + 2^23: round-half-up
+    p.shr(t, t, imm(FRAC as i16));
+    p.mov(at_off(2, 0), t);
+    p.adar(2, 1);
+    p.adar(1, 8); // next cosine row v
+    p.adar(4, 1); // next AL[v]
+    p.djnz(cv, v2);
+    p.adar(0, 8); // next T1 row u
+    p.adar(3, 1); // next AL[u]
+    p.djnz(cu, u2);
+    p.halt();
+    p.build().expect("dct program")
+}
+
+/// The paper's quarter-DCT `dct` (p10, Figure 15): computes one 4x4
+/// quadrant of the output coefficients (`qu`, `qv` in {0,1} select it).
+/// Four tiles each running one quadrant on the same shifted block
+/// reproduce [`dct_program`]'s output exactly — the fan-out mapping of
+/// implementations 4 and 5.
+pub fn dct_quarter_program(qu: u8, qv: u8) -> Vec<Instr> {
+    assert!(qu < 2 && qv < 2);
+    let (cu, cy, cv) = (d(WRK), d(WRK + 1), d(WRK + 2));
+    let t = d(WRK + 3);
+    let mut p = ProgramBuilder::new();
+
+    // Pass 1 over the four u-rows of this quadrant only:
+    // T1[u*8+y] = sum_x SH[x*8+y] * COS[u*8+x], for u in qu*4..qu*4+4.
+    p.ldar(0, SH);
+    p.ldar(1, COS + (qu as u16) * 32);
+    p.ldar(2, T1 + (qu as u16) * 32);
+    p.ldi(cu, 4);
+    let uloop = p.here_label();
+    p.ldi(cy, 8);
+    let yloop = p.here_label();
+    p.clracc();
+    for x in 0..8u8 {
+        p.mac(at_off(0, 8 * x), at_off(1, x), FRAC - 8);
+    }
+    p.movacc(at_off(2, 0));
+    p.adar(2, 1);
+    p.adar(0, 1);
+    p.djnz(cy, yloop);
+    p.adar(0, -8);
+    p.adar(1, 8);
+    p.djnz(cu, uloop);
+
+    // Pass 2 + alpha over the 4x4 output quadrant.
+    p.ldar(0, T1 + (qu as u16) * 32);
+    p.ldar(2, T2 + (qu as u16) * 32 + (qv as u16) * 4);
+    p.ldar(3, AL + qu as u16 * 4);
+    p.ldi(cu, 4);
+    let u2 = p.here_label();
+    p.ldar(1, COS + (qv as u16) * 32);
+    p.ldar(4, AL + qv as u16 * 4);
+    p.ldi(cv, 4);
+    let v2 = p.here_label();
+    p.clracc();
+    for y in 0..8u8 {
+        p.mac(at_off(0, y), at_off(1, y), FRAC);
+    }
+    p.movacc(t);
+    p.shl(t, t, imm((FRAC - 8) as i16));
+    p.mul(t, t, at_off(3, 0), FRAC);
+    p.mul(t, t, at_off(4, 0), FRAC);
+    p.add(t, t, d(KONST));
+    p.shr(t, t, imm(FRAC as i16));
+    p.mov(at_off(2, 0), t);
+    p.adar(2, 1);
+    p.adar(1, 8);
+    p.adar(4, 1);
+    p.djnz(cv, v2);
+    p.adar(0, 8);
+    p.adar(2, 4); // skip the other quadrant's v-columns
+    p.adar(3, 1);
+    p.djnz(cu, u2);
+    p.halt();
+    p.build().expect("quarter dct program")
+}
+
+/// `Quantize`: `T1[i] = (T2[i] * QR[i] + 2^23) >> 24`.
+pub fn quantize_program() -> Vec<Instr> {
+    let ctr = d(WRK);
+    let t = d(WRK + 3);
+    let half = d(KONST);
+    let mut p = ProgramBuilder::new();
+    p.ldar(0, T2);
+    p.ldar(1, QR);
+    p.ldar(2, T1);
+    p.ldi(ctr, 64);
+    let l = p.here_label();
+    p.mul(t, at_off(0, 0), at_off(1, 0), 0);
+    p.add(t, t, half);
+    p.shr(t, t, imm(FRAC as i16));
+    p.mov(at_off(2, 0), t);
+    p.adar(0, 1);
+    p.adar(1, 1);
+    p.adar(2, 1);
+    p.djnz(ctr, l);
+    p.halt();
+    p.build().expect("quantize program")
+}
+
+/// `ZigZag`: 64 straight-line moves `SH[k] = T1[ZIGZAG[k]]` — 65
+/// instructions and 65 cycles, exactly the paper's Table 3 entry.
+pub fn zigzag_program() -> Vec<Instr> {
+    let mut p = ProgramBuilder::new();
+    for (k, &nat) in ZIGZAG.iter().enumerate() {
+        p.mov(d(SH + k as u16), d(T1 + nat as u16));
+    }
+    p.halt();
+    p.build().expect("zigzag program")
+}
+
+/// Loads the constant regions (cosine basis, alphas, reciprocals, halves)
+/// a JPEG tile needs — the `data1` payload of Table 3.
+pub fn load_jpeg_constants(tile: &mut Tile, qt: &QuantTable) {
+    let cos = cos_basis_fx();
+    for (u, row) in cos.iter().enumerate() {
+        for (x, &w) in row.iter().enumerate() {
+            tile.dmem.poke(COS as usize + u * 8 + x, w).unwrap();
+        }
+    }
+    for u in 0..8 {
+        tile.dmem
+            .poke(AL as usize + u, fixed::from_f64(0.5 * alpha(u)))
+            .unwrap();
+    }
+    for (i, r) in qt.reciprocals_q24().iter().enumerate() {
+        tile.dmem.poke(QR as usize + i, Word::wrap(*r)).unwrap();
+    }
+    tile.dmem.poke(KONST as usize, Word::wrap(1 << 23)).unwrap();
+}
+
+/// Writes a pixel block into the tile.
+pub fn load_pixels(tile: &mut Tile, block: &[u8; 64]) {
+    for (i, &px) in block.iter().enumerate() {
+        tile.dmem
+            .poke(PX as usize + i, Word::wrap(px as i64))
+            .unwrap();
+    }
+}
+
+/// Reads an i32 region back out of the tile.
+pub fn read_region(tile: &Tile, base: u16) -> [i32; 64] {
+    std::array::from_fn(|i| tile.dmem.peek(base as usize + i).unwrap().value() as i32)
+}
+
+/// Cycle counts measured for each implemented JPEG stage program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JpegStageCycles {
+    /// `shift` cycles.
+    pub shift: u64,
+    /// Fused `DCT`+`Alpha` cycles.
+    pub dct: u64,
+    /// `Quantize` cycles.
+    pub quantize: u64,
+    /// `ZigZag` cycles.
+    pub zigzag: u64,
+}
+
+/// Runs the full per-block pipeline (shift -> DCT -> quantize -> zigzag)
+/// on one tile, reloading the stage program between stages like the
+/// reconfiguration engine does. Returns the zig-zag-ordered quantized
+/// block and the per-stage cycle counts.
+pub fn run_block_pipeline(block: &[u8; 64], qt: &QuantTable) -> ([i32; 64], JpegStageCycles) {
+    let mut tile = Tile::new(0);
+    load_jpeg_constants(&mut tile, qt);
+    load_pixels(&mut tile, block);
+    let run = |tile: &mut Tile, prog: &[Instr]| -> u64 {
+        crate::fft::programs::run_program(tile, prog, 1_000_000)
+    };
+    let shift = run(&mut tile, &shift_program());
+    let dct = run(&mut tile, &dct_program());
+    let quantize = run(&mut tile, &quantize_program());
+    let zigzag = run(&mut tile, &zigzag_program());
+    (
+        read_region(&tile, SH),
+        JpegStageCycles {
+            shift,
+            dct,
+            quantize,
+            zigzag,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jpeg::encoder::stages;
+    use crate::jpeg::image::GrayImage;
+
+    fn check_block(block: &[u8; 64], qt: &QuantTable) {
+        let (got, _) = run_block_pipeline(block, qt);
+        let want = stages::zig(&stages::quantize(&stages::dct(&stages::shift(block)), qt));
+        assert_eq!(got, want, "tile pipeline must be bit-exact with host");
+    }
+
+    #[test]
+    fn pipeline_bit_exact_across_content() {
+        let qt = QuantTable::luma(75);
+        for img in [
+            GrayImage::gradient(16, 16),
+            GrayImage::rings(16, 16),
+            GrayImage::noise(16, 16, 123),
+            GrayImage::checkerboard(16, 16, 3),
+        ] {
+            for by in 0..2 {
+                for bx in 0..2 {
+                    check_block(&img.block(bx, by), &qt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_bit_exact_across_quality() {
+        let img = GrayImage::rings(8, 8);
+        for q in [10u8, 50, 95] {
+            check_block(&img.block(0, 0), &QuantTable::luma(q));
+        }
+    }
+
+    #[test]
+    fn four_quarter_dcts_reproduce_the_full_transform() {
+        // Figure 15: the DCT split across four tiles, each computing one
+        // output quadrant of the SAME block, must agree exactly with the
+        // monolithic program.
+        let qt = QuantTable::luma(75);
+        let img = GrayImage::noise(8, 8, 31);
+        let block = img.block(0, 0);
+        // Full transform on one tile.
+        let mut full = Tile::new(0);
+        load_jpeg_constants(&mut full, &qt);
+        load_pixels(&mut full, &block);
+        crate::fft::programs::run_program(&mut full, &shift_program(), 100_000);
+        crate::fft::programs::run_program(&mut full, &dct_program(), 1_000_000);
+        let want = read_region(&full, T2);
+        // Four quarter tiles.
+        let mut got = [0i32; 64];
+        let mut quarter_cycles = 0u64;
+        for qu in 0..2u8 {
+            for qv in 0..2u8 {
+                let mut tile = Tile::new(0);
+                load_jpeg_constants(&mut tile, &qt);
+                load_pixels(&mut tile, &block);
+                crate::fft::programs::run_program(&mut tile, &shift_program(), 100_000);
+                quarter_cycles = quarter_cycles.max(crate::fft::programs::run_program(
+                    &mut tile,
+                    &dct_quarter_program(qu, qv),
+                    1_000_000,
+                ));
+                let part = read_region(&tile, T2);
+                for u in 0..4 {
+                    for v in 0..4 {
+                        let idx = (qu as usize * 4 + u) * 8 + qv as usize * 4 + v;
+                        got[idx] = part[idx];
+                    }
+                }
+            }
+        }
+        assert_eq!(got, want, "quadrants must tile the full DCT");
+        // The paper's economics: a quarter runs in roughly a quarter of
+        // the pass-2 work (pass 1 halves), so ~2.5-4x faster than full.
+        let mut full2 = Tile::new(0);
+        load_jpeg_constants(&mut full2, &qt);
+        load_pixels(&mut full2, &block);
+        crate::fft::programs::run_program(&mut full2, &shift_program(), 100_000);
+        let full_cycles = crate::fft::programs::run_program(&mut full2, &dct_program(), 1_000_000);
+        assert!(
+            (quarter_cycles as f64) < 0.5 * full_cycles as f64,
+            "quarter {quarter_cycles} vs full {full_cycles}"
+        );
+    }
+
+    #[test]
+    fn zigzag_costs_sixty_five_cycles() {
+        // Table 3: ZigZag is 65 instructions, 65 cycles.
+        let prog = zigzag_program();
+        assert_eq!(prog.len(), 65);
+        let (_, cycles) = run_block_pipeline(&[128u8; 64], &QuantTable::luma(50));
+        assert_eq!(cycles.zigzag, 65);
+    }
+
+    #[test]
+    fn stage_cycle_sanity() {
+        let img = GrayImage::noise(8, 8, 9);
+        let (_, c) = run_block_pipeline(&img.block(0, 0), &QuantTable::luma(75));
+        // shift: 16 iterations of 7 + 3 setup + halt.
+        assert_eq!(c.shift, 3 + 16 * 7 + 1);
+        // quantize: 64 iterations of 8 + setup + halt.
+        assert_eq!(c.quantize, 4 + 64 * 8 + 1);
+        // Separable DCT lands well under the paper's naive 133k cycles but
+        // still dominates the pipeline.
+        assert!(c.dct > 1000 && c.dct < 5000, "dct={}", c.dct);
+        assert!(c.dct > c.quantize && c.dct > c.shift && c.dct > c.zigzag);
+    }
+
+    #[test]
+    fn programs_fit_instruction_memory() {
+        for prog in [
+            shift_program(),
+            dct_program(),
+            quantize_program(),
+            zigzag_program(),
+        ] {
+            assert!(prog.len() <= 512, "{} instructions", prog.len());
+        }
+    }
+
+    #[test]
+    fn gray_block_quantizes_to_zero() {
+        // A uniform 128 block has zero shifted samples -> all-zero output.
+        let (got, _) = run_block_pipeline(&[128u8; 64], &QuantTable::luma(50));
+        assert_eq!(got, [0i32; 64]);
+    }
+}

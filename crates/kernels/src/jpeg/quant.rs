@@ -1,0 +1,189 @@
+//! Quantization (the `Quantize` process) with the ITU-T T.81 Annex K
+//! tables and IJG quality scaling.
+
+/// Annex K.1 luminance quantization table, row-major natural order.
+pub const LUMA_Q50: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K.2 chrominance quantization table, row-major natural order.
+pub const CHROMA_Q50: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// A quantization table (natural order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    /// Divisors in natural (row-major) order, each in `1..=255` for
+    /// baseline JPEG.
+    pub q: [u16; 64],
+}
+
+impl QuantTable {
+    /// The Annex K luminance table scaled to `quality` (1..=100, IJG
+    /// convention: 50 = unscaled).
+    pub fn luma(quality: u8) -> QuantTable {
+        QuantTable::scaled(&LUMA_Q50, quality)
+    }
+
+    /// The Annex K chrominance table scaled to `quality`.
+    pub fn chroma(quality: u8) -> QuantTable {
+        QuantTable::scaled(&CHROMA_Q50, quality)
+    }
+
+    /// IJG quality scaling: `scale = 5000/q` below 50, `200 - 2q` above.
+    pub fn scaled(base: &[u16; 64], quality: u8) -> QuantTable {
+        let quality = quality.clamp(1, 100) as u32;
+        let scale = if quality < 50 {
+            5000 / quality
+        } else {
+            200 - 2 * quality
+        };
+        let mut q = [0u16; 64];
+        for (dst, &src) in q.iter_mut().zip(base) {
+            *dst = (((src as u32 * scale) + 50) / 100).clamp(1, 255) as u16;
+        }
+        QuantTable { q }
+    }
+
+    /// Quantizes one coefficient with round-half-away-from-zero (the
+    /// JPEG-standard `round(coef / q)`).
+    pub fn quantize_one(&self, idx: usize, coef: i32) -> i32 {
+        let q = self.q[idx] as i32;
+        if coef >= 0 {
+            (coef + q / 2) / q
+        } else {
+            -((-coef + q / 2) / q)
+        }
+    }
+
+    /// Quantizes a natural-order coefficient block.
+    pub fn quantize(&self, coef: &[i32; 64]) -> [i32; 64] {
+        std::array::from_fn(|i| self.quantize_one(i, coef[i]))
+    }
+
+    /// Dequantizes a natural-order block. Saturating: corrupted streams
+    /// can carry arbitrarily large coefficients (e.g. a runaway DC
+    /// predictor), which must clamp rather than overflow.
+    pub fn dequantize(&self, qcoef: &[i32; 64]) -> [i32; 64] {
+        std::array::from_fn(|i| qcoef[i].saturating_mul(self.q[i] as i32))
+    }
+
+    /// Q24.24 reciprocals `round(2^24 / q)` — what the tile's data memory
+    /// holds, since the PE datapath has no divider.
+    pub fn reciprocals_q24(&self) -> [i64; 64] {
+        std::array::from_fn(|i| {
+            let q = self.q[i] as i64;
+            ((1i64 << 24) + q / 2) / q
+        })
+    }
+
+    /// Quantizes one coefficient exactly as the tile program does:
+    /// `(coef * recip + 2^23) >> 24` (multiply by the stored reciprocal,
+    /// add half, arithmetic shift). Round-half-up instead of
+    /// round-half-away-from-zero; within one of [`Self::quantize_one`].
+    pub fn quantize_one_recip(&self, idx: usize, coef: i32) -> i32 {
+        let recip = self.reciprocals_q24()[idx];
+        (((coef as i64 * recip) + (1 << 23)) >> 24) as i32
+    }
+
+    /// Quantizes a block via the reciprocal path (the hardware semantics).
+    pub fn quantize_recip(&self, coef: &[i32; 64]) -> [i32; 64] {
+        let recips = self.reciprocals_q24();
+        std::array::from_fn(|i| (((coef[i] as i64 * recips[i]) + (1 << 23)) >> 24) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q50_is_unscaled() {
+        assert_eq!(QuantTable::luma(50).q, LUMA_Q50);
+        assert_eq!(QuantTable::chroma(50).q, CHROMA_Q50);
+    }
+
+    #[test]
+    fn quality_ordering() {
+        // Higher quality => smaller divisors.
+        let q10 = QuantTable::luma(10);
+        let q90 = QuantTable::luma(90);
+        for (i, &base) in LUMA_Q50.iter().enumerate() {
+            assert!(q90.q[i] <= base);
+            assert!(q10.q[i] >= base);
+        }
+    }
+
+    #[test]
+    fn extreme_qualities_stay_in_range() {
+        for q in [1u8, 100] {
+            let t = QuantTable::luma(q);
+            assert!(t.q.iter().all(|&v| (1..=255).contains(&v)));
+        }
+        // q=100 => all ones (lossless quantization).
+        assert!(QuantTable::luma(100).q.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn rounding_is_symmetric() {
+        let t = QuantTable::luma(50); // q[0] = 16
+        assert_eq!(t.quantize_one(0, 8), 1);
+        assert_eq!(t.quantize_one(0, -8), -1);
+        assert_eq!(t.quantize_one(0, 7), 0);
+        assert_eq!(t.quantize_one(0, -7), 0);
+        assert_eq!(t.quantize_one(0, 24), 2);
+        assert_eq!(t.quantize_one(0, -24), -2);
+    }
+
+    #[test]
+    fn recip_path_within_one_of_exact() {
+        for quality in [10u8, 50, 90] {
+            let t = QuantTable::luma(quality);
+            for idx in [0usize, 7, 35, 63] {
+                for coef in -1200..=1200 {
+                    let exact = t.quantize_one(idx, coef);
+                    let recip = t.quantize_one_recip(idx, coef);
+                    assert!(
+                        (exact - recip).abs() <= 1,
+                        "q={quality} idx={idx} coef={coef}: {exact} vs {recip}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recip_block_matches_elementwise() {
+        let t = QuantTable::luma(75);
+        let coef: [i32; 64] = std::array::from_fn(|i| (i as i32 * 41 % 301) - 150);
+        let block = t.quantize_recip(&coef);
+        for i in 0..64 {
+            assert_eq!(block[i], t.quantize_one_recip(i, coef[i]));
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error() {
+        let t = QuantTable::luma(50);
+        let coef: [i32; 64] = std::array::from_fn(|i| (i as i32 * 37 % 201) - 100);
+        let rt = t.dequantize(&t.quantize(&coef));
+        for i in 0..64 {
+            assert!((rt[i] - coef[i]).abs() <= t.q[i] as i32 / 2 + 1, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Zig-zag coefficient reordering (the `ZigZag` process).
+
+/// `ZIGZAG[k]` is the natural (row-major) index of the k-th coefficient in
+/// zig-zag scan order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorders a natural-order block into zig-zag order.
+pub fn zigzag(block: &[i32; 64]) -> [i32; 64] {
+    std::array::from_fn(|k| block[ZIGZAG[k]])
+}
+
+/// Reorders a zig-zag-order block back to natural order.
+pub fn unzigzag(scan: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (k, &v) in scan.iter().enumerate() {
+        out[ZIGZAG[k]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn first_and_last_entries() {
+        assert_eq!(ZIGZAG[0], 0); // DC first
+        assert_eq!(ZIGZAG[1], 1); // then (0,1)
+        assert_eq!(ZIGZAG[2], 8); // then (1,0)
+        assert_eq!(ZIGZAG[63], 63); // (7,7) last
+    }
+
+    #[test]
+    fn adjacent_scan_entries_are_grid_neighbours() {
+        // Every step of the scan moves to a diagonally or orthogonally
+        // adjacent cell.
+        for w in ZIGZAG.windows(2) {
+            let (r0, c0) = (w[0] / 8, w[0] % 8);
+            let (r1, c1) = (w[1] / 8, w[1] % 8);
+            assert!(r0.abs_diff(r1) <= 1 && c0.abs_diff(c1) <= 1, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let block: [i32; 64] = std::array::from_fn(|i| i as i32 * 3 - 50);
+        assert_eq!(unzigzag(&zigzag(&block)), block);
+        let scan: [i32; 64] = std::array::from_fn(|i| (i as i32).pow(2) % 97);
+        assert_eq!(zigzag(&unzigzag(&scan)), scan);
+    }
+}

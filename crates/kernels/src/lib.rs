@@ -1,0 +1,13 @@
+//! # cgra-kernels
+//!
+//! The two compute-intensive application kernels the paper maps onto the
+//! partially reconfigurable CGRA:
+//!
+//! * [`fft`] — N-point radix-2 FFT, partitioned over M-point tiles,
+//! * [`jpeg`] — a baseline JPEG encoder (and validating decoder) plus the
+//!   paper's process network (Table 3).
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod jpeg;

@@ -1,0 +1,333 @@
+//! Simulated-annealing placement for epoch sequences.
+//!
+//! "Careful placement of the p's to the P compute elements can help in
+//! reducing the overall runtime" (Sec. 2): the paper leaves automated
+//! placement to future work; this module provides it. Given a set of
+//! pipeline stages and the inter-stage transfers of each epoch, it
+//! searches tile permutations minimizing the Eq. 1 terms the placement
+//! controls: multi-hop copy cost (term C) plus link reconfigurations
+//! between consecutive epochs (term B).
+
+use crate::routing::plan_route;
+use cgra_fabric::{CostModel, FabricError, LinkConfig, Mesh, TileId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One epoch's communication pattern: directed transfers between pipeline
+/// positions, each with a per-hop copy time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpochComms {
+    /// `(producer_pos, consumer_pos, copy_ns_per_hop)`.
+    pub transfers: Vec<(usize, usize, f64)>,
+}
+
+/// The placement problem: `stages` pipeline positions on a mesh, with an
+/// epoch sequence of communication patterns.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    /// Mesh to place onto.
+    pub mesh: Mesh,
+    /// Number of pipeline positions.
+    pub stages: usize,
+    /// Epochs in execution order.
+    pub epochs: Vec<EpochComms>,
+    /// Cost model (supplies the per-link reconfiguration price).
+    pub cost: CostModel,
+}
+
+impl PlacementProblem {
+    /// The link configuration an epoch induces under `order`: each
+    /// producer's tile drives its link along the first hop of its route.
+    /// (A tile has one outgoing link; when several transfers share a
+    /// producer only the first is driven directly and the rest go through
+    /// extra copy epochs — the cost function charges their full routes.)
+    fn epoch_links(&self, order: &[TileId], e: &EpochComms) -> Result<LinkConfig, FabricError> {
+        let mut cfg = self.mesh.disconnected();
+        for &(p, q, _) in &e.transfers {
+            let route = plan_route(&self.mesh, order[p], order[q])?;
+            if let Some(h) = route.hops.first() {
+                if cfg.get(h.from).is_none() {
+                    cfg.set(h.from, Some(h.dir));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Full placement cost: term C (all routes) + term B (link deltas
+    /// between consecutive epoch configurations).
+    pub fn placement_cost(&self, order: &[TileId]) -> Result<f64, FabricError> {
+        assert_eq!(order.len(), self.stages);
+        let mut total = 0.0;
+        let mut prev: Option<LinkConfig> = None;
+        for e in &self.epochs {
+            for &(p, q, copy_ns) in &e.transfers {
+                let route = plan_route(&self.mesh, order[p], order[q])?;
+                total += route.cost_ns(&self.cost, copy_ns);
+            }
+            let links = self.epoch_links(order, e)?;
+            if let Some(prev) = &prev {
+                total += self.cost.links_reconfig_ns(prev.delta(&links));
+            }
+            prev = Some(links);
+        }
+        Ok(total)
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealResult {
+    /// Best placement found (pipeline position -> tile id).
+    pub order: Vec<TileId>,
+    /// Its cost, ns.
+    pub cost_ns: f64,
+    /// Cost of the initial (serpentine) placement, ns.
+    pub initial_cost_ns: f64,
+    /// Accepted moves.
+    pub accepted: usize,
+    /// Proposed moves.
+    pub proposed: usize,
+}
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealParams {
+    /// Proposals to evaluate.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial cost.
+    pub t0_frac: f64,
+    /// Geometric cooling factor applied each iteration.
+    pub cooling: f64,
+    /// RNG seed (runs are deterministic).
+    pub seed: u64,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            iterations: 4000,
+            t0_frac: 0.2,
+            cooling: 0.999,
+            seed: 0xC6_12A,
+        }
+    }
+}
+
+/// Anneals a placement: starts from the serpentine order and proposes
+/// swaps of two positions' tiles (or relocation onto a free tile).
+pub fn anneal(
+    problem: &PlacementProblem,
+    params: AnnealParams,
+) -> Result<AnnealResult, FabricError> {
+    let serp = crate::placement::serpentine(&problem.mesh, problem.stages)?;
+    let mut order = serp.order;
+    let mut cost = problem.placement_cost(&order)?;
+    let initial_cost_ns = cost;
+    let mut best = order.clone();
+    let mut best_cost = cost;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut temp = (initial_cost_ns * params.t0_frac).max(1e-6);
+    let all_tiles = problem.mesh.tiles();
+    let mut accepted = 0usize;
+
+    for _ in 0..params.iterations {
+        let mut cand = order.clone();
+        let i = rng.gen_range(0..problem.stages);
+        if rng.gen_bool(0.5) && all_tiles > problem.stages {
+            // Relocate position i to a currently-unused tile.
+            let used: std::collections::BTreeSet<TileId> = cand.iter().copied().collect();
+            let free: Vec<TileId> = (0..all_tiles).filter(|t| !used.contains(t)).collect();
+            cand[i] = free[rng.gen_range(0..free.len())];
+        } else {
+            let j = rng.gen_range(0..problem.stages);
+            cand.swap(i, j);
+        }
+        let c = problem.placement_cost(&cand)?;
+        let delta = c - cost;
+        if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+            order = cand;
+            cost = c;
+            accepted += 1;
+            if cost < best_cost {
+                best_cost = cost;
+                best = order.clone();
+            }
+        }
+        temp = (temp * params.cooling).max(1e-6);
+    }
+    Ok(AnnealResult {
+        order: best,
+        cost_ns: best_cost,
+        initial_cost_ns,
+        accepted,
+        proposed: params.iterations,
+    })
+}
+
+/// Runs `restarts` independent annealing chains in parallel (distinct
+/// seeds derived from `params.seed`) and returns the best result — the
+/// standard embarrassingly-parallel way to harden a stochastic search.
+pub fn anneal_best_of(
+    problem: &PlacementProblem,
+    params: AnnealParams,
+    restarts: usize,
+) -> Result<AnnealResult, FabricError> {
+    assert!(restarts >= 1);
+    let results: Result<Vec<AnnealResult>, FabricError> = (0..restarts as u64)
+        .into_par_iter()
+        .map(|i| {
+            anneal(
+                problem,
+                AnnealParams {
+                    seed: params
+                        .seed
+                        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ..params
+                },
+            )
+        })
+        .collect();
+    Ok(results?
+        .into_iter()
+        .min_by(|a, b| a.cost_ns.partial_cmp(&b.cost_ns).expect("finite costs"))
+        .expect("at least one restart"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chain pipeline: every epoch ships stage i -> i+1.
+    fn chain_problem(mesh: Mesh, stages: usize) -> PlacementProblem {
+        let transfers = (0..stages - 1).map(|i| (i, i + 1, 400.0)).collect();
+        PlacementProblem {
+            mesh,
+            stages,
+            epochs: vec![EpochComms { transfers }],
+            cost: CostModel::with_link_cost(150.0),
+        }
+    }
+
+    #[test]
+    fn serpentine_chain_is_already_optimal() {
+        // A pure chain on a snake placement is all single hops; annealing
+        // must not make it worse.
+        let p = chain_problem(Mesh::new(3, 3), 9);
+        let r = anneal(
+            &p,
+            AnnealParams {
+                iterations: 800,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.cost_ns <= r.initial_cost_ns + 1e-9);
+        // 8 transfers x (400 copy + 150 link) = 4400 minimum.
+        assert!((r.cost_ns - 8.0 * 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn annealing_fixes_a_bad_communication_pattern() {
+        // Epoch ships stage 0 -> stage 4 heavily; the serpentine start
+        // puts them two hops apart, annealing should pull them together.
+        let mesh = Mesh::new(3, 3);
+        let mut p = chain_problem(mesh, 6);
+        p.epochs.push(EpochComms {
+            transfers: vec![(0, 4, 5000.0)],
+        });
+        let serp = crate::placement::serpentine(&mesh, 6).unwrap();
+        assert_eq!(mesh.distance(serp.order[0], serp.order[4]).unwrap(), 2);
+        let r = anneal(
+            &p,
+            AnnealParams {
+                iterations: 6000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.cost_ns < r.initial_cost_ns,
+            "no improvement: {} vs {}",
+            r.cost_ns,
+            r.initial_cost_ns
+        );
+        // After annealing, 0 and 4 should be neighbours (one hop).
+        let d = mesh.distance(r.order[0], r.order[4]).unwrap();
+        assert_eq!(d, 1, "expensive pair still {d} hops apart");
+    }
+
+    #[test]
+    fn placements_stay_valid_permutations() {
+        let p = chain_problem(Mesh::new(4, 4), 10);
+        let r = anneal(
+            &p,
+            AnnealParams {
+                iterations: 1500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut seen = r.order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10, "duplicate tiles in placement");
+        assert!(seen.iter().all(|&t| t < 16));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = chain_problem(Mesh::new(3, 4), 8);
+        let a = anneal(&p, AnnealParams::default()).unwrap();
+        let b = anneal(&p, AnnealParams::default()).unwrap();
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.cost_ns, b.cost_ns);
+    }
+
+    #[test]
+    fn best_of_restarts_never_worse_than_single() {
+        let mesh = Mesh::new(3, 3);
+        let mut p = chain_problem(mesh, 6);
+        p.epochs.push(EpochComms {
+            transfers: vec![(0, 4, 5000.0)],
+        });
+        let params = AnnealParams {
+            iterations: 1200,
+            ..Default::default()
+        };
+        let single = anneal(&p, params).unwrap();
+        let best = anneal_best_of(&p, params, 6).unwrap();
+        assert!(best.cost_ns <= single.cost_ns + 1e-9);
+        // Determinism across calls.
+        let again = anneal_best_of(&p, params, 6).unwrap();
+        assert_eq!(best.order, again.order);
+    }
+
+    #[test]
+    fn epoch_link_deltas_charged() {
+        // Two epochs with opposite flows force link reconfigurations; the
+        // cost must exceed the pure copy cost.
+        let mesh = Mesh::new(1, 3);
+        let p = PlacementProblem {
+            mesh,
+            stages: 3,
+            epochs: vec![
+                EpochComms {
+                    transfers: vec![(0, 1, 100.0), (1, 2, 100.0)],
+                },
+                EpochComms {
+                    transfers: vec![(2, 1, 100.0), (1, 0, 100.0)],
+                },
+            ],
+            cost: CostModel::with_link_cost(300.0),
+        };
+        let order = vec![0, 1, 2];
+        let cost = p.placement_cost(&order).unwrap();
+        // 4 transfers x (100 + 300) + link delta between epochs: tile 0
+        // clears East, tile 1 flips East->West, tile 2 gains West = 3
+        // changed tile settings at 300 ns.
+        assert!((cost - (4.0 * 400.0 + 3.0 * 300.0)).abs() < 1e-9, "{cost}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Tile assignments and the pipelined throughput/utilization evaluator.
+//!
+//! An [`Assignment`] maps a process chain onto tiles: each [`TileLoad`]
+//! owns a contiguous run of processes and may be *instantiated* on several
+//! tiles (the paper's duplication of heavy processes, Table 5's `p1(17)`).
+//!
+//! Steady-state model (the one behind Table 4, Table 5, Figs 16-17):
+//!
+//! * a tile's **unit time** is the runtime of its processes plus, when the
+//!   tile's programs don't all fit the 512-slot instruction memory at once,
+//!   the ICAP time to reload instructions and `data3` words every unit,
+//! * a load replicated `k` times serves work units round-robin, so its
+//!   pipeline contribution is `unit_time / k`,
+//! * the pipeline **interval** is the max contribution over loads; work
+//!   units complete one per interval,
+//! * **utilization** is total busy time over total tile-time per interval.
+
+use crate::process::ProcessNetwork;
+use cgra_fabric::{CostModel, INSTR_SLOTS};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of processes `first..=last` on `instances` tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileLoad {
+    /// Index of the first process of the run.
+    pub first: usize,
+    /// Index of the last process of the run (inclusive).
+    pub last: usize,
+    /// Number of tile instances executing this run round-robin.
+    pub instances: usize,
+}
+
+impl TileLoad {
+    /// A single-instance load.
+    pub fn run(first: usize, last: usize) -> TileLoad {
+        TileLoad {
+            first,
+            last,
+            instances: 1,
+        }
+    }
+
+    /// Number of processes in the run (always >= 1).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// True when the run is a single process.
+    pub fn is_single(&self) -> bool {
+        self.first == self.last
+    }
+}
+
+/// A full chain assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Loads in pipeline order; runs must tile the chain contiguously.
+    pub loads: Vec<TileLoad>,
+}
+
+impl Assignment {
+    /// Everything on one tile.
+    pub fn single_tile(net: &ProcessNetwork) -> Assignment {
+        Assignment {
+            loads: vec![TileLoad::run(0, net.len() - 1)],
+        }
+    }
+
+    /// Checks that the loads exactly tile the chain.
+    pub fn validate(&self, net: &ProcessNetwork) -> Result<(), String> {
+        let mut next = 0usize;
+        for (i, l) in self.loads.iter().enumerate() {
+            if l.first != next {
+                return Err(format!("load {i} starts at {} expected {next}", l.first));
+            }
+            if l.last < l.first {
+                return Err(format!("load {i} has inverted range"));
+            }
+            if l.instances == 0 {
+                return Err(format!("load {i} has zero instances"));
+            }
+            if l.instances > 1 && !l.is_single() {
+                return Err(format!(
+                    "load {i} replicates a multi-process run (unsupported by the fabric model)"
+                ));
+            }
+            if l.instances > 1 && !net.splittable[l.first] {
+                return Err(format!(
+                    "load {i} replicates non-splittable process {}",
+                    net.processes[l.first].name
+                ));
+            }
+            next = l.last + 1;
+        }
+        if next != net.len() {
+            return Err(format!("loads cover {next} of {} processes", net.len()));
+        }
+        Ok(())
+    }
+
+    /// Total tiles consumed (instances included).
+    pub fn tiles(&self) -> usize {
+        self.loads.iter().map(|l| l.instances).sum()
+    }
+}
+
+/// Evaluated steady-state metrics of an assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineMetrics {
+    /// Per-load unit time, ns (single instance).
+    pub unit_times_ns: Vec<f64>,
+    /// Per-load effective pipeline contribution, ns (`unit/instances`).
+    pub effective_ns: Vec<f64>,
+    /// Pipeline interval, ns (one work unit completes per interval).
+    pub interval_ns: f64,
+    /// Whether any tile re-loads programs at runtime.
+    pub needs_reconfig: bool,
+    /// Average tile utilization in steady state (0..=1).
+    pub utilization: f64,
+    /// Tiles used.
+    pub tiles: usize,
+}
+
+impl PipelineMetrics {
+    /// Work units per second.
+    pub fn units_per_sec(&self) -> f64 {
+        1e9 / self.interval_ns
+    }
+
+    /// Images per second for `blocks_per_image` work units per image.
+    pub fn images_per_sec(&self, blocks_per_image: usize) -> f64 {
+        self.units_per_sec() / blocks_per_image as f64
+    }
+
+    /// Time to process one image of `blocks_per_image` units, ns.
+    pub fn image_time_ns(&self, blocks_per_image: usize) -> f64 {
+        self.interval_ns * blocks_per_image as f64
+    }
+}
+
+/// Unit time of one load on one tile: process runtimes plus per-unit
+/// reconfiguration when the run's instructions exceed the instruction
+/// memory (a single-process tile is always *pinned* — label `(f)` in the
+/// paper's Table 4 — and never reloads).
+pub fn load_unit_time_ns(net: &ProcessNetwork, load: &TileLoad, cost: &CostModel) -> f64 {
+    let procs = &net.processes[load.first..=load.last];
+    let run_cycles: u64 = procs.iter().map(|p| p.runtime_cycles).sum();
+    let mut t = cost.exec_ns(run_cycles);
+    let total_insts: usize = procs.iter().map(|p| p.insts).sum();
+    if total_insts > INSTR_SLOTS {
+        // Time-multiplexed tile: every work unit re-streams the programs
+        // and re-initializes each process's data3 words over the ICAP.
+        let insts: usize = procs.iter().map(|p| p.insts).sum();
+        let data3: usize = procs.iter().map(|p| p.data3).sum();
+        t += cost.instr_reload_ns(insts) + cost.data_reload_ns(data3);
+    }
+    t
+}
+
+/// True when the load needs runtime program reloads.
+pub fn load_needs_reconfig(net: &ProcessNetwork, load: &TileLoad) -> bool {
+    net.processes[load.first..=load.last]
+        .iter()
+        .map(|p| p.insts)
+        .sum::<usize>()
+        > INSTR_SLOTS
+}
+
+/// Evaluates the steady-state pipeline metrics of an assignment.
+pub fn evaluate(net: &ProcessNetwork, asg: &Assignment, cost: &CostModel) -> PipelineMetrics {
+    debug_assert!(asg.validate(net).is_ok());
+    let unit_times_ns: Vec<f64> = asg
+        .loads
+        .iter()
+        .map(|l| load_unit_time_ns(net, l, cost))
+        .collect();
+    let effective_ns: Vec<f64> = asg
+        .loads
+        .iter()
+        .zip(&unit_times_ns)
+        .map(|(l, &t)| t / l.instances as f64)
+        .collect();
+    let interval_ns = effective_ns.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-9);
+    let needs_reconfig = asg.loads.iter().any(|l| load_needs_reconfig(net, l));
+    // A load replicated k times keeps each of its k tiles busy
+    // `unit/(k*interval)` of the time, so the load's total busy time per
+    // interval is its full unit time.
+    let busy: f64 = unit_times_ns.iter().sum();
+    let tiles = asg.tiles();
+    let utilization = busy / (tiles as f64 * interval_ns);
+    PipelineMetrics {
+        unit_times_ns,
+        effective_ns,
+        interval_ns,
+        needs_reconfig,
+        utilization,
+        tiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessSpec;
+
+    fn net() -> ProcessNetwork {
+        ProcessNetwork::new(vec![
+            ProcessSpec::new("a", 100, 0, 0, 0, 400),  // 1000ns
+            ProcessSpec::new("b", 100, 0, 0, 0, 1200), // 3000ns
+            ProcessSpec::new("c", 100, 0, 0, 0, 400),  // 1000ns
+        ])
+    }
+
+    #[test]
+    fn single_tile_time_includes_reloads_only_when_needed() {
+        let n = net();
+        let cost = CostModel::default();
+        let asg = Assignment::single_tile(&n);
+        asg.validate(&n).unwrap();
+        let m = evaluate(&n, &asg, &cost);
+        // 300 insts total <= 512: pinned, no reconfig.
+        assert!(!m.needs_reconfig);
+        assert!((m.interval_ns - 5000.0).abs() < 1e-9);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_tile_pays_reload() {
+        let mut n = net();
+        n.processes[0].insts = 300;
+        n.processes[1].insts = 300; // total 700 > 512
+        n.processes[1].data3 = 10;
+        let cost = CostModel::default();
+        let asg = Assignment::single_tile(&n);
+        let m = evaluate(&n, &asg, &cost);
+        assert!(m.needs_reconfig);
+        let expect = 5000.0 + cost.instr_reload_ns(700) + cost.data_reload_ns(10);
+        assert!((m.interval_ns - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipeline_interval_is_bottleneck() {
+        let n = net();
+        let cost = CostModel::default();
+        let asg = Assignment {
+            loads: vec![
+                TileLoad::run(0, 0),
+                TileLoad::run(1, 1),
+                TileLoad::run(2, 2),
+            ],
+        };
+        let m = evaluate(&n, &asg, &cost);
+        assert!((m.interval_ns - 3000.0).abs() < 1e-9);
+        // utilization = (1000+3000+1000)/(3*3000)
+        assert!((m.utilization - 5000.0 / 9000.0).abs() < 1e-12);
+        assert!((m.units_per_sec() - 1e9 / 3000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn replication_divides_bottleneck() {
+        let n = net();
+        let cost = CostModel::default();
+        let asg = Assignment {
+            loads: vec![
+                TileLoad::run(0, 0),
+                TileLoad {
+                    first: 1,
+                    last: 1,
+                    instances: 3,
+                },
+                TileLoad::run(2, 2),
+            ],
+        };
+        let m = evaluate(&n, &asg, &cost);
+        assert_eq!(m.tiles, 5);
+        assert!((m.interval_ns - 1000.0).abs() < 1e-9);
+        // Perfectly balanced: all five tiles fully busy.
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_gaps_and_bad_replication() {
+        let n = net();
+        let bad = Assignment {
+            loads: vec![TileLoad::run(0, 0), TileLoad::run(2, 2)],
+        };
+        assert!(bad.validate(&n).is_err());
+        let multi = Assignment {
+            loads: vec![TileLoad {
+                first: 0,
+                last: 2,
+                instances: 2,
+            }],
+        };
+        assert!(multi.validate(&n).is_err());
+        let mut non_split = net();
+        non_split.splittable[1] = false;
+        let rep = Assignment {
+            loads: vec![
+                TileLoad::run(0, 0),
+                TileLoad {
+                    first: 1,
+                    last: 1,
+                    instances: 2,
+                },
+                TileLoad::run(2, 2),
+            ],
+        };
+        assert!(rep.validate(&non_split).is_err());
+        assert!(rep.validate(&net()).is_ok());
+    }
+
+    #[test]
+    fn images_per_sec_scaling() {
+        let n = net();
+        let m = evaluate(&n, &Assignment::single_tile(&n), &CostModel::default());
+        let per_unit = m.units_per_sec();
+        assert!((m.images_per_sec(800) - per_unit / 800.0).abs() < 1e-9);
+    }
+}

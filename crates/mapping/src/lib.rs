@@ -1,0 +1,27 @@
+//! # cgra-map
+//!
+//! Mapping process networks onto the tile array:
+//!
+//! * [`process`] — annotated sequential processes and pipelines,
+//! * [`assign`] — tile assignments (contiguous runs + replication) and the
+//!   steady-state throughput/utilization evaluator,
+//! * [`rebalance`] — the paper's reBalanceOne / reBalanceTwo / reBalanceOPT
+//!   algorithms (Sec. 3.5),
+//! * [`placement`] — serpentine physical placement and link algebra,
+//! * [`routing`] — multi-hop copy planning for non-neighbour transfers
+//!   (Eq. 1 term C),
+//! * [`anneal`] — simulated-annealing placement over epoch sequences
+//!   (minimizing Eq. 1 terms B and C).
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod assign;
+pub mod placement;
+pub mod process;
+pub mod rebalance;
+pub mod routing;
+
+pub use assign::{evaluate, Assignment, PipelineMetrics, TileLoad};
+pub use process::{ProcessNetwork, ProcessSpec};
+pub use rebalance::{rebalance_one, rebalance_opt, rebalance_two};

@@ -1,0 +1,136 @@
+//! Physical placement of tile loads onto the mesh (Eq. 1 terms B and C).
+//!
+//! The pipeline evaluator is placement-agnostic; this module decides which
+//! physical tile hosts which load so that (a) consecutive pipeline stages
+//! are mesh neighbours (hcp needs no multi-hop copies) and (b) switching
+//! between epoch link configurations re-routes as few links as possible.
+
+use crate::assign::Assignment;
+use cgra_fabric::{Direction, FabricError, LinkConfig, Mesh, TileId};
+
+/// A physical placement: pipeline position -> tile id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `order[i]` is the tile hosting pipeline position `i`.
+    pub order: Vec<TileId>,
+}
+
+/// Places a linear pipeline of `n` stages on the mesh in serpentine
+/// (boustrophedon) order, which makes every consecutive pair of stages
+/// mesh neighbours.
+pub fn serpentine(mesh: &Mesh, n: usize) -> Result<Placement, FabricError> {
+    if n > mesh.tiles() {
+        return Err(FabricError::UnknownTile { tile: n - 1 });
+    }
+    let mut order = Vec::with_capacity(n);
+    'outer: for r in 0..mesh.rows() {
+        let cols: Vec<usize> = if r % 2 == 0 {
+            (0..mesh.cols()).collect()
+        } else {
+            (0..mesh.cols()).rev().collect()
+        };
+        for c in cols {
+            if order.len() == n {
+                break 'outer;
+            }
+            order.push(mesh.id(r, c)?);
+        }
+    }
+    Ok(Placement { order })
+}
+
+/// The link configuration realizing a placed pipeline: each stage's tile
+/// drives its single outgoing link toward the next stage's tile.
+pub fn pipeline_links(mesh: &Mesh, p: &Placement) -> Result<LinkConfig, FabricError> {
+    let mut cfg = mesh.disconnected();
+    for w in p.order.windows(2) {
+        let dir = direction_between(mesh, w[0], w[1])?;
+        cfg.set(w[0], Some(dir));
+    }
+    mesh.validate_links(&cfg)?;
+    Ok(cfg)
+}
+
+/// Direction from tile `a` to adjacent tile `b`.
+pub fn direction_between(mesh: &Mesh, a: TileId, b: TileId) -> Result<Direction, FabricError> {
+    Direction::ALL
+        .into_iter()
+        .find(|&d| mesh.neighbour(a, d) == Some(b))
+        .ok_or(FabricError::NotNeighbours { from: a, to: b })
+}
+
+/// Total Manhattan distance between consecutive stages — the number of
+/// hops `cp` processes must bridge; 0 extra hops for a serpentine
+/// placement of a chain.
+pub fn total_stretch(mesh: &Mesh, p: &Placement) -> Result<usize, FabricError> {
+    let mut extra = 0;
+    for w in p.order.windows(2) {
+        extra += mesh.distance(w[0], w[1])? - 1;
+    }
+    Ok(extra)
+}
+
+/// Link reconfigurations needed to switch between the epoch configurations
+/// of two placed pipelines (Eq. 1 term B).
+pub fn epoch_link_delta(mesh: &Mesh, a: &Placement, b: &Placement) -> Result<usize, FabricError> {
+    Ok(pipeline_links(mesh, a)?.delta(&pipeline_links(mesh, b)?))
+}
+
+/// Number of physical tiles an assignment needs (loads + replicas).
+pub fn tiles_needed(asg: &Assignment) -> usize {
+    asg.tiles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serpentine_is_all_neighbours() {
+        let mesh = Mesh::new(4, 5);
+        let p = serpentine(&mesh, 17).unwrap();
+        assert_eq!(p.order.len(), 17);
+        assert_eq!(total_stretch(&mesh, &p).unwrap(), 0);
+        // All distinct tiles.
+        let mut seen = p.order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 17);
+    }
+
+    #[test]
+    fn serpentine_rejects_oversubscription() {
+        let mesh = Mesh::new(2, 2);
+        assert!(serpentine(&mesh, 5).is_err());
+        assert!(serpentine(&mesh, 4).is_ok());
+    }
+
+    #[test]
+    fn pipeline_links_point_at_next_stage() {
+        let mesh = Mesh::new(2, 3);
+        let p = serpentine(&mesh, 6).unwrap();
+        let cfg = pipeline_links(&mesh, &p).unwrap();
+        assert_eq!(cfg.active_links(), 5);
+        // First tile (0,0) points East toward (0,1).
+        assert_eq!(cfg.get(0), Some(Direction::East));
+        // Tile (0,2) points South (serpentine turn).
+        assert_eq!(cfg.get(2), Some(Direction::South));
+    }
+
+    #[test]
+    fn identical_epochs_need_no_relink() {
+        let mesh = Mesh::new(3, 3);
+        let p = serpentine(&mesh, 9).unwrap();
+        assert_eq!(epoch_link_delta(&mesh, &p, &p).unwrap(), 0);
+    }
+
+    #[test]
+    fn shorter_pipeline_fewer_links() {
+        let mesh = Mesh::new(3, 3);
+        let long = serpentine(&mesh, 9).unwrap();
+        let short = serpentine(&mesh, 4).unwrap();
+        let delta = epoch_link_delta(&mesh, &long, &short).unwrap();
+        // Tiles 4..8 lose their links (tile 3's target stays tile 4).
+        assert_eq!(delta, 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! The application model: a pipeline of annotated sequential processes.
+//!
+//! The paper models an application as interacting sequential processes
+//! `{p1..pk}` mapped onto compute grains. Each process is annotated with
+//! the Table 3 parameters: instruction count, three classes of data-memory
+//! words, and a per-work-unit runtime in cycles:
+//!
+//! * `data1` — fixed data loaded once (quant tables, cosine bases),
+//! * `data2` — temporaries (live only inside one execution),
+//! * `data3` — words that must be re-initialized every time the process is
+//!   re-instantiated on a tile (the per-epoch reconfiguration payload).
+
+use serde::{Deserialize, Serialize};
+
+/// One annotated process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// Short name (`shift`, `DCT`, `Hman1`, ...).
+    pub name: String,
+    /// Instruction-memory footprint.
+    pub insts: usize,
+    /// Fixed data words, loaded once.
+    pub data1: usize,
+    /// Temporary data words.
+    pub data2: usize,
+    /// Data words re-initialized on every re-instantiation.
+    pub data3: usize,
+    /// Runtime per work unit (an 8x8 block for JPEG), in cycles.
+    pub runtime_cycles: u64,
+}
+
+impl ProcessSpec {
+    /// Builds a spec.
+    pub fn new(
+        name: impl Into<String>,
+        insts: usize,
+        data1: usize,
+        data2: usize,
+        data3: usize,
+        runtime_cycles: u64,
+    ) -> ProcessSpec {
+        ProcessSpec {
+            name: name.into(),
+            insts,
+            data1,
+            data2,
+            data3,
+            runtime_cycles,
+        }
+    }
+
+    /// Total data-memory words the process touches.
+    pub fn data_words(&self) -> usize {
+        self.data1 + self.data2 + self.data3
+    }
+}
+
+/// An ordered pipeline of processes (the paper's process networks for both
+/// kernels are linear chains; helper/copy processes are inserted in-line).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessNetwork {
+    /// Pipeline stages in dataflow order.
+    pub processes: Vec<ProcessSpec>,
+    /// A process marked splittable can be *replicated* onto several tiles
+    /// working round-robin on work units (the paper duplicates `DCT`).
+    pub splittable: Vec<bool>,
+}
+
+impl ProcessNetwork {
+    /// Builds a network where every process may be replicated.
+    pub fn new(processes: Vec<ProcessSpec>) -> ProcessNetwork {
+        let n = processes.len();
+        ProcessNetwork {
+            processes,
+            splittable: vec![true; n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True for an empty network.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Total runtime of all processes, cycles per work unit.
+    pub fn total_cycles(&self) -> u64 {
+        self.processes.iter().map(|p| p.runtime_cycles).sum()
+    }
+
+    /// Index of the process with the largest runtime.
+    pub fn heaviest(&self) -> usize {
+        self.processes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.runtime_cycles)
+            .map(|(i, _)| i)
+            .expect("non-empty network")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> ProcessNetwork {
+        ProcessNetwork::new(vec![
+            ProcessSpec::new("a", 10, 0, 0, 2, 100),
+            ProcessSpec::new("b", 20, 5, 1, 3, 500),
+            ProcessSpec::new("c", 30, 0, 2, 4, 200),
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let n = net();
+        assert_eq!(n.total_cycles(), 800);
+        assert_eq!(n.heaviest(), 1);
+        assert_eq!(n.processes[1].data_words(), 9);
+        assert_eq!(n.len(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-hop copy routing (Eq. 1 term C).
+//!
+//! "The data generated at non neighbour tiles is brought to the tile's
+//! memory using explicit copy instructions and changing connectivity if
+//! required." A transfer between tiles that are not mesh neighbours is
+//! realized as a chain of single-hop `cp` epochs: at each hop the current
+//! holder drives its one outgoing link toward the next tile on an
+//! L-shaped (row-first) path and re-copies the block.
+
+use cgra_fabric::{CostModel, Direction, FabricError, LinkConfig, Mesh, TileId};
+use serde::{Deserialize, Serialize};
+
+/// One hop of a route: `from` drives its link in `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    /// Sending tile.
+    pub from: TileId,
+    /// Link direction.
+    pub dir: Direction,
+    /// Receiving tile.
+    pub to: TileId,
+}
+
+/// A planned multi-hop transfer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The hops, in order.
+    pub hops: Vec<Hop>,
+}
+
+impl Route {
+    /// Number of hops (0 when source == destination).
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the degenerate same-tile route.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The link configuration of hop `i` (only the sender's link active).
+    pub fn link_config(&self, mesh: &Mesh, i: usize) -> LinkConfig {
+        let mut cfg = mesh.disconnected();
+        cfg.set(self.hops[i].from, Some(self.hops[i].dir));
+        cfg
+    }
+
+    /// Total copy time: every hop re-copies the block (`hop_copy_ns`), and
+    /// every hop whose link differs from the *previous* epoch's
+    /// configuration pays one link reconfiguration. This is the Eq. 1
+    /// term C contribution of the transfer.
+    pub fn cost_ns(&self, cost: &CostModel, hop_copy_ns: f64) -> f64 {
+        self.hops.len() as f64 * (hop_copy_ns + cost.link_reconfig_ns)
+    }
+}
+
+/// Plans the row-first (L-shaped) route from `src` to `dst`.
+pub fn plan_route(mesh: &Mesh, src: TileId, dst: TileId) -> Result<Route, FabricError> {
+    let (sr, sc) = mesh.coords(src)?;
+    let (dr, dc) = mesh.coords(dst)?;
+    let mut hops = Vec::new();
+    let mut cur = src;
+    let (mut r, mut c) = (sr, sc);
+    while c != dc {
+        let dir = if dc > c {
+            Direction::East
+        } else {
+            Direction::West
+        };
+        let next = mesh.neighbour(cur, dir).expect("in-mesh step");
+        hops.push(Hop {
+            from: cur,
+            dir,
+            to: next,
+        });
+        cur = next;
+        c = if dc > c { c + 1 } else { c - 1 };
+    }
+    while r != dr {
+        let dir = if dr > r {
+            Direction::South
+        } else {
+            Direction::North
+        };
+        let next = mesh.neighbour(cur, dir).expect("in-mesh step");
+        hops.push(Hop {
+            from: cur,
+            dir,
+            to: next,
+        });
+        cur = next;
+        r = if dr > r { r + 1 } else { r - 1 };
+    }
+    Ok(Route { hops })
+}
+
+/// Total term-C cost of a set of transfers under a placement (pipeline
+/// position -> tile), where `transfers` are `(producer_pos, consumer_pos,
+/// copy_ns_per_hop)` triples.
+pub fn placement_copy_cost(
+    mesh: &Mesh,
+    order: &[TileId],
+    transfers: &[(usize, usize, f64)],
+    cost: &CostModel,
+) -> Result<f64, FabricError> {
+    let mut total = 0.0;
+    for &(p, q, copy_ns) in transfers {
+        let route = plan_route(mesh, order[p], order[q])?;
+        total += route.cost_ns(cost, copy_ns);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbour_route_is_one_hop() {
+        let mesh = Mesh::new(3, 3);
+        let route = plan_route(&mesh, 0, 1).unwrap();
+        assert_eq!(route.len(), 1);
+        assert_eq!(route.hops[0].dir, Direction::East);
+        assert_eq!(route.hops[0].to, 1);
+    }
+
+    #[test]
+    fn same_tile_route_is_empty() {
+        let mesh = Mesh::new(2, 2);
+        assert!(plan_route(&mesh, 3, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn l_shaped_route_has_manhattan_hops() {
+        let mesh = Mesh::new(4, 5);
+        let src = mesh.id(0, 0).unwrap();
+        let dst = mesh.id(3, 4).unwrap();
+        let route = plan_route(&mesh, src, dst).unwrap();
+        assert_eq!(route.len(), mesh.distance(src, dst).unwrap());
+        // Row-first: the first 4 hops go east, the last 3 south.
+        assert!(route.hops[..4].iter().all(|h| h.dir == Direction::East));
+        assert!(route.hops[4..].iter().all(|h| h.dir == Direction::South));
+        // Hops chain correctly.
+        for w in route.hops.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(route.hops.last().unwrap().to, dst);
+    }
+
+    #[test]
+    fn route_cost_scales_with_hops_and_link_price() {
+        let mesh = Mesh::new(3, 3);
+        let cost = CostModel::with_link_cost(200.0);
+        let one = plan_route(&mesh, 0, 1).unwrap();
+        let far = plan_route(&mesh, 0, 8).unwrap();
+        assert!((one.cost_ns(&cost, 500.0) - 700.0).abs() < 1e-9);
+        assert!((far.cost_ns(&cost, 500.0) - 4.0 * 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_configs_activate_only_the_sender() {
+        let mesh = Mesh::new(2, 3);
+        let route = plan_route(&mesh, 0, 5).unwrap();
+        for i in 0..route.len() {
+            let cfg = route.link_config(&mesh, i);
+            assert_eq!(cfg.active_links(), 1);
+            assert_eq!(cfg.get(route.hops[i].from), Some(route.hops[i].dir));
+            assert!(mesh.validate_links(&cfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn placement_cost_prefers_adjacent_stages() {
+        let mesh = Mesh::new(2, 2);
+        let cost = CostModel::with_link_cost(100.0);
+        let transfers = [(0usize, 1usize, 300.0)];
+        let adjacent = placement_copy_cost(&mesh, &[0, 1], &transfers, &cost).unwrap();
+        let diagonal = placement_copy_cost(&mesh, &[0, 3], &transfers, &cost).unwrap();
+        assert!(adjacent < diagonal);
+        assert!((adjacent - 400.0).abs() < 1e-9);
+        assert!((diagonal - 800.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,292 @@
+//! Cycle-driven simulation of the tile array.
+//!
+//! The array is synchronous: every active tile retires one instruction per
+//! cycle. Remote writes travel over the writer's single active outgoing
+//! link and land in the neighbour's data memory at the end of the cycle
+//! (semi-systolic shared-memory communication).
+
+use cgra_fabric::{FabricError, LinkConfig, Mesh, Tile, TileId, Word};
+use cgra_isa::{step, ExecError, PeState, StepEffect};
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A PE faulted.
+    Exec {
+        /// Faulting tile.
+        tile: TileId,
+        /// Underlying error.
+        err: ExecError,
+    },
+    /// A remote write was issued with no active outgoing link.
+    UnroutedWrite {
+        /// Offending tile.
+        tile: TileId,
+    },
+    /// Fabric-level error (bad link config, unknown tile...).
+    Fabric(FabricError),
+    /// A partial bitstream failed to parse.
+    Bitstream(String),
+    /// The cycle budget elapsed before the array quiesced.
+    Deadline {
+        /// Budget that elapsed.
+        budget: u64,
+    },
+}
+
+impl From<FabricError> for SimError {
+    fn from(e: FabricError) -> Self {
+        SimError::Fabric(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec { tile, err } => write!(f, "tile {tile}: {err}"),
+            SimError::UnroutedWrite { tile } => {
+                write!(f, "tile {tile} wrote remotely with no active link")
+            }
+            SimError::Fabric(e) => write!(f, "fabric: {e}"),
+            SimError::Bitstream(e) => write!(f, "bitstream: {e}"),
+            SimError::Deadline { budget } => {
+                write!(f, "array did not quiesce within {budget} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-tile activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Cycles spent executing instructions.
+    pub busy_cycles: u64,
+    /// Cycles spent stalled for partial reconfiguration.
+    pub reconfig_cycles: u64,
+    /// Remote words this tile sent.
+    pub words_sent: u64,
+}
+
+/// The simulated array: mesh + per-tile hardware and PE state.
+#[derive(Debug)]
+pub struct ArraySim {
+    /// Topology.
+    pub mesh: Mesh,
+    /// Tile hardware (memories).
+    pub tiles: Vec<Tile>,
+    /// PE architectural state.
+    pub states: Vec<PeState>,
+    /// Current interconnect configuration.
+    pub links: LinkConfig,
+    /// Per-tile reconfiguration stall counters (cycles remaining).
+    stall: Vec<u64>,
+    /// Per-tile activity counters.
+    pub stats: Vec<TileStats>,
+    /// Global cycle counter.
+    pub now: u64,
+}
+
+impl ArraySim {
+    /// Builds an idle array on `mesh` with halted PEs and empty memories.
+    pub fn new(mesh: Mesh) -> ArraySim {
+        let n = mesh.tiles();
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut st = PeState::new();
+            st.halted = true; // idle until a program is loaded
+            states.push(st);
+        }
+        ArraySim {
+            mesh,
+            tiles: (0..n).map(Tile::new).collect(),
+            states,
+            links: LinkConfig::disconnected(n),
+            stall: vec![0; n],
+            stats: vec![TileStats::default(); n],
+            now: 0,
+        }
+    }
+
+    /// Replaces the interconnect configuration (validated against the mesh).
+    pub fn set_links(&mut self, links: LinkConfig) -> Result<(), SimError> {
+        self.mesh.validate_links(&links)?;
+        self.links = links;
+        Ok(())
+    }
+
+    /// Loads a program onto tile `t` and arms its PE at pc 0.
+    pub fn load_program(&mut self, t: TileId, image: &[u128]) -> Result<(), SimError> {
+        let tile = self
+            .tiles
+            .get_mut(t)
+            .ok_or(FabricError::UnknownTile { tile: t })?;
+        tile.load_program(image)?;
+        self.states[t].soft_reset();
+        Ok(())
+    }
+
+    /// Stalls tile `t` for `cycles` (partial reconfiguration in progress);
+    /// the rest of the array keeps computing.
+    pub fn stall_tile(&mut self, t: TileId, cycles: u64) {
+        self.stall[t] = self.stall[t].max(cycles);
+    }
+
+    /// True when every PE is halted and no reconfiguration is in flight.
+    pub fn quiesced(&self) -> bool {
+        self.states.iter().all(|s| s.halted) && self.stall.iter().all(|&s| s == 0)
+    }
+
+    /// Advances the whole array by one cycle.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        self.now += 1;
+        let mut writes: Vec<(TileId, usize, Word)> = Vec::new();
+        for t in 0..self.tiles.len() {
+            if self.stall[t] > 0 {
+                self.stall[t] -= 1;
+                self.stats[t].reconfig_cycles += 1;
+                continue;
+            }
+            if self.states[t].halted {
+                continue;
+            }
+            let effect = step(&mut self.tiles[t], &mut self.states[t])
+                .map_err(|err| SimError::Exec { tile: t, err })?;
+            self.stats[t].busy_cycles += 1;
+            if let StepEffect::RemoteWrite { addr, value } = effect {
+                let dir = self
+                    .links
+                    .get(t)
+                    .ok_or(SimError::UnroutedWrite { tile: t })?;
+                let dst = self
+                    .mesh
+                    .neighbour(t, dir)
+                    .ok_or(FabricError::NotNeighbours { from: t, to: t })?;
+                self.stats[t].words_sent += 1;
+                writes.push((dst, addr, value));
+            }
+        }
+        // Remote writes land at the end of the cycle.
+        for (dst, addr, value) in writes {
+            self.tiles[dst].dmem.poke(addr, value)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until the array quiesces, up to `budget` cycles.
+    pub fn run_until_quiesced(&mut self, budget: u64) -> Result<u64, SimError> {
+        let start = self.now;
+        while !self.quiesced() {
+            if self.now - start >= budget {
+                return Err(SimError::Deadline { budget });
+            }
+            self.step_cycle()?;
+        }
+        Ok(self.now - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_fabric::Direction;
+    use cgra_isa::ops::{at_off, d, rem_off};
+    use cgra_isa::{encode_program, ProgramBuilder};
+
+    fn copy_prog(src: u16, dst: u16, n: i32) -> Vec<u128> {
+        let mut p = ProgramBuilder::new();
+        p.ldar(0, src);
+        p.ldar(1, dst);
+        p.ldi(d(500), n);
+        let l = p.here_label();
+        p.mov(rem_off(1, 0), at_off(0, 0));
+        p.adar(0, 1);
+        p.adar(1, 1);
+        p.djnz(d(500), l);
+        p.halt();
+        encode_program(&p.build().unwrap())
+    }
+
+    #[test]
+    fn producer_ships_block_to_consumer() {
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        sim.set_links(mesh.disconnected().with(0, Direction::East))
+            .unwrap();
+        for i in 0..8 {
+            sim.tiles[0]
+                .dmem
+                .poke(i, Word::wrap(100 + i as i64))
+                .unwrap();
+        }
+        sim.load_program(0, &copy_prog(0, 64, 8)).unwrap();
+        let cycles = sim.run_until_quiesced(10_000).unwrap();
+        for i in 0..8 {
+            assert_eq!(
+                sim.tiles[1].dmem.peek(64 + i).unwrap().value(),
+                100 + i as i64
+            );
+        }
+        assert_eq!(sim.stats[0].words_sent, 8);
+        assert!(cycles > 8);
+        assert_eq!(sim.stats[1].busy_cycles, 0);
+    }
+
+    #[test]
+    fn unrouted_write_faults() {
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        sim.load_program(0, &copy_prog(0, 0, 1)).unwrap();
+        assert!(matches!(
+            sim.run_until_quiesced(100),
+            Err(SimError::UnroutedWrite { tile: 0 })
+        ));
+    }
+
+    #[test]
+    fn stalled_tile_does_not_execute_but_others_do() {
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        // Both tiles count to 100.
+        let count = |_: u16| {
+            let mut p = ProgramBuilder::new();
+            p.ldi(d(0), 100);
+            let l = p.here_label();
+            p.djnz(d(0), l);
+            p.halt();
+            encode_program(&p.build().unwrap())
+        };
+        sim.load_program(0, &count(0)).unwrap();
+        sim.load_program(1, &count(1)).unwrap();
+        sim.stall_tile(0, 50);
+        sim.run_until_quiesced(10_000).unwrap();
+        assert_eq!(sim.stats[0].reconfig_cycles, 50);
+        // Tile 1 overlapped the reconfiguration: same busy cycles, no stall.
+        assert_eq!(sim.stats[1].reconfig_cycles, 0);
+        assert_eq!(sim.stats[0].busy_cycles, sim.stats[1].busy_cycles);
+    }
+
+    #[test]
+    fn deadline_detected() {
+        let mesh = Mesh::new(1, 1);
+        let mut sim = ArraySim::new(mesh);
+        let mut p = ProgramBuilder::new();
+        let l = p.here_label();
+        p.jmp(l);
+        sim.load_program(0, &encode_program(&p.build().unwrap()))
+            .unwrap();
+        assert!(matches!(
+            sim.run_until_quiesced(100),
+            Err(SimError::Deadline { budget: 100 })
+        ));
+    }
+
+    #[test]
+    fn bad_link_config_rejected() {
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        let bad = mesh.disconnected().with(0, Direction::North);
+        assert!(sim.set_links(bad).is_err());
+    }
+}

@@ -1,0 +1,466 @@
+//! Epoch schedules and Eq. 1 accounting.
+//!
+//! An application runs as a sequence of **epochs**: each has its own link
+//! configuration `C_i` and per-tile programs. Switching from `C_i` to
+//! `C_j` costs `tau_ij` (proportional to the changed links, plus the ICAP
+//! time for memory rewrites); because the reconfiguration is partial, only
+//! rewritten tiles stall — the rest keep computing through the switch.
+//!
+//! The runner produces the paper's Eq. 1 decomposition:
+//!
+//! ```text
+//! Runtime = sum_i T_i  +  sum_ij tau_ij  +  sum T_copy
+//!           (A: epochs)   (B: reconfig)    (C: data copies)
+//! ```
+
+use crate::engine::{ArraySim, SimError};
+use crate::trace::{EpochTrace, TileActivity, Trace};
+use cgra_fabric::bitstream::{self, ParsedBitstream};
+use cgra_fabric::{CostModel, DataPatch, LinkConfig, ReconfigPlan, TileId, TileReconfig};
+use cgra_isa::encode_program;
+use cgra_isa::Instr;
+
+/// Reconfiguration payload for one tile in an epoch.
+#[derive(Debug, Clone, Default)]
+pub struct TileSetup {
+    /// New program (assembled instructions), if the tile's code changes.
+    pub program: Option<Vec<Instr>>,
+    /// Data words rewritten during the switch (twiddles, copy variables).
+    pub data_patches: Vec<DataPatch>,
+}
+
+/// One epoch: interconnect + the tiles it reconfigures.
+#[derive(Debug, Clone, Default)]
+pub struct Epoch {
+    /// Human-readable name for traces.
+    pub name: String,
+    /// Interconnect for this epoch.
+    pub links: LinkConfig,
+    /// Per-tile reconfiguration payloads.
+    pub setups: Vec<(TileId, TileSetup)>,
+    /// Cycle budget for the epoch's computation.
+    pub budget: u64,
+}
+
+/// Eq. 1 accounting for one executed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch name.
+    pub name: String,
+    /// Computation time (term A contribution), ns.
+    pub compute_ns: f64,
+    /// Reconfiguration time for the switch into this epoch (term B + the
+    /// memory-rewrite part), ns.
+    pub reconfig_ns: f64,
+    /// How much of the reconfiguration overlapped computation that was
+    /// still running on untouched tiles, ns (informational).
+    pub links_changed: usize,
+    /// Words copied across tiles during the epoch (term C traffic).
+    pub words_copied: u64,
+}
+
+/// Whole-run accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-epoch breakdown.
+    pub epochs: Vec<EpochReport>,
+}
+
+impl RunReport {
+    /// Term A: total compute, ns.
+    pub fn total_compute_ns(&self) -> f64 {
+        self.epochs.iter().map(|e| e.compute_ns).sum()
+    }
+
+    /// Term B: total reconfiguration, ns.
+    pub fn total_reconfig_ns(&self) -> f64 {
+        self.epochs.iter().map(|e| e.reconfig_ns).sum()
+    }
+
+    /// Eq. 1 total, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.total_compute_ns() + self.total_reconfig_ns()
+    }
+}
+
+/// Runs epochs on an array, applying partial reconfiguration between them.
+#[derive(Debug)]
+pub struct EpochRunner {
+    /// The simulated array.
+    pub sim: ArraySim,
+    /// The cost model used for reconfiguration stalls.
+    pub cost: CostModel,
+    /// Per-tile activity trace, one entry per executed epoch.
+    pub trace: Trace,
+    prev_links: LinkConfig,
+}
+
+impl EpochRunner {
+    /// Wraps an array.
+    pub fn new(sim: ArraySim, cost: CostModel) -> EpochRunner {
+        let prev_links = sim.links.clone();
+        EpochRunner {
+            sim,
+            cost,
+            trace: Trace::default(),
+            prev_links,
+        }
+    }
+
+    /// Records one epoch's per-tile activity into the trace.
+    fn record(&mut self, name: &str, start: u64, before: &[crate::engine::TileStats]) {
+        let tiles = self
+            .sim
+            .stats
+            .iter()
+            .zip(before)
+            .map(|(now, then)| TileActivity {
+                busy: now.busy_cycles - then.busy_cycles,
+                stalled: now.reconfig_cycles - then.reconfig_cycles,
+            })
+            .collect();
+        self.trace.epochs.push(EpochTrace {
+            name: name.to_string(),
+            start,
+            end: self.sim.now,
+            tiles,
+        });
+    }
+
+    /// Applies an epoch's reconfiguration and runs it to quiescence.
+    pub fn run_epoch(&mut self, epoch: &Epoch) -> Result<EpochReport, SimError> {
+        // Build the reconfiguration plan.
+        let mut plan = ReconfigPlan::from_link_change(&self.prev_links, &epoch.links);
+        for (t, setup) in &epoch.setups {
+            plan.add_tile(
+                *t,
+                TileReconfig {
+                    program: setup.program.as_ref().map(|p| encode_program(p)),
+                    data_patches: setup.data_patches.clone(),
+                },
+            );
+        }
+        let reconfig_ns = plan.total_ns(&self.cost);
+        let stall_cycles = (reconfig_ns / self.cost.cycle_ns()).ceil() as u64;
+
+        // Apply the rewrites, stalling only the touched tiles (overlap!).
+        for (t, setup) in &epoch.setups {
+            if let Some(prog) = &setup.program {
+                self.sim.load_program(*t, &encode_program(prog))?;
+            }
+            for patch in &setup.data_patches {
+                self.sim.tiles[*t].dmem.load(patch.base, &patch.words)?;
+            }
+        }
+        for t in plan.stalled_tiles() {
+            self.sim.stall_tile(t, stall_cycles);
+        }
+        self.sim.set_links(epoch.links.clone())?;
+        self.prev_links = epoch.links.clone();
+
+        let sent_before: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        let stats_before = self.sim.stats.clone();
+        let start = self.sim.now;
+        let cycles = self.sim.run_until_quiesced(epoch.budget)?;
+        self.record(&epoch.name, start, &stats_before);
+        let sent_after: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        Ok(EpochReport {
+            name: epoch.name.clone(),
+            compute_ns: self.cost.exec_ns(cycles.saturating_sub(stall_cycles)),
+            reconfig_ns,
+            links_changed: plan.changed_links,
+            words_copied: sent_after - sent_before,
+        })
+    }
+
+    /// Runs an epoch whose reconfiguration arrives as a serialized partial
+    /// bitstream — the prototype's CompactFlash -> ICAP path. The stream is
+    /// parsed, the rewritten tiles stall for the ICAP time, the link
+    /// settings it carries are applied, and the epoch runs to quiescence.
+    pub fn run_bitstream_epoch(
+        &mut self,
+        name: &str,
+        bytes: &[u8],
+        budget: u64,
+    ) -> Result<EpochReport, SimError> {
+        let parsed: ParsedBitstream =
+            bitstream::parse(bytes).map_err(|e| SimError::Bitstream(e.to_string()))?;
+        // Target links: current config with the stream's settings applied.
+        let mut links = self.sim.links.clone();
+        for (t, d) in &parsed.links {
+            links.set(*t, *d);
+        }
+        let mut plan = parsed.plan.clone();
+        plan.changed_links = self.prev_links.delta(&links);
+        let reconfig_ns = plan.total_ns(&self.cost);
+        let stall_cycles = (reconfig_ns / self.cost.cycle_ns()).ceil() as u64;
+
+        bitstream::apply(&parsed, &mut self.sim.tiles, &mut self.sim.links)
+            .map_err(SimError::Fabric)?;
+        // Re-arm reprogrammed PEs and stall rewritten tiles.
+        for (t, rc) in &parsed.plan.tiles {
+            if rc.program.is_some() {
+                self.sim.states[*t].soft_reset();
+            }
+        }
+        for t in plan.stalled_tiles() {
+            self.sim.stall_tile(t, stall_cycles);
+        }
+        self.sim.set_links(links.clone())?;
+        self.prev_links = links;
+
+        let sent_before: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        let stats_before = self.sim.stats.clone();
+        let start = self.sim.now;
+        let cycles = self.sim.run_until_quiesced(budget)?;
+        self.record(name, start, &stats_before);
+        let sent_after: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        Ok(EpochReport {
+            name: name.to_string(),
+            compute_ns: self.cost.exec_ns(cycles.saturating_sub(stall_cycles)),
+            reconfig_ns,
+            links_changed: plan.changed_links,
+            words_copied: sent_after - sent_before,
+        })
+    }
+
+    /// Runs a whole schedule.
+    pub fn run_schedule(&mut self, epochs: &[Epoch]) -> Result<RunReport, SimError> {
+        let mut report = RunReport::default();
+        for e in epochs {
+            report.epochs.push(self.run_epoch(e)?);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_fabric::{Direction, Mesh, Word};
+    use cgra_isa::ops::{at_off, d, rem_off};
+    use cgra_isa::ProgramBuilder;
+
+    fn copy_prog(src: u16, dst: u16, n: i32) -> Vec<Instr> {
+        let mut p = ProgramBuilder::new();
+        p.ldar(0, src);
+        p.ldar(1, dst);
+        p.ldi(d(500), n);
+        let l = p.here_label();
+        p.mov(rem_off(1, 0), at_off(0, 0));
+        p.adar(0, 1);
+        p.adar(1, 1);
+        p.djnz(d(500), l);
+        p.halt();
+        p.build().unwrap()
+    }
+
+    fn idle_prog() -> Vec<Instr> {
+        let mut p = ProgramBuilder::new();
+        p.halt();
+        p.build().unwrap()
+    }
+
+    #[test]
+    fn two_epoch_ring() {
+        // Epoch 1: tile 0 -> tile 1; epoch 2: tile 1 -> tile 0.
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        for i in 0..4 {
+            sim.tiles[0].dmem.poke(i, Word::wrap(7 + i as i64)).unwrap();
+        }
+        let cost = CostModel::with_link_cost(100.0);
+        let mut runner = EpochRunner::new(sim, cost);
+        let e1 = Epoch {
+            name: "east".into(),
+            links: mesh.disconnected().with(0, Direction::East),
+            setups: vec![
+                (
+                    0,
+                    TileSetup {
+                        program: Some(copy_prog(0, 100, 4)),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    1,
+                    TileSetup {
+                        program: Some(idle_prog()),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 10_000,
+        };
+        let e2 = Epoch {
+            name: "west".into(),
+            links: mesh.disconnected().with(1, Direction::West),
+            setups: vec![
+                (
+                    1,
+                    TileSetup {
+                        program: Some(copy_prog(100, 200, 4)),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    0,
+                    TileSetup {
+                        program: Some(idle_prog()),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 10_000,
+        };
+        let report = runner.run_schedule(&[e1, e2]).unwrap();
+        // Data made the round trip.
+        for i in 0..4 {
+            assert_eq!(
+                runner.sim.tiles[0].dmem.peek(200 + i).unwrap().value(),
+                7 + i as i64
+            );
+        }
+        assert_eq!(report.epochs.len(), 2);
+        // Epoch 1 changed 1 link (none -> east); epoch 2 changed 2.
+        assert_eq!(report.epochs[0].links_changed, 1);
+        assert_eq!(report.epochs[1].links_changed, 2);
+        assert!(report.epochs[1].reconfig_ns >= 200.0);
+        assert_eq!(report.epochs[0].words_copied, 4);
+        assert!(report.total_ns() > 0.0);
+    }
+
+    #[test]
+    fn data_patch_applied_and_costed() {
+        let mesh = Mesh::new(1, 1);
+        let sim = ArraySim::new(mesh);
+        let cost = CostModel::default();
+        let mut runner = EpochRunner::new(sim, cost);
+        let epoch = Epoch {
+            name: "patch".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(idle_prog()),
+                    data_patches: vec![DataPatch::new(10, vec![Word::wrap(42); 3])],
+                },
+            )],
+            budget: 100,
+        };
+        let rep = runner.run_epoch(&epoch).unwrap();
+        assert_eq!(runner.sim.tiles[0].dmem.peek(12).unwrap().value(), 42);
+        // 3 words + 1 instruction through the ICAP.
+        let want = cost.data_reload_ns(3) + cost.instr_reload_ns(1);
+        assert!((rep.reconfig_ns - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untouched_tiles_overlap_reconfig() {
+        // Tile 1 computes while tile 0 is being reconfigured.
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        // Preload tile 1 with a long-running counter.
+        let mut p = ProgramBuilder::new();
+        p.ldi(d(0), 400);
+        let l = p.here_label();
+        p.djnz(d(0), l);
+        p.halt();
+        sim.load_program(1, &encode_program(&p.build().unwrap()))
+            .unwrap();
+        let cost = CostModel::default();
+        let mut runner = EpochRunner::new(sim, cost);
+        let epoch = Epoch {
+            name: "reload-tile0".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(idle_prog()),
+                    data_patches: vec![DataPatch::new(0, vec![Word::ZERO; 100])],
+                },
+            )],
+            budget: 100_000,
+        };
+        runner.run_epoch(&epoch).unwrap();
+        // Tile 0 stalled; tile 1 never did.
+        assert!(runner.sim.stats[0].reconfig_cycles > 0);
+        assert_eq!(runner.sim.stats[1].reconfig_cycles, 0);
+        assert!(runner.sim.stats[1].busy_cycles >= 400);
+    }
+}
+
+#[cfg(test)]
+mod bitstream_tests {
+    use super::*;
+    use crate::engine::ArraySim;
+    use cgra_fabric::bitstream::serialize;
+    use cgra_fabric::{Direction, Mesh, Word};
+    use cgra_isa::encode_program as enc;
+    use cgra_isa::ProgramBuilder;
+
+    #[test]
+    fn bitstream_epoch_reprograms_and_runs() {
+        use cgra_isa::ops::{at_off, d, rem_off};
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        for i in 0..4 {
+            sim.tiles[0]
+                .dmem
+                .poke(i, Word::wrap(60 + i as i64))
+                .unwrap();
+        }
+        // Build the copy program and ship it INSIDE a bitstream, together
+        // with the link setting and a data patch (the copy count variable).
+        let mut p = ProgramBuilder::new();
+        p.ldar(0, 0);
+        p.ldar(1, 32);
+        let l = p.here_label();
+        p.mov(rem_off(1, 0), at_off(0, 0));
+        p.adar(0, 1);
+        p.adar(1, 1);
+        p.djnz(d(500), l);
+        p.halt();
+        let prog = enc(&p.build().unwrap());
+
+        let mut plan = ReconfigPlan::default();
+        plan.add_tile(
+            0,
+            TileReconfig {
+                program: Some(prog),
+                data_patches: vec![DataPatch::new(500, vec![Word::wrap(4)])],
+            },
+        );
+        let bytes = serialize(&plan, &[(0, Some(Direction::East))]);
+
+        let cost = CostModel::with_link_cost(100.0);
+        let mut runner = EpochRunner::new(sim, cost);
+        let rep = runner
+            .run_bitstream_epoch("flash epoch", &bytes, 100_000)
+            .unwrap();
+        // The copy ran: tile 1 received the words.
+        for i in 0..4 {
+            assert_eq!(
+                runner.sim.tiles[1].dmem.peek(32 + i).unwrap().value(),
+                60 + i as i64
+            );
+        }
+        assert_eq!(rep.links_changed, 1);
+        assert_eq!(rep.words_copied, 4);
+        // Reconfig charged: program bytes + 1 data word + 1 link.
+        let plan_bytes = plan.bitstream_bytes();
+        let want = cost.icap_ns(plan_bytes) + 100.0;
+        assert!((rep.reconfig_ns - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_bitstream_rejected() {
+        let mesh = Mesh::new(1, 1);
+        let sim = ArraySim::new(mesh);
+        let mut runner = EpochRunner::new(sim, CostModel::default());
+        assert!(matches!(
+            runner.run_bitstream_epoch("bad", b"garbage", 100),
+            Err(SimError::Bitstream(_))
+        ));
+    }
+}

@@ -1,0 +1,19 @@
+//! # cgra-sim
+//!
+//! Cycle-driven simulation of the reconfigurable tile array:
+//!
+//! * [`engine`] — the synchronous array simulator (one instruction per
+//!   tile per cycle, link-routed remote writes, reconfiguration stalls),
+//! * [`epoch`] — epoch schedules, partial-reconfiguration switches with
+//!   compute overlap, and the paper's Eq. 1 runtime decomposition,
+//! * [`trace`] — per-tile activity traces with ASCII Gantt rendering.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod epoch;
+pub mod trace;
+
+pub use engine::{ArraySim, SimError, TileStats};
+pub use epoch::{Epoch, EpochReport, EpochRunner, RunReport, TileSetup};
+pub use trace::{EpochTrace, TileActivity, Trace};

@@ -1,0 +1,175 @@
+//! Execution traces and ASCII Gantt rendering.
+//!
+//! The epoch runner records per-tile busy/stall activity per epoch; the
+//! Gantt view makes the paper's core claim visible at a glance — during a
+//! partial reconfiguration only the rewritten tiles stall (`R`), everyone
+//! else keeps computing (`#`).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tile activity inside one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileActivity {
+    /// Cycles spent executing instructions.
+    pub busy: u64,
+    /// Cycles stalled for reconfiguration.
+    pub stalled: u64,
+}
+
+/// One traced epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochTrace {
+    /// Epoch name.
+    pub name: String,
+    /// Global cycle at which the epoch started.
+    pub start: u64,
+    /// Global cycle at which the epoch ended.
+    pub end: u64,
+    /// Per-tile activity during the epoch.
+    pub tiles: Vec<TileActivity>,
+}
+
+/// A whole-run trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Epochs in execution order.
+    pub epochs: Vec<EpochTrace>,
+}
+
+impl Trace {
+    /// Total traced cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.epochs.last().map_or(0, |e| e.end) - self.epochs.first().map_or(0, |e| e.start)
+    }
+
+    /// Renders an ASCII Gantt chart, one row per tile, `width` characters
+    /// across the full traced duration:
+    ///
+    /// * `#` — mostly computing,
+    /// * `R` — mostly stalled for reconfiguration,
+    /// * `.` — idle,
+    /// * `|` — epoch boundary.
+    pub fn gantt(&self, width: usize) -> String {
+        let total = self.total_cycles().max(1);
+        let tiles = self.epochs.iter().map(|e| e.tiles.len()).max().unwrap_or(0);
+        let t0 = self.epochs.first().map_or(0, |e| e.start);
+        let mut out = String::new();
+        // Header: epoch boundaries.
+        let mut header = vec![' '; width];
+        for e in &self.epochs {
+            let pos = ((e.start - t0) as f64 / total as f64 * width as f64) as usize;
+            if pos < width {
+                header[pos] = '|';
+            }
+        }
+        out.push_str("        ");
+        out.extend(header);
+        out.push('\n');
+        for t in 0..tiles {
+            let mut row = vec!['.'; width];
+            for e in &self.epochs {
+                let a = e.tiles.get(t).copied().unwrap_or_default();
+                let span = (e.end - e.start).max(1);
+                let lo = ((e.start - t0) as f64 / total as f64 * width as f64) as usize;
+                let hi = (((e.end - t0) as f64 / total as f64) * width as f64) as usize;
+                let fill = if a.stalled > a.busy {
+                    'R'
+                } else if a.busy > 0 {
+                    '#'
+                } else {
+                    '.'
+                };
+                // Scale the filled portion by the tile's active fraction.
+                let active = (a.busy + a.stalled).min(span);
+                let cells = ((active as f64 / span as f64) * (hi - lo) as f64).ceil() as usize;
+                for c in row.iter_mut().take((lo + cells).min(width)).skip(lo) {
+                    *c = fill;
+                }
+            }
+            out.push_str(&format!("tile {t:>2} "));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of tile-cycles spent busy over the trace.
+    pub fn utilization(&self, tiles: usize) -> f64 {
+        let total = self.total_cycles().max(1) * tiles as u64;
+        let busy: u64 = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.tiles.iter().map(|a| a.busy))
+            .sum();
+        busy as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            epochs: vec![
+                EpochTrace {
+                    name: "a".into(),
+                    start: 0,
+                    end: 100,
+                    tiles: vec![
+                        TileActivity {
+                            busy: 100,
+                            stalled: 0,
+                        },
+                        TileActivity {
+                            busy: 0,
+                            stalled: 80,
+                        },
+                    ],
+                },
+                EpochTrace {
+                    name: "b".into(),
+                    start: 100,
+                    end: 200,
+                    tiles: vec![
+                        TileActivity {
+                            busy: 0,
+                            stalled: 0,
+                        },
+                        TileActivity {
+                            busy: 100,
+                            stalled: 0,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_utilization() {
+        let t = sample();
+        assert_eq!(t.total_cycles(), 200);
+        // busy = 100 + 100 over 2 tiles x 200 cycles.
+        assert!((t.utilization(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let t = sample();
+        let g = t.gantt(40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 tiles
+        assert!(lines[1].contains('#'));
+        assert!(lines[2].contains('R'));
+        assert!(lines[0].contains('|'));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::default();
+        assert_eq!(t.total_cycles(), 0);
+        let g = t.gantt(10);
+        assert!(g.lines().count() >= 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: program a PE, then let two tiles talk over a malleable link.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use remorph::fabric::{Direction, Mesh, Word};
+use remorph::isa::{assemble, disassemble, encode_program, run, PeState};
+use remorph::sim::ArraySim;
+
+fn main() {
+    // --- 1. A single PE: assemble and run a C-style loop. ---------------
+    let src = "
+            ; sum the integers 1..=100 into d[1]
+            ldi   d[0], 100
+    top:    add   d[1], d[1], d[0]
+            djnz  d[0], top
+            halt
+    ";
+    let prog = assemble(src).expect("assembles");
+    println!("assembled {} instructions:", prog.len());
+    print!("{}", disassemble(&prog));
+
+    let mut tile = remorph::fabric::Tile::new(0);
+    tile.load_program(&encode_program(&prog)).unwrap();
+    let mut pe = PeState::new();
+    let stats = run(&mut tile, &mut pe, 10_000).expect("runs to halt");
+    println!(
+        "\nsum(1..=100) = {} in {} cycles ({} ns at 400 MHz)\n",
+        tile.dmem.peek(1).unwrap(),
+        stats.cycles,
+        stats.cycles as f64 * 2.5
+    );
+
+    // --- 2. Two tiles: ship a block across a near-neighbour link. -------
+    let mesh = Mesh::new(1, 2);
+    let mut sim = ArraySim::new(mesh);
+    sim.set_links(mesh.disconnected().with(0, Direction::East))
+        .unwrap();
+    for i in 0..8 {
+        sim.tiles[0]
+            .dmem
+            .poke(i, Word::wrap(i as i64 * 11))
+            .unwrap();
+    }
+    let copy = assemble(
+        "
+            ldar  a0, 0          ; source walk
+            ldar  a1, 64         ; destination walk (in the neighbour)
+            ldi   d[500], 8
+    loop:   mov   r@a1, @a0      ; remote write over the active link
+            adar  a0, 1
+            adar  a1, 1
+            djnz  d[500], loop
+            halt
+    ",
+    )
+    .unwrap();
+    sim.load_program(0, &encode_program(&copy)).unwrap();
+    let cycles = sim.run_until_quiesced(10_000).unwrap();
+    print!("tile 0 shipped 8 words east in {cycles} cycles; tile 1 sees:");
+    for i in 0..8 {
+        print!(" {}", sim.tiles[1].dmem.peek(64 + i).unwrap());
+    }
+    println!();
+    assert_eq!(sim.tiles[1].dmem.peek(71).unwrap().value(), 77);
+    println!("quickstart ok");
+}

@@ -1,0 +1,38 @@
+//! Pipeline rebalancing (Sec. 3.5): watch reBalanceOne/Two/OPT distribute
+//! the JPEG encoder over a growing tile budget.
+//!
+//! ```sh
+//! cargo run --release --example rebalance
+//! ```
+
+use remorph::explore::jpeg_dse::{binding_notation, rebalance_sweep, Algo};
+use remorph::fabric::CostModel;
+
+fn main() {
+    let cost = CostModel::default();
+    println!("JPEG encoder pipeline (Table 3) rebalanced over 1..25 tiles\n");
+    println!(
+        "{:>5} | {:>12} {:>6} | {:>12} {:>6} | {:>12} {:>6}",
+        "tiles", "One img/s", "util", "Two img/s", "util", "OPT img/s", "util"
+    );
+    let one = rebalance_sweep(Algo::One, 25, &cost);
+    let two = rebalance_sweep(Algo::Two, 25, &cost);
+    let opt = rebalance_sweep(Algo::Opt, 25, &cost);
+    for t in 0..25 {
+        println!(
+            "{:>5} | {:>12.2} {:>6.2} | {:>12.2} {:>6.2} | {:>12.2} {:>6.2}",
+            t + 1,
+            one[t].images_per_sec,
+            one[t].utilization,
+            two[t].images_per_sec,
+            two[t].utilization,
+            opt[t].images_per_sec,
+            opt[t].utilization,
+        );
+    }
+
+    println!("\nreBalanceOne binding at 24 tiles (paper Table 5: p1 takes 17):");
+    println!("  {}", binding_notation(&one[23].assignment).join("  "));
+    println!("\nreBalanceOPT binding at 24 tiles:");
+    println!("  {}", binding_notation(&opt[23].assignment).join("  "));
+}

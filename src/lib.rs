@@ -1,0 +1,47 @@
+//! # remorph — a partially reconfigurable CGRA toolkit
+//!
+//! A full reproduction of *"Design and Implementation of High Performance
+//! Architectures with Partially Reconfigurable CGRAs"* (IPDPSW 2013) as a
+//! Rust workspace:
+//!
+//! * [`fabric`] — the reMORPH-style tile array: 48-bit PEs, 512-word data
+//!   memories, malleable near-neighbour links, ICAP partial-reconfiguration
+//!   engine and calibrated cost model,
+//! * [`isa`] — the PE instruction set with assembler, binary encoding and
+//!   a cycle-counting interpreter,
+//! * [`sim`] — the cycle-driven multi-tile simulator with epoch schedules
+//!   and reconfigure/compute overlap,
+//! * [`map`] — process networks, the pipelined throughput evaluator and
+//!   the reBalanceOne/Two/OPT mapping algorithms,
+//! * [`kernels`] — the two evaluation kernels: the partitioned radix-2 FFT
+//!   and a complete baseline JPEG encoder (plus a validating decoder),
+//! * [`explore`] — the design-space-exploration models that regenerate
+//!   every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use remorph::isa::{assemble, encode_program, run, PeState};
+//! use remorph::fabric::Tile;
+//!
+//! let prog = assemble("
+//!         ldi   d[0], 10
+//!     top: add  d[1], d[1], d[0]
+//!         djnz  d[0], top
+//!         halt
+//! ").unwrap();
+//! let mut tile = Tile::new(0);
+//! tile.load_program(&encode_program(&prog)).unwrap();
+//! let mut pe = PeState::new();
+//! run(&mut tile, &mut pe, 1000).unwrap();
+//! assert_eq!(tile.dmem.peek(1).unwrap().value(), 55); // 10+9+...+1
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cgra_explore as explore;
+pub use cgra_fabric as fabric;
+pub use cgra_isa as isa;
+pub use cgra_kernels as kernels;
+pub use cgra_map as map;
+pub use cgra_sim as sim;

@@ -1,0 +1,294 @@
+//! The scale frontier: a 64-point FFT on a 4x1 column of M=16 tiles.
+//! Stage 0 pairs rows two apart — NOT mesh neighbours — so the vertical
+//! exchange and the result write-back both travel as *multi-hop routed
+//! copies* through the intermediate tile ("the data generated at non
+//! neighbour tiles is brought to the tile's memory using explicit copy
+//! instructions and changing connectivity", Sec. 2). Stage 1 partners are
+//! adjacent and use direct remote-write butterflies; the rest is local.
+//! The final spectrum is bit-exact with the functional partitioned model.
+
+use remorph::fabric::{CostModel, Mesh};
+use remorph::kernels::fft::fixed::{twiddle_fx, Cfx};
+use remorph::kernels::fft::partition::FftPlan;
+use remorph::kernels::fft::pipeline::run_partitioned;
+use remorph::kernels::fft::programs::{
+    bf_program, copy_program, cross_bf_local_program, cross_bf_program, init_copy_vars, tw_base,
+};
+use remorph::kernels::fft::reference::{bit_reverse, fft, Cf64};
+use remorph::kernels::fft::twiddle::butterfly_twiddle;
+use remorph::map::routing::plan_route;
+use remorph::sim::{ArraySim, Epoch, EpochRunner, TileSetup};
+
+const N: usize = 64;
+const M: usize = 16;
+const ROWS: usize = 4;
+
+// Tile memory map (m = 16: x at 0..32, twiddles at 32..48, temps at 48+).
+const RECV: u16 = 96; // received partner half (16 words)
+const OUT_BOT: u16 = 128; // locally-kept cross results awaiting write-back
+const RELAY: u16 = 160; // staging buffer on route intermediates
+const CPVARS: u16 = 480;
+
+fn load_rows(sim: &mut ArraySim, rows: &[Vec<Cfx>]) {
+    for (r, row) in rows.iter().enumerate() {
+        for (i, c) in row.iter().enumerate() {
+            sim.tiles[r].dmem.poke(2 * i, c.re).unwrap();
+            sim.tiles[r].dmem.poke(2 * i + 1, c.im).unwrap();
+        }
+    }
+}
+
+fn read_row(sim: &ArraySim, t: usize) -> Vec<Cfx> {
+    (0..M)
+        .map(|i| Cfx {
+            re: sim.tiles[t].dmem.peek(2 * i).unwrap(),
+            im: sim.tiles[t].dmem.peek(2 * i + 1).unwrap(),
+        })
+        .collect()
+}
+
+/// Stage-s twiddles for the butterflies `indices`, in visit order.
+fn load_twiddles(sim: &mut ArraySim, t: usize, s: usize, tops: &[usize]) {
+    let base = tw_base(M) as usize;
+    for (j, &g) in tops.iter().enumerate() {
+        let k = butterfly_twiddle(N, s, g).expect("top position");
+        let w = twiddle_fx(N, k);
+        sim.tiles[t].dmem.poke(base + 2 * j, w.re).unwrap();
+        sim.tiles[t].dmem.poke(base + 2 * j + 1, w.im).unwrap();
+    }
+}
+
+/// Ships `words` words from `src_addr` in tile `src` to `dst_addr` in tile
+/// `dst`, hop by hop through RELAY buffers, each hop its own epoch.
+fn route_block(
+    runner: &mut EpochRunner,
+    mesh: &Mesh,
+    src: usize,
+    dst: usize,
+    src_addr: u16,
+    dst_addr: u16,
+    words: u16,
+) {
+    let route = plan_route(mesh, src, dst).unwrap();
+    for (i, hop) in route.hops.iter().enumerate() {
+        let from_addr = if i == 0 { src_addr } else { RELAY };
+        let to_addr = if i + 1 == route.hops.len() {
+            dst_addr
+        } else {
+            RELAY
+        };
+        init_copy_vars(
+            &mut runner.sim.tiles[hop.from],
+            CPVARS,
+            from_addr,
+            to_addr,
+            0,
+        );
+        runner
+            .run_epoch(&Epoch {
+                name: format!("route {src}->{dst} hop {i}"),
+                links: route.link_config(mesh, i),
+                setups: vec![(
+                    hop.from,
+                    TileSetup {
+                        program: Some(copy_program(words, false, CPVARS)),
+                        data_patches: vec![],
+                    },
+                )],
+                budget: 100_000,
+            })
+            .expect("hop runs");
+    }
+}
+
+#[test]
+fn sixty_four_point_fft_with_multihop_exchange() {
+    let plan = FftPlan::new(N, M).unwrap();
+    assert_eq!(plan.rows(), ROWS);
+    assert_eq!(plan.cross_stages(), 2);
+    // Stage 0 partners are two rows apart: genuinely non-adjacent.
+    assert_eq!(plan.exchange_partner(0, 0), Some(2));
+    assert_eq!(plan.exchange_partner(1, 0), Some(1));
+
+    let signal: Vec<Cf64> = (0..N)
+        .map(|i| Cf64::new((i as f64 * 0.21).sin(), (i as f64 * 0.55).cos() * 0.7))
+        .collect();
+    let input: Vec<Cfx> = signal.iter().map(|&c| Cfx::from_c(c)).collect();
+    let rows: Vec<Vec<Cfx>> = input.chunks(M).map(|c| c.to_vec()).collect();
+
+    let mesh = Mesh::new(ROWS, 1);
+    let mut sim = ArraySim::new(mesh);
+    load_rows(&mut sim, &rows);
+    let cost = CostModel::with_link_cost(150.0);
+    let mut runner = EpochRunner::new(sim, cost);
+    let half_words = M as u16; // M/2 complex = M words
+
+    // ---------------- Stage 0: span-2 pairs (0,2) and (1,3). -------------
+    for (r, q) in [(0usize, 2usize), (1usize, 3usize)] {
+        // Upper tile r computes tops i < M/2 (needs q's first half);
+        // lower tile q computes i >= M/2 (needs r's second half).
+        route_block(&mut runner, &mesh, q, r, 0, RECV, half_words);
+        route_block(&mut runner, &mesh, r, q, half_words, RECV, half_words);
+        let tops_r: Vec<usize> = (0..M / 2).map(|i| r * M + i).collect();
+        let tops_q: Vec<usize> = (M / 2..M).map(|i| r * M + i).collect();
+        load_twiddles(&mut runner.sim, r, 0, &tops_r);
+        load_twiddles(&mut runner.sim, q, 0, &tops_q);
+        // Compute with LOCAL outputs: tops stay in place on r; q's bottoms
+        // stay in place on q; the other halves land in OUT_BOT and are
+        // routed back afterwards.
+        runner
+            .run_epoch(&Epoch {
+                name: format!("BF0 pair ({r},{q})"),
+                links: mesh.disconnected(),
+                setups: vec![
+                    (
+                        r,
+                        TileSetup {
+                            // a = own first half, b = received; top -> own x,
+                            // bottom -> OUT_BOT (belongs to q's first half).
+                            program: Some(cross_bf_local_program(M, M / 2, 0, RECV, 0, OUT_BOT)),
+                            data_patches: vec![],
+                        },
+                    ),
+                    (
+                        q,
+                        TileSetup {
+                            // a = received (r's second half), b = own second
+                            // half; top -> OUT_BOT (belongs to r), bottom in
+                            // place.
+                            program: Some(cross_bf_local_program(
+                                M,
+                                M / 2,
+                                RECV,
+                                half_words,
+                                OUT_BOT,
+                                half_words,
+                            )),
+                            data_patches: vec![],
+                        },
+                    ),
+                ],
+                budget: 100_000,
+            })
+            .expect("cross stage 0 runs");
+        // Write-back: r's OUT_BOT -> q's first half; q's OUT_BOT -> r's
+        // second half.
+        route_block(&mut runner, &mesh, r, q, OUT_BOT, 0, half_words);
+        route_block(&mut runner, &mesh, q, r, OUT_BOT, half_words, half_words);
+    }
+
+    // ---------------- Stage 1: span-1 pairs (0,1) and (2,3). -------------
+    use remorph::fabric::Direction;
+    for (r, q) in [(0usize, 1usize), (2usize, 3usize)] {
+        init_copy_vars(&mut runner.sim.tiles[r], CPVARS, half_words, RECV, 0);
+        init_copy_vars(&mut runner.sim.tiles[q], CPVARS, 0, RECV, 0);
+        let links = mesh
+            .disconnected()
+            .with(r, Direction::South)
+            .with(q, Direction::North);
+        let vcp = copy_program(half_words, false, CPVARS);
+        runner
+            .run_epoch(&Epoch {
+                name: format!("vcp pair ({r},{q})"),
+                links: links.clone(),
+                setups: vec![
+                    (
+                        r,
+                        TileSetup {
+                            program: Some(vcp.clone()),
+                            data_patches: vec![],
+                        },
+                    ),
+                    (
+                        q,
+                        TileSetup {
+                            program: Some(vcp.clone()),
+                            data_patches: vec![],
+                        },
+                    ),
+                ],
+                budget: 100_000,
+            })
+            .expect("vcp runs");
+        let tops_r: Vec<usize> = (0..M / 2).map(|i| r * M + i).collect();
+        let tops_q: Vec<usize> = (M / 2..M).map(|i| r * M + i).collect();
+        load_twiddles(&mut runner.sim, r, 1, &tops_r);
+        load_twiddles(&mut runner.sim, q, 1, &tops_q);
+        runner
+            .run_epoch(&Epoch {
+                name: format!("BF1 pair ({r},{q})"),
+                links,
+                setups: vec![
+                    (
+                        r,
+                        TileSetup {
+                            program: Some(cross_bf_program(M, M / 2, 0, RECV, 0, true)),
+                            data_patches: vec![],
+                        },
+                    ),
+                    (
+                        q,
+                        TileSetup {
+                            program: Some(cross_bf_program(
+                                M,
+                                M / 2,
+                                half_words,
+                                RECV,
+                                half_words,
+                                false,
+                            )),
+                            data_patches: vec![],
+                        },
+                    ),
+                ],
+                budget: 100_000,
+            })
+            .expect("cross stage 1 runs");
+    }
+
+    // ---------------- Stages 2..5: tile-local. ----------------------------
+    for s in 2..plan.stages() {
+        let h = N >> (s + 1);
+        for t in 0..ROWS {
+            let tops: Vec<usize> = (t * M..(t + 1) * M).filter(|g| g % (2 * h) < h).collect();
+            load_twiddles(&mut runner.sim, t, s, &tops);
+        }
+        let prog = bf_program(M, h);
+        runner
+            .run_epoch(&Epoch {
+                name: format!("BF{s} local"),
+                links: mesh.disconnected(),
+                setups: (0..ROWS)
+                    .map(|t| {
+                        (
+                            t,
+                            TileSetup {
+                                program: Some(prog.clone()),
+                                data_patches: vec![],
+                            },
+                        )
+                    })
+                    .collect(),
+                budget: 100_000,
+            })
+            .expect("local stage runs");
+    }
+
+    // ---------------- Gather and compare. ---------------------------------
+    let mut flat = Vec::new();
+    for t in 0..ROWS {
+        flat.extend(read_row(&runner.sim, t));
+    }
+    let bits = N.trailing_zeros();
+    let mut got = vec![Cfx::default(); N];
+    for (g, v) in flat.iter().enumerate() {
+        got[bit_reverse(g, bits)] = *v;
+    }
+    let (want, _) = run_partitioned(plan, &input).unwrap();
+    assert_eq!(got, want, "multi-hop execution must be bit-exact");
+
+    let mut oracle = signal.clone();
+    fft(&mut oracle);
+    let err = remorph::kernels::fft::fixed::relative_error(&got, &oracle);
+    assert!(err < 1e-4, "relative error {err}");
+}

@@ -1,0 +1,662 @@
+//! End-to-end integration: a 16-point radix-2 FFT executed on a 2x1 tile
+//! array of the cycle-driven simulator — vertical exchange over real
+//! links, cross-tile butterflies with remote writes, local stages, epoch
+//! reconfiguration between programs — validated bit-exact against the
+//! functional partitioned model and numerically against the f64 oracle.
+
+use remorph::fabric::{CostModel, Direction, Mesh};
+use remorph::isa::encode_program;
+use remorph::kernels::fft::fixed::{relative_error, twiddle_fx, Cfx};
+use remorph::kernels::fft::partition::FftPlan;
+use remorph::kernels::fft::pipeline::run_partitioned;
+use remorph::kernels::fft::programs::{
+    bf_program, copy_program, cross_bf_program, init_copy_vars, tw_base,
+};
+use remorph::kernels::fft::reference::{bit_reverse, fft, Cf64};
+use remorph::sim::{ArraySim, Epoch, EpochRunner, TileSetup};
+
+const N: usize = 16;
+const M: usize = 8;
+/// Received-partner-half buffer (above the 3M+41 BF layout).
+const RECV: u16 = 400;
+/// Copy-variable block for the vcp programs.
+const CPVARS: u16 = 480;
+
+fn load_tile_points(sim: &mut ArraySim, t: usize, data: &[Cfx]) {
+    for (i, c) in data.iter().enumerate() {
+        sim.tiles[t].dmem.poke(2 * i, c.re).unwrap();
+        sim.tiles[t].dmem.poke(2 * i + 1, c.im).unwrap();
+    }
+}
+
+fn read_tile_points(sim: &ArraySim, t: usize, m: usize) -> Vec<Cfx> {
+    (0..m)
+        .map(|i| Cfx {
+            re: sim.tiles[t].dmem.peek(2 * i).unwrap(),
+            im: sim.tiles[t].dmem.peek(2 * i + 1).unwrap(),
+        })
+        .collect()
+}
+
+/// Preloads the stage-s twiddles a tile's butterflies need, in visit order.
+fn load_cross_twiddles(sim: &mut ArraySim, t: usize, indices: &[usize]) {
+    let base = tw_base(M) as usize;
+    for (j, &k) in indices.iter().enumerate() {
+        let w = twiddle_fx(N, k);
+        sim.tiles[t].dmem.poke(base + 2 * j, w.re).unwrap();
+        sim.tiles[t].dmem.poke(base + 2 * j + 1, w.im).unwrap();
+    }
+}
+
+fn load_local_twiddles(sim: &mut ArraySim, t: usize, s: usize) {
+    let h = N >> (s + 1);
+    let base = tw_base(M) as usize;
+    for j in 0..h {
+        let w = twiddle_fx(N, (j << s) % N);
+        sim.tiles[t].dmem.poke(base + 2 * j, w.re).unwrap();
+        sim.tiles[t].dmem.poke(base + 2 * j + 1, w.im).unwrap();
+    }
+}
+
+#[test]
+fn sixteen_point_fft_on_two_tiles() {
+    let plan = FftPlan::new(N, M).unwrap();
+    assert_eq!(plan.rows(), 2);
+    assert_eq!(plan.cross_stages(), 1);
+
+    let signal: Vec<Cf64> = (0..N)
+        .map(|i| Cf64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos() * 0.8))
+        .collect();
+    let input: Vec<Cfx> = signal.iter().map(|&c| Cfx::from_c(c)).collect();
+
+    // --- set up the array: tile 0 = row 0 (x0..x7), tile 1 = row 1. -----
+    let mesh = Mesh::new(2, 1);
+    let mut sim = ArraySim::new(mesh);
+    load_tile_points(&mut sim, 0, &input[..M]);
+    load_tile_points(&mut sim, 1, &input[M..]);
+
+    // Stage-0 twiddles: tile 0 computes butterflies g=0..4 (indices g),
+    // tile 1 computes g=4..8.
+    load_cross_twiddles(&mut sim, 0, &[0, 1, 2, 3]);
+    load_cross_twiddles(&mut sim, 1, &[4, 5, 6, 7]);
+
+    // Copy variables for the exchange vcp programs.
+    // Tile 0 ships its second half (words 8..16) into tile 1's RECV.
+    init_copy_vars(&mut sim.tiles[0], CPVARS, 8, RECV, 0);
+    // Tile 1 ships its first half (words 0..8) into tile 0's RECV.
+    init_copy_vars(&mut sim.tiles[1], CPVARS, 0, RECV, 0);
+
+    let both_links = mesh
+        .disconnected()
+        .with(0, Direction::South)
+        .with(1, Direction::North);
+
+    let vcp = copy_program(8, false, CPVARS);
+    // Cross butterflies: tile 0 is the upper partner (owns tops at words
+    // 0..8, partner half received at RECV, bottoms written remotely to the
+    // partner's words 0..8). Tile 1 is the lower partner (owns bottoms at
+    // words 8..16, tops received at RECV, tops written remotely to the
+    // partner's words 8..16).
+    let bf0_upper = cross_bf_program(M, 4, 0, RECV, 0, true);
+    let bf0_lower = cross_bf_program(M, 4, 8, RECV, 8, false);
+
+    let cost = CostModel::with_link_cost(100.0);
+    let mut runner = EpochRunner::new(sim, cost);
+
+    // --- epoch 1: vertical exchange (Figure 9). --------------------------
+    let e_exchange = Epoch {
+        name: "vcp exchange".into(),
+        links: both_links.clone(),
+        setups: vec![
+            (
+                0,
+                TileSetup {
+                    program: Some(vcp.clone()),
+                    data_patches: vec![],
+                },
+            ),
+            (
+                1,
+                TileSetup {
+                    program: Some(vcp.clone()),
+                    data_patches: vec![],
+                },
+            ),
+        ],
+        budget: 100_000,
+    };
+    // --- epoch 2: cross-tile butterflies with remote result writes. ------
+    let e_bf0 = Epoch {
+        name: "BF0 (cross)".into(),
+        links: both_links,
+        setups: vec![
+            (
+                0,
+                TileSetup {
+                    program: Some(bf0_upper),
+                    data_patches: vec![],
+                },
+            ),
+            (
+                1,
+                TileSetup {
+                    program: Some(bf0_lower),
+                    data_patches: vec![],
+                },
+            ),
+        ],
+        budget: 100_000,
+    };
+    let report = runner
+        .run_schedule(&[e_exchange, e_bf0])
+        .expect("cross stage runs");
+    assert_eq!(report.epochs.len(), 2);
+    assert!(report.epochs[0].words_copied == 16); // 8 words each way
+    assert!(report.epochs[1].words_copied == 16); // 4 complex results each way
+
+    // --- epochs 3..5: local stages on both tiles. -------------------------
+    for s in 1..plan.stages() {
+        let h = N >> (s + 1);
+        for t in 0..2 {
+            load_local_twiddles(&mut runner.sim, t, s);
+        }
+        // Both tiles run the same local-stage program; no links needed.
+        let prog = bf_program(M, h);
+        let epoch = Epoch {
+            name: format!("BF{s} (local)"),
+            links: Mesh::new(2, 1).disconnected(),
+            setups: vec![
+                (
+                    0,
+                    TileSetup {
+                        program: Some(prog.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    1,
+                    TileSetup {
+                        program: Some(prog),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        };
+        // Twiddles differ per stage but are identical across the two rows
+        // for local stages of this plan, so a plain program reload works.
+        runner.run_epoch(&epoch).expect("local stage runs");
+    }
+
+    // --- gather and compare. ----------------------------------------------
+    let mut flat = read_tile_points(&runner.sim, 0, M);
+    flat.extend(read_tile_points(&runner.sim, 1, M));
+    let bits = N.trailing_zeros();
+    let mut got = vec![Cfx::default(); N];
+    for (g, v) in flat.iter().enumerate() {
+        got[bit_reverse(g, bits)] = *v;
+    }
+
+    // Bit-exact against the functional partitioned model...
+    let (want, _) = run_partitioned(plan, &input).unwrap();
+    assert_eq!(got, want, "array execution must be bit-exact");
+
+    // ...and numerically against the f64 oracle.
+    let mut oracle = signal.clone();
+    fft(&mut oracle);
+    let err = relative_error(&got, &oracle);
+    assert!(err < 1e-4, "relative error {err}");
+}
+
+#[test]
+fn eq1_accounting_is_consistent() {
+    // The Eq. 1 report's total must equal compute + reconfig, and the
+    // reconfiguration must be charged per changed link and rewritten word.
+    let mesh = Mesh::new(2, 1);
+    let sim = ArraySim::new(mesh);
+    let cost = CostModel::with_link_cost(250.0);
+    let mut runner = EpochRunner::new(sim, cost);
+    let idle = remorph::isa::assemble("halt").unwrap();
+    let epoch = Epoch {
+        name: "links only".into(),
+        links: mesh
+            .disconnected()
+            .with(0, Direction::South)
+            .with(1, Direction::North),
+        setups: vec![(
+            0,
+            TileSetup {
+                program: Some(idle),
+                data_patches: vec![],
+            },
+        )],
+        budget: 1000,
+    };
+    let rep = runner.run_epoch(&epoch).unwrap();
+    // Two links changed at 250 ns plus one instruction word (50 ns).
+    assert!((rep.reconfig_ns - (2.0 * 250.0 + 50.0)).abs() < 1e-9);
+    assert_eq!(rep.links_changed, 2);
+}
+
+/// The interpreter-level program and the array-level execution agree on
+/// the *cost* too: a BF0 epoch's compute time matches the single-tile
+/// cycle measurement.
+#[test]
+fn epoch_compute_time_matches_program_cycles() {
+    use remorph::fabric::Tile;
+    use remorph::isa::{run, PeState};
+
+    let prog = bf_program(M, 2);
+    let mut tile = Tile::new(0);
+    // load sample data
+    for i in 0..2 * M {
+        tile.dmem
+            .poke(i, remorph::fabric::Word::wrap(i as i64))
+            .unwrap();
+    }
+    tile.load_program(&encode_program(&prog)).unwrap();
+    let mut pe = PeState::new();
+    let solo_cycles = run(&mut tile, &mut pe, 100_000).unwrap().cycles;
+
+    let mesh = Mesh::new(1, 1);
+    let mut sim = ArraySim::new(mesh);
+    for i in 0..2 * M {
+        sim.tiles[0]
+            .dmem
+            .poke(i, remorph::fabric::Word::wrap(i as i64))
+            .unwrap();
+    }
+    let cost = CostModel::default();
+    let mut runner = EpochRunner::new(sim, cost);
+    let rep = runner
+        .run_epoch(&Epoch {
+            name: "bf".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(prog),
+                    data_patches: vec![],
+                },
+            )],
+            budget: 1_000_000,
+        })
+        .unwrap();
+    let epoch_cycles = (rep.compute_ns / cost.cycle_ns()).round() as u64;
+    assert_eq!(epoch_cycles, solo_cycles);
+}
+
+/// The same 16-point FFT spread over TWO columns of a 2x2 array: column 0
+/// (tiles 0,2) runs stages 0-1 with the vertical exchange, ships its data
+/// east over hcp links, and column 1 (tiles 1,3) finishes stages 2-3 with
+/// twiddles preloaded at configuration time — the multi-column structure
+/// of Sec. 3.1, links and all.
+#[test]
+fn sixteen_point_fft_on_two_columns() {
+    let plan = FftPlan::new(N, M).unwrap();
+    let signal: Vec<Cf64> = (0..N)
+        .map(|i| Cf64::new((i as f64 * 0.45).cos(), (i as f64 * 0.8).sin() * 0.6))
+        .collect();
+    let input: Vec<Cfx> = signal.iter().map(|&c| Cfx::from_c(c)).collect();
+
+    let mesh = Mesh::new(2, 2);
+    let (c0_top, c0_bot, c1_top, c1_bot) = (0usize, 2usize, 1usize, 3usize);
+    let mut sim = ArraySim::new(mesh);
+    load_tile_points(&mut sim, c0_top, &input[..M]);
+    load_tile_points(&mut sim, c0_bot, &input[M..]);
+
+    // Stage-0 twiddles in column 0; stage-2/3 twiddles preloaded in
+    // column 1 (the "more columns -> no runtime twiddle reload" effect).
+    load_cross_twiddles(&mut sim, c0_top, &[0, 1, 2, 3]);
+    load_cross_twiddles(&mut sim, c0_bot, &[4, 5, 6, 7]);
+
+    init_copy_vars(&mut sim.tiles[c0_top], CPVARS, 8, RECV, 0);
+    init_copy_vars(&mut sim.tiles[c0_bot], CPVARS, 0, RECV, 0);
+
+    let vertical = mesh
+        .disconnected()
+        .with(c0_top, Direction::South)
+        .with(c0_bot, Direction::North);
+    let horizontal = mesh
+        .disconnected()
+        .with(c0_top, Direction::East)
+        .with(c0_bot, Direction::East);
+
+    let cost = CostModel::with_link_cost(100.0);
+    let mut runner = EpochRunner::new(sim, cost);
+
+    // Column 0: exchange, BF0 (cross), BF1 (local h=4).
+    let vcp = copy_program(8, false, CPVARS);
+    runner
+        .run_epoch(&Epoch {
+            name: "col0 vcp".into(),
+            links: vertical.clone(),
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(vcp.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(vcp.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+    runner
+        .run_epoch(&Epoch {
+            name: "col0 BF0".into(),
+            links: vertical,
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(cross_bf_program(M, 4, 0, RECV, 0, true)),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(cross_bf_program(M, 4, 8, RECV, 8, false)),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+    for t in [c0_top, c0_bot] {
+        load_local_twiddles(&mut runner.sim, t, 1);
+    }
+    let bf1 = bf_program(M, N >> 2);
+    runner
+        .run_epoch(&Epoch {
+            name: "col0 BF1".into(),
+            links: Mesh::new(2, 2).disconnected(),
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(bf1.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(bf1),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+
+    // hcp: each column-0 tile ships its full 2M words east.
+    for t in [c0_top, c0_bot] {
+        init_copy_vars(&mut runner.sim.tiles[t], CPVARS, 0, 0, 0);
+    }
+    let hcp = copy_program(2 * M as u16, false, CPVARS);
+    let rep = runner
+        .run_epoch(&Epoch {
+            name: "hcp col0 -> col1".into(),
+            links: horizontal,
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(hcp.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(hcp),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+    assert_eq!(rep.words_copied, 2 * 2 * M as u64);
+
+    // Column 1: stages 2 and 3 with preloaded twiddles (no data patches
+    // in these epochs — assert it).
+    for s in 2..plan.stages() {
+        for t in [c1_top, c1_bot] {
+            load_local_twiddles(&mut runner.sim, t, s);
+        }
+        let prog = bf_program(M, N >> (s + 1));
+        let rep = runner
+            .run_epoch(&Epoch {
+                name: format!("col1 BF{s}"),
+                links: Mesh::new(2, 2).disconnected(),
+                setups: vec![
+                    (
+                        c1_top,
+                        TileSetup {
+                            program: Some(prog.clone()),
+                            data_patches: vec![],
+                        },
+                    ),
+                    (
+                        c1_bot,
+                        TileSetup {
+                            program: Some(prog),
+                            data_patches: vec![],
+                        },
+                    ),
+                ],
+                budget: 100_000,
+            })
+            .unwrap();
+        assert_eq!(rep.words_copied, 0, "local stages move no data");
+    }
+
+    // Gather from column 1 and compare bit-exact with the one-column run.
+    let mut flat = read_tile_points(&runner.sim, c1_top, M);
+    flat.extend(read_tile_points(&runner.sim, c1_bot, M));
+    let bits = N.trailing_zeros();
+    let mut got = vec![Cfx::default(); N];
+    for (g, v) in flat.iter().enumerate() {
+        got[bit_reverse(g, bits)] = *v;
+    }
+    let (want, _) = run_partitioned(plan, &input).unwrap();
+    assert_eq!(got, want, "two-column execution must be bit-exact");
+    let mut oracle = signal.clone();
+    fft(&mut oracle);
+    assert!(relative_error(&got, &oracle) < 1e-4);
+}
+
+/// Column-level pipelining: while column 1 finishes FFT #1's local stages,
+/// column 0 is already computing FFT #2's cross stage — in the *same*
+/// epoch, tiles in both columns executing simultaneously. The epoch's
+/// compute time must be close to the max of the two column workloads, not
+/// their sum.
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn two_ffts_pipelined_across_columns() {
+    let mesh = Mesh::new(2, 2);
+    let (c0_top, c0_bot, c1_top, c1_bot) = (0usize, 2usize, 1usize, 3usize);
+    let sig = |phase: f64| -> Vec<Cfx> {
+        (0..N)
+            .map(|i| Cfx::from_f64((i as f64 * 0.3 + phase).sin(), (i as f64 * 0.9).cos()))
+            .collect()
+    };
+    let (fft_a, fft_b) = (sig(0.0), sig(1.0));
+
+    let mut sim = ArraySim::new(mesh);
+    // FFT A has already passed through column 0 (simulate by loading its
+    // post-stage-1 state into column 1); FFT B enters column 0 now.
+    let plan = FftPlan::new(N, M).unwrap();
+    let mut part_a = remorph::kernels::fft::pipeline::PartitionedFft::load(plan, &fft_a).unwrap();
+    part_a.run_stage(0);
+    part_a.run_stage(1);
+    let a_state = part_a.gather(); // DIF order after unscramble? No: gather unscrambles.
+                                   // We need the raw row state, not the gathered order: reload by running
+                                   // the stages on a scratch copy and reading rows through the public API
+                                   // is not available; instead run stage 2,3 expectations from the model.
+                                   // Column 1 gets FFT A's intermediate rows by re-deriving them:
+    let mut rows_a = [fft_a[..M].to_vec(), fft_a[M..].to_vec()];
+    // DIF stage 0 (cross) then stage 1 (local) on the host, same math as
+    // butterfly_dif (duplicated here to obtain raw row state).
+    {
+        use remorph::kernels::fft::fixed::butterfly_dif;
+        use remorph::kernels::fft::twiddle::butterfly_twiddle;
+        for i in 0..M {
+            let w = twiddle_fx(N, butterfly_twiddle(N, 0, i).unwrap());
+            let (t, u) = butterfly_dif(rows_a[0][i], rows_a[1][i], w);
+            rows_a[0][i] = t;
+            rows_a[1][i] = u;
+        }
+        let h = N >> 2;
+        for r in 0..2 {
+            for i in 0..M {
+                let g = r * M + i;
+                if g % (2 * h) < h {
+                    let w = twiddle_fx(N, butterfly_twiddle(N, 1, g).unwrap());
+                    let (t, u) = butterfly_dif(rows_a[r][i], rows_a[r][i + h], w);
+                    rows_a[r][i] = t;
+                    rows_a[r][i + h] = u;
+                }
+            }
+        }
+    }
+    let _ = a_state;
+    load_tile_points(&mut sim, c1_top, &rows_a[0]);
+    load_tile_points(&mut sim, c1_bot, &rows_a[1]);
+    load_tile_points(&mut sim, c0_top, &fft_b[..M]);
+    load_tile_points(&mut sim, c0_bot, &fft_b[M..]);
+
+    load_cross_twiddles(&mut sim, c0_top, &[0, 1, 2, 3]);
+    load_cross_twiddles(&mut sim, c0_bot, &[4, 5, 6, 7]);
+    load_local_twiddles(&mut sim, c1_top, 2);
+    load_local_twiddles(&mut sim, c1_bot, 2);
+    init_copy_vars(&mut sim.tiles[c0_top], CPVARS, 8, RECV, 0);
+    init_copy_vars(&mut sim.tiles[c0_bot], CPVARS, 0, RECV, 0);
+
+    let links = mesh
+        .disconnected()
+        .with(c0_top, Direction::South)
+        .with(c0_bot, Direction::North);
+    let cost = CostModel::default();
+    let mut runner = EpochRunner::new(sim, cost);
+
+    // ONE epoch: column 0 exchanges FFT B while column 1 runs FFT A's BF2.
+    let vcp = copy_program(8, false, CPVARS);
+    let bf2 = bf_program(M, N >> 3);
+    let rep1 = runner
+        .run_epoch(&Epoch {
+            name: "col0 vcp(B) || col1 BF2(A)".into(),
+            links: links.clone(),
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(vcp.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(vcp),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c1_top,
+                    TileSetup {
+                        program: Some(bf2.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c1_bot,
+                    TileSetup {
+                        program: Some(bf2),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+    // Both columns were busy in the same epoch.
+    let busy: Vec<u64> = runner.sim.stats.iter().map(|s| s.busy_cycles).collect();
+    assert!(busy.iter().all(|&b| b > 0), "{busy:?}");
+    // The epoch lasted ~max(col0 work, col1 work): each column alone takes
+    // fewer cycles than the two summed.
+    let col0 = busy[c0_top].max(busy[c0_bot]);
+    let col1 = busy[c1_top].max(busy[c1_bot]);
+    let epoch_cycles = (rep1.compute_ns / cost.cycle_ns()).round() as u64;
+    assert!(
+        epoch_cycles <= col0.max(col1) + 2,
+        "epoch {epoch_cycles} should be max({col0},{col1})"
+    );
+    assert!(epoch_cycles < col0 + col1, "columns did not overlap");
+
+    // Continue FFT B's cross butterflies while FFT A finishes BF3; then
+    // check FFT A's final value is exactly the functional model's.
+    load_local_twiddles(&mut runner.sim, c1_top, 3);
+    load_local_twiddles(&mut runner.sim, c1_bot, 3);
+    let bf3 = bf_program(M, N >> 4);
+    runner
+        .run_epoch(&Epoch {
+            name: "col0 BF0(B) || col1 BF3(A)".into(),
+            links,
+            setups: vec![
+                (
+                    c0_top,
+                    TileSetup {
+                        program: Some(cross_bf_program(M, 4, 0, RECV, 0, true)),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c0_bot,
+                    TileSetup {
+                        program: Some(cross_bf_program(M, 4, 8, RECV, 8, false)),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c1_top,
+                    TileSetup {
+                        program: Some(bf3.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    c1_bot,
+                    TileSetup {
+                        program: Some(bf3),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        })
+        .unwrap();
+
+    let mut flat = read_tile_points(&runner.sim, c1_top, M);
+    flat.extend(read_tile_points(&runner.sim, c1_bot, M));
+    let bits = N.trailing_zeros();
+    let mut got_a = vec![Cfx::default(); N];
+    for (g, v) in flat.iter().enumerate() {
+        got_a[bit_reverse(g, bits)] = *v;
+    }
+    let (want_a, _) = run_partitioned(plan, &fft_a).unwrap();
+    assert_eq!(got_a, want_a, "pipelined FFT A must still be bit-exact");
+}

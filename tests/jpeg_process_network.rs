@@ -1,0 +1,264 @@
+//! End-to-end integration: the JPEG per-block pipeline distributed over a
+//! 1x3 tile array (shift | DCT | quantize+zigzag), with the intermediate
+//! blocks shipped tile-to-tile over real links — byte-identical JFIF
+//! output against the monolithic host encoder.
+
+use remorph::fabric::{CostModel, Direction, Mesh, Word};
+use remorph::kernels::fft::programs::{copy_program, init_copy_vars};
+use remorph::kernels::jpeg::bitio::BitWriter;
+use remorph::kernels::jpeg::encoder::{encode, EncoderConfig};
+use remorph::kernels::jpeg::huffman::{ac_luma_spec, dc_luma_spec, encode_block, EncTable};
+use remorph::kernels::jpeg::image::GrayImage;
+use remorph::kernels::jpeg::programs::{
+    dct_program, load_jpeg_constants, quantize_program, shift_program, zigzag_program, PX, SH, T2,
+};
+use remorph::kernels::jpeg::quant::QuantTable;
+use remorph::sim::{ArraySim, Epoch, EpochRunner, TileSetup};
+
+const CPVARS: u16 = 470;
+
+/// Runs one block through the 3-tile pipeline and returns the zig-zag
+/// scan it produces.
+fn block_through_tiles(runner: &mut EpochRunner, mesh: &Mesh, block: &[u8; 64]) -> [i32; 64] {
+    // Deliver pixels into tile 0.
+    for (i, &px) in block.iter().enumerate() {
+        runner.sim.tiles[0]
+            .dmem
+            .poke(PX as usize + i, Word::wrap(px as i64))
+            .unwrap();
+    }
+    let east = |t: usize| mesh.disconnected().with(t, Direction::East);
+    let idle = remorph::isa::assemble("halt").unwrap();
+    // vcp: tile0 SH -> tile1 SH (64 words); tile1 T2 -> tile2 T2.
+    init_copy_vars(&mut runner.sim.tiles[0], CPVARS, SH, SH, 0);
+    init_copy_vars(&mut runner.sim.tiles[1], CPVARS, T2, T2, 0);
+    let epochs = vec![
+        Epoch {
+            name: "shift@0".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(shift_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: 100_000,
+        },
+        Epoch {
+            name: "ship shifted 0->1".into(),
+            links: east(0),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(copy_program(64, false, CPVARS)),
+                    data_patches: vec![],
+                },
+            )],
+            budget: 100_000,
+        },
+        Epoch {
+            name: "dct@1".into(),
+            links: mesh.disconnected(),
+            setups: vec![
+                (
+                    0,
+                    TileSetup {
+                        program: Some(idle.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    1,
+                    TileSetup {
+                        program: Some(dct_program()),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        },
+        Epoch {
+            name: "ship coefficients 1->2".into(),
+            links: east(1),
+            setups: vec![(
+                1,
+                TileSetup {
+                    program: Some(copy_program(64, false, CPVARS)),
+                    data_patches: vec![],
+                },
+            )],
+            budget: 100_000,
+        },
+        Epoch {
+            name: "quantize+zigzag@2".into(),
+            links: mesh.disconnected(),
+            setups: vec![
+                (
+                    1,
+                    TileSetup {
+                        program: Some(idle.clone()),
+                        data_patches: vec![],
+                    },
+                ),
+                (
+                    2,
+                    TileSetup {
+                        program: Some(quantize_program()),
+                        data_patches: vec![],
+                    },
+                ),
+            ],
+            budget: 100_000,
+        },
+        Epoch {
+            name: "zigzag@2".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                2,
+                TileSetup {
+                    program: Some(zigzag_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: 100_000,
+        },
+    ];
+    runner.run_schedule(&epochs).expect("pipeline runs");
+    std::array::from_fn(|i| {
+        runner.sim.tiles[2]
+            .dmem
+            .peek(SH as usize + i)
+            .unwrap()
+            .value() as i32
+    })
+}
+
+#[test]
+fn distributed_pipeline_is_byte_identical_to_encoder() {
+    let img = GrayImage::rings(16, 16); // 4 blocks
+    let quality = 75u8;
+    let qt = QuantTable::luma(quality);
+
+    let mesh = Mesh::new(1, 3);
+    let mut sim = ArraySim::new(mesh);
+    // Constants: tile1 needs the DCT tables, tile2 the quantizer tables.
+    for t in 0..3 {
+        load_jpeg_constants(&mut sim.tiles[t], &qt);
+    }
+    let mut runner = EpochRunner::new(sim, CostModel::default());
+
+    // Entropy-code the tile-produced scans on the host and compare with
+    // the monolithic encoder byte for byte.
+    let dc = EncTable::from_spec(&dc_luma_spec());
+    let ac = EncTable::from_spec(&ac_luma_spec());
+    let mut w = BitWriter::new();
+    let mut pred = 0i32;
+    for by in 0..img.blocks_y() {
+        for bx in 0..img.blocks_x() {
+            let scan = block_through_tiles(&mut runner, &mesh, &img.block(bx, by));
+            encode_block(&mut w, &dc, &ac, &scan, &mut pred);
+        }
+    }
+    let tile_entropy = w.finish();
+
+    let full = encode(&img, &EncoderConfig { quality });
+    // The monolithic stream ends with the entropy segment + EOI marker.
+    let tail = &full[full.len() - 2 - tile_entropy.len()..full.len() - 2];
+    assert_eq!(
+        tail,
+        &tile_entropy[..],
+        "tile-pipeline entropy data must be byte-identical"
+    );
+}
+
+#[test]
+fn pipeline_charges_reconfiguration_between_stages() {
+    let qt = QuantTable::luma(50);
+    let mesh = Mesh::new(1, 3);
+    let mut sim = ArraySim::new(mesh);
+    for t in 0..3 {
+        load_jpeg_constants(&mut sim.tiles[t], &qt);
+    }
+    let mut runner = EpochRunner::new(sim, CostModel::with_link_cost(300.0));
+    let img = GrayImage::gradient(8, 8);
+    let _ = block_through_tiles(&mut runner, &mesh, &img.block(0, 0));
+    // Every tile was reprogrammed at least once; links changed for the two
+    // shipping epochs.
+    for t in 0..3 {
+        assert!(runner.sim.stats[t].reconfig_cycles > 0, "tile {t}");
+    }
+    assert_eq!(runner.sim.stats[0].words_sent, 64);
+    assert_eq!(runner.sim.stats[1].words_sent, 64);
+    assert_eq!(runner.sim.stats[2].words_sent, 0);
+}
+
+/// The complete per-block pipeline — including Huffman entropy coding —
+/// executed on tiles: shift/DCT/quantize/zigzag on one tile and the
+/// two-stage entropy coder on another, with the scan shipped over a link.
+#[test]
+fn fully_tile_executed_encoder_including_entropy() {
+    use remorph::kernels::jpeg::entropy_programs::{load_entropy_tables, run_entropy_block, SCAN};
+    use remorph::kernels::jpeg::huffman::{ac_luma_spec, category, dc_luma_spec, magnitude_bits};
+    use remorph::kernels::jpeg::programs::run_block_pipeline;
+
+    let img = GrayImage::checkerboard(24, 24, 3);
+    let quality = 70u8;
+    let qt = QuantTable::luma(quality);
+    let dc = EncTable::from_spec(&dc_luma_spec());
+    let ac = EncTable::from_spec(&ac_luma_spec());
+
+    // Entropy tile persists its DC predictor across blocks.
+    let mut entropy_tile = remorph::fabric::Tile::new(9);
+    load_entropy_tables(&mut entropy_tile, &dc, &ac);
+
+    // Host reference bit stream for the whole image.
+    let mut w = BitWriter::new();
+    let mut pred = 0i32;
+    let mut host_bit_count = 0usize;
+    let mut tile_bits = Vec::new();
+    for by in 0..img.blocks_y() {
+        for bx in 0..img.blocks_x() {
+            // Stage tile: pixels -> zig-zag scan (validated bit-exact
+            // against the host in its own tests).
+            let (scan, _) = run_block_pipeline(&img.block(bx, by), &qt);
+            // Entropy tile: scan words arrive in its SCAN region (the
+            // shipping hop is exercised by the other tests); run prep+emit.
+            let run = run_entropy_block(&mut entropy_tile, &scan);
+            tile_bits.extend(run.bits);
+            // Host side.
+            let diff = scan[0] - pred;
+            host_bit_count +=
+                dc.code(category(diff) as u8).unwrap().1 as usize + category(diff) as usize;
+            let _ = magnitude_bits(diff, category(diff));
+            let mut run_len = 0u32;
+            for &v in &scan[1..] {
+                if v == 0 {
+                    run_len += 1;
+                    continue;
+                }
+                while run_len >= 16 {
+                    host_bit_count += ac.code(0xf0).unwrap().1 as usize;
+                    run_len -= 16;
+                }
+                let cat = category(v);
+                host_bit_count +=
+                    ac.code(((run_len as u8) << 4) | cat as u8).unwrap().1 as usize + cat as usize;
+                run_len = 0;
+            }
+            if run_len > 0 {
+                host_bit_count += ac.code(0x00).unwrap().1 as usize;
+            }
+            encode_block(&mut w, &dc, &ac, &scan, &mut pred);
+        }
+    }
+    let host_bytes = w.finish();
+    let mut r = remorph::kernels::jpeg::bitio::BitReader::new(&host_bytes);
+    let host_bits: Vec<bool> = (0..host_bit_count).map(|_| r.bit().unwrap() == 1).collect();
+    assert_eq!(
+        tile_bits, host_bits,
+        "tile-executed entropy stream must be bit-identical across a whole image"
+    );
+    // Keep the SCAN constant visible so layout drift fails loudly.
+    assert_eq!(SCAN, 0);
+}
