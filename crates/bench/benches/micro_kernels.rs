@@ -1,13 +1,13 @@
-//! Criterion micro-benchmarks over the core kernels and substrates.
+//! Micro-benchmarks over the core kernels and substrates.
 //!
 //! Includes the host-FFT baseline the paper cites ("throughput in a high
 //! end PC computer is roughly 1000" 1024-point FFTs per second) — run
 //! `cargo bench -p cgra-bench --bench micro_kernels` and compare the
 //! `fft/reference_1024` time against the CGRA model's Figure 10 numbers.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use cgra_bench::{banner, time_it};
 use cgra_explore::fft_dse::TauModel;
 use cgra_explore::jpeg_dse::{rebalance_sweep, Algo};
 use cgra_fabric::CostModel;
@@ -26,129 +26,89 @@ fn signal(n: usize) -> Vec<Cf64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
     let sig = signal(1024);
-    g.bench_function("reference_1024", |b| {
-        b.iter_batched(
-            || sig.clone(),
-            |mut d| {
-                fft(&mut d);
-                black_box(d)
-            },
-            BatchSize::SmallInput,
-        )
+    time_it("fft/reference_1024", || {
+        let mut d = sig.clone();
+        fft(&mut d);
+        black_box(&d);
     });
     let fx: Vec<Cfx> = sig.iter().map(|&c| Cfx::from_c(c)).collect();
-    g.bench_function("fixed_1024", |b| {
-        b.iter_batched(
-            || fx.clone(),
-            |mut d| {
-                fft_fixed(&mut d);
-                black_box(d)
-            },
-            BatchSize::SmallInput,
-        )
+    time_it("fft/fixed_1024", || {
+        let mut d = fx.clone();
+        fft_fixed(&mut d);
+        black_box(&d);
     });
     let plan = FftPlan::paper_1024();
-    g.bench_function("partitioned_1024_m128", |b| {
-        b.iter(|| black_box(run_partitioned(plan, black_box(&fx)).unwrap()))
+    time_it("fft/partitioned_1024_m128", || {
+        black_box(run_partitioned(plan, black_box(&fx)).unwrap());
     });
-    g.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpreter");
+fn bench_interpreter() {
     let prog = bf_program(128, 64);
     let image = encode_program(&prog);
     let sample: Vec<Cfx> = (0..128)
         .map(|i| Cfx::from_f64((i as f64 * 0.2).sin(), 0.0))
         .collect();
-    g.bench_function("bf_stage_m128", |b| {
-        b.iter_batched(
-            || {
-                let mut t = cgra_fabric::Tile::new(0);
-                load_points(&mut t, &sample);
-                t.load_program(&image).unwrap();
-                t
-            },
-            |mut t| black_box(run_program(&mut t, &prog, 1_000_000)),
-            BatchSize::SmallInput,
-        )
+    time_it("interpreter/bf_stage_m128", || {
+        let mut t = cgra_fabric::Tile::new(0);
+        load_points(&mut t, &sample);
+        t.load_program(&image).unwrap();
+        black_box(run_program(&mut t, &prog, 1_000_000));
     });
-    g.finish();
 }
 
-fn bench_jpeg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("jpeg");
-    g.sample_size(20);
+fn bench_jpeg() {
     let img = GrayImage::rings(200, 200);
-    g.bench_function("encode_200x200_q75", |b| {
-        b.iter(|| black_box(encode(black_box(&img), &EncoderConfig::default())))
+    time_it("jpeg/encode_200x200_q75", || {
+        black_box(encode(black_box(&img), &EncoderConfig::default()));
     });
-    g.finish();
 }
 
-fn bench_dse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dse");
+fn bench_dse() {
     let model = TauModel::paper_1024();
-    g.bench_function("tau_eval_all_columns", |b| {
-        b.iter(|| {
-            for cols in [1usize, 2, 5, 10] {
-                black_box(model.throughput(cols, black_box(700.0)).unwrap());
-            }
-        })
+    time_it("dse/tau_eval_all_columns", || {
+        for cols in [1usize, 2, 5, 10] {
+            black_box(model.throughput(cols, black_box(700.0)).unwrap());
+        }
     });
     let cost = CostModel::default();
-    g.bench_function("rebalance_opt_25_tiles", |b| {
-        b.iter(|| black_box(rebalance_sweep(Algo::Opt, 25, &cost)))
+    time_it("dse/rebalance_opt_25_tiles", || {
+        black_box(rebalance_sweep(Algo::Opt, 25, &cost));
     });
-    g.finish();
 }
 
-fn bench_entropy(c: &mut Criterion) {
+fn bench_entropy() {
     use cgra_fabric::Tile;
     use cgra_kernels::jpeg::entropy_programs::{load_entropy_tables, run_entropy_block};
     use cgra_kernels::jpeg::huffman::{ac_luma_spec, dc_luma_spec, EncTable};
 
-    let mut g = c.benchmark_group("entropy");
     let dc = EncTable::from_spec(&dc_luma_spec());
     let ac = EncTable::from_spec(&ac_luma_spec());
     let scan: [i32; 64] =
         std::array::from_fn(|i| if i % 3 == 0 { (i as i32 % 31) - 15 } else { 0 });
-    g.bench_function("pe_huffman_block", |b| {
-        b.iter_batched(
-            || {
-                let mut t = Tile::new(0);
-                load_entropy_tables(&mut t, &dc, &ac);
-                t
-            },
-            |mut t| black_box(run_entropy_block(&mut t, &scan)),
-            BatchSize::SmallInput,
-        )
+    time_it("entropy/pe_huffman_block", || {
+        let mut t = Tile::new(0);
+        load_entropy_tables(&mut t, &dc, &ac);
+        black_box(run_entropy_block(&mut t, &scan));
     });
-    g.finish();
 }
 
-fn bench_color(c: &mut Criterion) {
+fn bench_color() {
     use cgra_kernels::jpeg::color::{encode_color, encode_color_420, RgbImage};
-    let mut g = c.benchmark_group("color");
-    g.sample_size(20);
     let img = RgbImage::test_card(96, 96);
-    g.bench_function("encode_444_96x96", |b| {
-        b.iter(|| black_box(encode_color(black_box(&img), 80)))
+    time_it("color/encode_444_96x96", || {
+        black_box(encode_color(black_box(&img), 80));
     });
-    g.bench_function("encode_420_96x96", |b| {
-        b.iter(|| black_box(encode_color_420(black_box(&img), 80)))
+    time_it("color/encode_420_96x96", || {
+        black_box(encode_color_420(black_box(&img), 80));
     });
-    g.finish();
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
     use cgra_fabric::Mesh;
     use cgra_map::anneal::{anneal, AnnealParams, EpochComms, PlacementProblem};
-    let mut g = c.benchmark_group("placement");
-    g.sample_size(10);
     let problem = PlacementProblem {
         mesh: Mesh::new(4, 4),
         stages: 10,
@@ -157,31 +117,30 @@ fn bench_placement(c: &mut Criterion) {
         }],
         cost: CostModel::with_link_cost(200.0),
     };
-    g.bench_function("anneal_10_stages_4x4", |b| {
-        b.iter(|| {
-            black_box(
-                anneal(
-                    &problem,
-                    AnnealParams {
-                        iterations: 500,
-                        ..Default::default()
-                    },
-                )
-                .unwrap(),
+    time_it("placement/anneal_10_stages_4x4", || {
+        black_box(
+            anneal(
+                &problem,
+                AnnealParams {
+                    iterations: 500,
+                    ..Default::default()
+                },
             )
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_interpreter,
-    bench_jpeg,
-    bench_dse,
-    bench_entropy,
-    bench_color,
-    bench_placement
-);
-criterion_main!(benches);
+fn main() {
+    banner(
+        "micro_kernels",
+        "host baselines + substrate micro-benchmarks",
+    );
+    bench_fft();
+    bench_interpreter();
+    bench_jpeg();
+    bench_dse();
+    bench_entropy();
+    bench_color();
+    bench_placement();
+}

@@ -30,3 +30,35 @@ pub fn check(name: &str, ok: bool) {
 pub fn f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
+
+/// Times `body` with a short warmup and reports the per-iteration mean.
+///
+/// A dependency-free stand-in for a Criterion `bench_function`: runs the
+/// closure until ~0.2 s has elapsed (at least 10 iterations), then prints
+/// `name: <mean> per iter` and returns the mean duration in nanoseconds.
+pub fn time_it<F: FnMut()>(name: &str, mut body: F) -> f64 {
+    use std::time::Instant;
+    // Warmup.
+    for _ in 0..3 {
+        body();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        if (iters >= 10 && start.elapsed().as_millis() >= 200) || iters >= 1_000_000 {
+            break;
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let human = if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    println!("  {name}: {human} per iter ({iters} iters)");
+    ns
+}

@@ -28,14 +28,12 @@
 //! anchors: ~45 000 FFT/s at 10 columns and L=0, ~11 000 at one column,
 //! and the 700–1100 ns crossover band of Figure 12.
 
-use cgra_fabric::CostModel;
+use cgra_fabric::{parallel_map, CostModel};
 use cgra_kernels::fft::partition::FftPlan;
 use cgra_kernels::fft::programs::measure_processes;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Per-process runtimes feeding the tau model (Table 1's runtime column).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FftProcessTimes {
     /// `BF0..BF(log2N-1)` runtimes, ns.
     pub bf_ns: Vec<f64>,
@@ -71,7 +69,7 @@ impl FftProcessTimes {
 }
 
 /// The tau performance model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TauModel {
     /// Partition plan.
     pub plan: FftPlan,
@@ -88,7 +86,7 @@ pub struct TauModel {
 }
 
 /// Breakdown of one evaluation of the model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TauBreakdown {
     /// Input streaming, ns.
     pub tau0: f64,
@@ -240,7 +238,7 @@ impl TauModel {
 }
 
 /// One series of Figure 10/11: throughput vs link cost for a column count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputSeries {
     /// Column count.
     pub cols: usize,
@@ -248,43 +246,50 @@ pub struct ThroughputSeries {
     pub points: Vec<(f64, f64)>,
 }
 
+/// Debug-build gate: statically verify the concrete epoch schedule behind
+/// the candidate plan before pricing it. A schedule the verifier rejects
+/// is not a design point.
+fn verify_candidate(plan: &FftPlan) {
+    if cfg!(debug_assertions) {
+        let diags = crate::schedule::fft_schedule_diagnostics(plan);
+        assert!(
+            !cgra_verify::has_errors(&diags),
+            "candidate FFT schedule failed static verification: {diags:?}"
+        );
+    }
+}
+
 /// Figure 10/11 sweep: throughput vs link cost for every valid column
 /// count.
 pub fn sweep_link_cost(model: &TauModel, max_link_ns: f64, step_ns: f64) -> Vec<ThroughputSeries> {
-    model
-        .plan
-        .valid_cols()
-        .into_par_iter()
-        .map(|cols| {
-            let mut points = Vec::new();
-            let mut l = 0.0;
-            while l <= max_link_ns + 1e-9 {
-                points.push((l, model.throughput(cols, l).expect("valid cols")));
-                l += step_ns;
-            }
-            ThroughputSeries { cols, points }
-        })
-        .collect()
+    verify_candidate(&model.plan);
+    parallel_map(model.plan.valid_cols(), |cols| {
+        let mut points = Vec::new();
+        let mut l = 0.0;
+        while l <= max_link_ns + 1e-9 {
+            points.push((l, model.throughput(cols, l).expect("valid cols")));
+            l += step_ns;
+        }
+        ThroughputSeries { cols, points }
+    })
 }
 
 /// Figure 12 sweep: throughput vs column count for each link cost.
 pub fn sweep_columns(model: &TauModel, link_costs_ns: &[f64]) -> Vec<(f64, Vec<(usize, f64)>)> {
-    link_costs_ns
-        .par_iter()
-        .map(|&l| {
-            let series = model
-                .plan
-                .valid_cols()
-                .into_iter()
-                .map(|c| (c, model.throughput(c, l).expect("valid cols")))
-                .collect();
-            (l, series)
-        })
-        .collect()
+    verify_candidate(&model.plan);
+    parallel_map(link_costs_ns.to_vec(), |l| {
+        let series = model
+            .plan
+            .valid_cols()
+            .into_iter()
+            .map(|c| (c, model.throughput(c, l).expect("valid cols")))
+            .collect();
+        (l, series)
+    })
 }
 
 /// A Table 2 row: copy-process retargeting cost per column count.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CopyOptRow {
     /// Column count.
     pub cols: usize,

@@ -7,7 +7,6 @@ use cgra_kernels::jpeg::processes::{
 };
 use cgra_map::rebalance::{rebalance_one, rebalance_opt, rebalance_two};
 use cgra_map::{evaluate, Assignment, ProcessSpec};
-use serde::{Deserialize, Serialize};
 
 /// Unit time of an arbitrary set of processes on one tile: runtimes plus
 /// per-block reconfiguration when the programs exceed the instruction
@@ -25,7 +24,7 @@ pub fn procs_time_ns(procs: &[&ProcessSpec], cost: &CostModel) -> f64 {
 
 /// One pipeline stage of a manual mapping: one or more tiles working in
 /// parallel on the same block (the four quarter-DCT tiles of Figure 15).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ManualStage {
     /// Each inner vec is one tile's process list (indices into the
     /// catalog).
@@ -33,7 +32,7 @@ pub struct ManualStage {
 }
 
 /// A manual mapping (one Table 4 column).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ManualImpl {
     /// Implementation name.
     pub name: String,
@@ -44,7 +43,7 @@ pub struct ManualImpl {
 }
 
 /// Evaluated Table 4 metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ManualMetrics {
     /// Name.
     pub name: String,
@@ -163,6 +162,12 @@ pub fn evaluate_manual(imp: &ManualImpl, cost: &CostModel) -> ManualMetrics {
         let mut stage_time = 0.0f64;
         for tile in &stage.tiles {
             let procs: Vec<&ProcessSpec> = tile.iter().map(|&i| &cat[i]).collect();
+            debug_assert!(
+                procs
+                    .iter()
+                    .all(|p| cgra_verify::check_data_budget(&p.name, p.data_words()).is_none()),
+                "manual implementation assigns a process that overflows tile data memory"
+            );
             let t = procs_time_ns(&procs, cost);
             let insts: usize = procs.iter().map(|p| p.insts).sum();
             reconfig |= insts > INSTR_SLOTS;
@@ -204,7 +209,7 @@ pub fn paper_table4() -> Vec<ManualMetrics> {
 }
 
 /// Which rebalancing algorithm to sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     /// Algorithm 1.
     One,
@@ -215,7 +220,7 @@ pub enum Algo {
 }
 
 /// One point of Figures 16/17.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Tile budget.
     pub tiles: usize,
@@ -239,6 +244,10 @@ pub fn rebalance_sweep(algo: Algo, max_tiles: usize, cost: &CostModel) -> Vec<Sw
     asgs.into_iter()
         .enumerate()
         .map(|(i, asg)| {
+            debug_assert!(
+                !cgra_verify::has_errors(&crate::schedule::assignment_diagnostics(&net, &asg)),
+                "rebalanced assignment failed the data-budget check"
+            );
             let m = evaluate(&net, &asg, cost);
             SweepPoint {
                 tiles: i + 1,

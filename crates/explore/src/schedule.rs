@@ -1,0 +1,612 @@
+//! Executable epoch schedules behind the DSE candidates, plus the static
+//! verification glue that gates them.
+//!
+//! The sweeps in [`crate::fft_dse`] and [`crate::jpeg_dse`] are analytic —
+//! they price candidates with the tau model and the rebalancing interval
+//! formula. This module makes the candidates *concrete*: it builds the
+//! actual epoch schedule (link configurations, generated PE programs, and
+//! ICAP data patches for inputs, twiddles and copy variables) that a
+//! candidate corresponds to, so `cgra-verify` can check it statically
+//! before anything is burned into the array:
+//!
+//! * [`fft_column_schedule`] — a full N-point FFT on one column of
+//!   `rows = N/M` tiles: cross-tile stages exchange partner halves over
+//!   the vertical links (directly for adjacent partners, as multi-hop
+//!   routed copies otherwise), local stages run in place,
+//! * [`jpeg_block_schedule`] — the per-block JPEG pipeline distributed
+//!   over a 1x3 array (shift | DCT | quantize+zigzag) with the
+//!   intermediates shipped tile-to-tile,
+//! * [`fft_schedule_diagnostics`] / [`jpeg_schedule_diagnostics`] — build
+//!   the schedule and run the whole-schedule verifier over it,
+//! * [`network_budget_diagnostics`] / [`assignment_diagnostics`] — the
+//!   512-word data-budget checks applied to every process network and
+//!   rebalanced tile assignment the JPEG sweeps produce.
+//!
+//! Every schedule is **self-contained**: all inputs arrive as
+//! [`DataPatch`]es, so the static dataflow analysis sees the complete
+//! initialization story and the schedules verify clean on a cold array.
+
+use cgra_fabric::{DataPatch, Direction, Mesh, Word, DATA_WORDS};
+use cgra_isa::Instr;
+use cgra_kernels::fft::fixed::{twiddle_fx, Cfx};
+use cgra_kernels::fft::partition::FftPlan;
+use cgra_kernels::fft::programs::{
+    bf_program, copy_program, cross_bf_local_program, cross_bf_program, tmp_base, tw_base,
+};
+use cgra_kernels::fft::twiddle::butterfly_twiddle;
+use cgra_kernels::jpeg::dct::{alpha, cos_basis_fx};
+use cgra_kernels::jpeg::programs::{
+    dct_program, quantize_program, shift_program, zigzag_program, AL, COS, KONST, PX, QR, SH, T2,
+};
+use cgra_kernels::jpeg::quant::QuantTable;
+use cgra_map::routing::plan_route;
+use cgra_map::{Assignment, ProcessNetwork};
+use cgra_sim::{verify_epochs, Epoch, TileSetup};
+use cgra_verify::{check_data_budget, Code, Diagnostic};
+
+/// Cycle budget per epoch — generous: the largest epoch (a 256-word input
+/// patch plus a butterfly sweep) stays well under it.
+const BUDGET: u64 = 100_000;
+
+/// Copy-variable window for the JPEG shipping hops (clear of the
+/// `programs.rs` layout, which tops out at word 416).
+const JPEG_CPVARS: u16 = 470;
+
+fn idle() -> Vec<Instr> {
+    vec![Instr::Halt]
+}
+
+fn words(vals: impl IntoIterator<Item = i64>) -> Vec<Word> {
+    vals.into_iter().map(Word::wrap).collect()
+}
+
+/// Copy variables consumed by [`copy_program`]: source and destination
+/// base addresses, delivered through the ICAP like the paper's
+/// non-self-updating vcp.
+fn copy_vars_patch(var_base: u16, src: u16, dst: u16) -> DataPatch {
+    DataPatch::new(var_base as usize, words([src as i64, dst as i64]))
+}
+
+// ---------------------------------------------------------------------------
+// FFT column schedule
+// ---------------------------------------------------------------------------
+
+/// Scratch-memory layout for the cross-stage exchanges of an M-point tile.
+///
+/// The fixed program layout (`x` at `[0, 2m)`, twiddles at `[2m, 3m)`,
+/// temporaries at `[3m, 3m+41)`) leaves little headroom at M = 128, so the
+/// exchange runs in *chunks* of at most 32 butterflies; the received
+/// partner points land after the temporaries and, when even that does not
+/// fit, the write-back staging buffer reuses the upper half of the twiddle
+/// region (a chunk only ever occupies its lower half).
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    /// Butterflies processed per exchange chunk.
+    chunk: usize,
+    /// Received partner points (also the relay buffer on route hops).
+    recv: u16,
+    /// Locally-kept results awaiting multi-hop write-back.
+    out: u16,
+    /// Copy variables for [`copy_program`].
+    cpvars: u16,
+}
+
+impl Layout {
+    fn for_m(m: usize) -> Layout {
+        assert!(m >= 4 && m.is_power_of_two(), "unsupported partition {m}");
+        let chunk = (m / 2).min(32);
+        let cpvars: u16 = 504;
+        let recv = (tmp_base(m) + 41) as u16;
+        let block = (2 * chunk) as u16;
+        assert!(recv + block <= cpvars, "recv buffer does not fit for m={m}");
+        let out = if recv + 2 * block <= cpvars {
+            recv + block
+        } else {
+            // Stage the outputs over the unused upper twiddle half.
+            assert!(4 * chunk <= m, "no staging room for m={m}");
+            tw_base(m) + block
+        };
+        Layout {
+            chunk,
+            recv,
+            out,
+            cpvars,
+        }
+    }
+
+    /// Word count shipped per chunk (a multiple of 4, as `copy_program`
+    /// requires).
+    fn block_words(&self) -> u16 {
+        (2 * self.chunk) as u16
+    }
+}
+
+/// Twiddle patch for `count` cross-stage butterflies whose top elements
+/// start at global index `g0` (visit order).
+fn cross_twiddle_patch(n: usize, m: usize, s: usize, g0: usize, count: usize) -> DataPatch {
+    let mut w = Vec::with_capacity(2 * count);
+    for i in 0..count {
+        let k = butterfly_twiddle(n, s, g0 + i).expect("top position");
+        let t = twiddle_fx(n, k);
+        w.push(t.re);
+        w.push(t.im);
+    }
+    DataPatch::new(tw_base(m) as usize, w)
+}
+
+/// Twiddle patch for a tile-local stage `s` (the table every tile shares).
+fn local_twiddle_patch(n: usize, m: usize, s: usize) -> DataPatch {
+    let h = n >> (s + 1);
+    let mut w = Vec::with_capacity(2 * h);
+    for j in 0..h {
+        let t = twiddle_fx(n, (j << s) % n);
+        w.push(t.re);
+        w.push(t.im);
+    }
+    DataPatch::new(tw_base(m) as usize, w)
+}
+
+/// Epochs shipping `count` words from `src_addr` on tile `src` to
+/// `dst_addr` on tile `dst`, hop by hop through the relay buffers of the
+/// intermediate tiles — one epoch per hop, copy variables patched in.
+#[allow(clippy::too_many_arguments)]
+fn route_epochs(
+    mesh: &Mesh,
+    lay: Layout,
+    src: usize,
+    dst: usize,
+    src_addr: u16,
+    dst_addr: u16,
+    count: u16,
+    what: &str,
+) -> Vec<Epoch> {
+    let route = plan_route(mesh, src, dst).expect("column route exists");
+    let hops = route.hops.len();
+    route
+        .hops
+        .iter()
+        .enumerate()
+        .map(|(i, hop)| {
+            let from_addr = if i == 0 { src_addr } else { lay.recv };
+            let to_addr = if i + 1 == hops { dst_addr } else { lay.recv };
+            Epoch {
+                name: format!("{what} {src}->{dst} hop {i}"),
+                links: route.link_config(mesh, i),
+                setups: vec![(
+                    hop.from,
+                    TileSetup {
+                        program: Some(copy_program(count, false, lay.cpvars)),
+                        data_patches: vec![copy_vars_patch(lay.cpvars, from_addr, to_addr)],
+                    },
+                )],
+                budget: BUDGET,
+            }
+        })
+        .collect()
+}
+
+/// Builds the complete epoch schedule for an N-point FFT on one column of
+/// `rows = N/M` tiles, `input` being the N natural-order points (the
+/// output comes back in DIF order, row-major across tiles; the caller
+/// bit-reverses).
+///
+/// The schedule is self-contained: the input points, every stage's twiddle
+/// complement and all copy variables arrive as data patches, so it
+/// verifies clean on a cold array and can be handed straight to an
+/// [`cgra_sim::EpochRunner`].
+pub fn fft_column_schedule(plan: &FftPlan, input: &[Cfx]) -> (Mesh, Vec<Epoch>) {
+    let (n, m, rows) = (plan.n, plan.m, plan.rows());
+    assert_eq!(input.len(), n, "need {n} input points");
+    let lay = Layout::for_m(m);
+    let mesh = Mesh::new(rows, 1);
+    let mut epochs = Vec::new();
+
+    // Stream the input rows in (tau0's role in schedule form).
+    epochs.push(Epoch {
+        name: "load input".into(),
+        links: mesh.disconnected(),
+        setups: (0..rows)
+            .map(|t| {
+                let mut w = Vec::with_capacity(2 * m);
+                for c in &input[t * m..(t + 1) * m] {
+                    w.push(c.re);
+                    w.push(c.im);
+                }
+                (
+                    t,
+                    TileSetup {
+                        program: Some(idle()),
+                        data_patches: vec![DataPatch::new(0, w)],
+                    },
+                )
+            })
+            .collect(),
+        budget: BUDGET,
+    });
+
+    // Cross-tile stages: exchange partner halves, then butterfly.
+    for s in 0..plan.cross_stages() {
+        let span = rows >> (s + 1);
+        for r in 0..rows {
+            let q = match plan.exchange_partner(s, r) {
+                Some(q) if q > r => q,
+                _ => continue,
+            };
+            let chunks = (m / 2) / lay.chunk;
+            for c in 0..chunks {
+                let cw = lay.block_words();
+                // Word offsets of this chunk inside the first half (the
+                // upper tile's butterflies) and the second half (the
+                // lower tile's).
+                let a_off = (2 * c * lay.chunk) as u16;
+                let b_off = (m + 2 * c * lay.chunk) as u16;
+                // Twiddles in visit order for each side's butterflies.
+                let tw_r = cross_twiddle_patch(n, m, s, r * m + c * lay.chunk, lay.chunk);
+                let tw_q = cross_twiddle_patch(n, m, s, r * m + m / 2 + c * lay.chunk, lay.chunk);
+                if span == 1 {
+                    // Adjacent partners: simultaneous bidirectional vcp,
+                    // then butterflies with direct remote-write outputs.
+                    let links = mesh
+                        .disconnected()
+                        .with(r, Direction::South)
+                        .with(q, Direction::North);
+                    epochs.push(Epoch {
+                        name: format!("BF{s} ({r},{q}) chunk {c}: vcp"),
+                        links: links.clone(),
+                        setups: vec![
+                            (
+                                r,
+                                TileSetup {
+                                    program: Some(copy_program(cw, false, lay.cpvars)),
+                                    data_patches: vec![copy_vars_patch(
+                                        lay.cpvars, b_off, lay.recv,
+                                    )],
+                                },
+                            ),
+                            (
+                                q,
+                                TileSetup {
+                                    program: Some(copy_program(cw, false, lay.cpvars)),
+                                    data_patches: vec![copy_vars_patch(
+                                        lay.cpvars, a_off, lay.recv,
+                                    )],
+                                },
+                            ),
+                        ],
+                        budget: BUDGET,
+                    });
+                    epochs.push(Epoch {
+                        name: format!("BF{s} ({r},{q}) chunk {c}: butterfly"),
+                        links,
+                        setups: vec![
+                            (
+                                r,
+                                TileSetup {
+                                    program: Some(cross_bf_program(
+                                        m, lay.chunk, a_off, lay.recv, a_off, true,
+                                    )),
+                                    data_patches: vec![tw_r],
+                                },
+                            ),
+                            (
+                                q,
+                                TileSetup {
+                                    program: Some(cross_bf_program(
+                                        m, lay.chunk, b_off, lay.recv, b_off, false,
+                                    )),
+                                    data_patches: vec![tw_q],
+                                },
+                            ),
+                        ],
+                        budget: BUDGET,
+                    });
+                } else {
+                    // Non-neighbour partners: multi-hop routed copies in,
+                    // local butterflies, multi-hop write-back (Sec. 2's
+                    // "explicit copy instructions and changing
+                    // connectivity").
+                    epochs.extend(route_epochs(&mesh, lay, q, r, a_off, lay.recv, cw, "exch"));
+                    epochs.extend(route_epochs(&mesh, lay, r, q, b_off, lay.recv, cw, "exch"));
+                    epochs.push(Epoch {
+                        name: format!("BF{s} ({r},{q}) chunk {c}: butterfly"),
+                        links: mesh.disconnected(),
+                        setups: vec![
+                            (
+                                r,
+                                TileSetup {
+                                    program: Some(cross_bf_local_program(
+                                        m, lay.chunk, a_off, lay.recv, a_off, lay.out,
+                                    )),
+                                    data_patches: vec![tw_r],
+                                },
+                            ),
+                            (
+                                q,
+                                TileSetup {
+                                    program: Some(cross_bf_local_program(
+                                        m, lay.chunk, lay.recv, b_off, lay.out, b_off,
+                                    )),
+                                    data_patches: vec![tw_q],
+                                },
+                            ),
+                        ],
+                        budget: BUDGET,
+                    });
+                    epochs.extend(route_epochs(&mesh, lay, r, q, lay.out, a_off, cw, "wb"));
+                    epochs.extend(route_epochs(&mesh, lay, q, r, lay.out, b_off, cw, "wb"));
+                }
+            }
+        }
+    }
+
+    // Tile-local stages: every tile sweeps its own points.
+    for s in plan.cross_stages()..plan.stages() {
+        let h = n >> (s + 1);
+        let prog = bf_program(m, h);
+        epochs.push(Epoch {
+            name: format!("BF{s} local"),
+            links: mesh.disconnected(),
+            setups: (0..rows)
+                .map(|t| {
+                    (
+                        t,
+                        TileSetup {
+                            program: Some(prog.clone()),
+                            data_patches: vec![local_twiddle_patch(n, m, s)],
+                        },
+                    )
+                })
+                .collect(),
+            budget: BUDGET,
+        });
+    }
+    (mesh, epochs)
+}
+
+/// Builds the candidate FFT column schedule for `plan` and statically
+/// verifies it end to end. The sweeps call this (in debug builds) before
+/// pricing the candidate — a schedule the verifier rejects is not a
+/// design point.
+pub fn fft_schedule_diagnostics(plan: &FftPlan) -> Vec<Diagnostic> {
+    // The input values are irrelevant to the static analysis; any
+    // deterministic signal makes the schedule concrete.
+    let input: Vec<Cfx> = (0..plan.n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect();
+    let (mesh, epochs) = fft_column_schedule(plan, &input);
+    verify_epochs(mesh, &epochs)
+}
+
+// ---------------------------------------------------------------------------
+// JPEG pipeline schedule
+// ---------------------------------------------------------------------------
+
+/// Constant tables a JPEG tile needs, as data patches (the patch form of
+/// `load_jpeg_constants`).
+fn jpeg_constant_patches(qt: &QuantTable) -> Vec<DataPatch> {
+    let mut cos = Vec::with_capacity(64);
+    for row in cos_basis_fx().iter() {
+        cos.extend_from_slice(row);
+    }
+    let al: Vec<Word> = (0..8)
+        .map(|u| cgra_fabric::word::fixed::from_f64(0.5 * alpha(u)))
+        .collect();
+    let qr = words(qt.reciprocals_q24());
+    vec![
+        DataPatch::new(COS as usize, cos),
+        DataPatch::new(AL as usize, al),
+        DataPatch::new(QR as usize, qr),
+        DataPatch::new(KONST as usize, words([1i64 << 23])),
+    ]
+}
+
+/// Builds the epoch schedule pushing one 8x8 block through the
+/// 1x3-pipeline mapping (shift | DCT | quantize+zigzag), intermediates
+/// shipped over the east links. The zig-zag scan ends up in tile 2's `SH`
+/// region. Self-contained: pixels, DCT/quantizer tables and copy
+/// variables all arrive as data patches.
+pub fn jpeg_block_schedule(block: &[u8; 64], qt: &QuantTable) -> (Mesh, Vec<Epoch>) {
+    let mesh = Mesh::new(1, 3);
+    let east = |t: usize| mesh.disconnected().with(t, Direction::East);
+    let consts = jpeg_constant_patches(qt);
+    let pixels = DataPatch::new(PX as usize, words(block.iter().map(|&p| p as i64)));
+    let epochs = vec![
+        Epoch {
+            name: "load block + tables".into(),
+            links: mesh.disconnected(),
+            setups: (0..3)
+                .map(|t| {
+                    let mut patches = consts.clone();
+                    if t == 0 {
+                        patches.push(pixels.clone());
+                    }
+                    (
+                        t,
+                        TileSetup {
+                            program: Some(idle()),
+                            data_patches: patches,
+                        },
+                    )
+                })
+                .collect(),
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "shift@0".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(shift_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "ship shifted 0->1".into(),
+            links: east(0),
+            setups: vec![(
+                0,
+                TileSetup {
+                    program: Some(copy_program(64, false, JPEG_CPVARS)),
+                    data_patches: vec![copy_vars_patch(JPEG_CPVARS, SH, SH)],
+                },
+            )],
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "dct@1".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                1,
+                TileSetup {
+                    program: Some(dct_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "ship coefficients 1->2".into(),
+            links: east(1),
+            setups: vec![(
+                1,
+                TileSetup {
+                    program: Some(copy_program(64, false, JPEG_CPVARS)),
+                    data_patches: vec![copy_vars_patch(JPEG_CPVARS, T2, T2)],
+                },
+            )],
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "quantize@2".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                2,
+                TileSetup {
+                    program: Some(quantize_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: BUDGET,
+        },
+        Epoch {
+            name: "zigzag@2".into(),
+            links: mesh.disconnected(),
+            setups: vec![(
+                2,
+                TileSetup {
+                    program: Some(zigzag_program()),
+                    data_patches: vec![],
+                },
+            )],
+            budget: BUDGET,
+        },
+    ];
+    (mesh, epochs)
+}
+
+/// Builds the candidate JPEG pipeline schedule and statically verifies it.
+pub fn jpeg_schedule_diagnostics(qt: &QuantTable) -> Vec<Diagnostic> {
+    let block: [u8; 64] = std::array::from_fn(|i| (i * 3 % 256) as u8);
+    let (mesh, epochs) = jpeg_block_schedule(&block, qt);
+    verify_epochs(mesh, &epochs)
+}
+
+// ---------------------------------------------------------------------------
+// Data-budget checks over process networks and assignments
+// ---------------------------------------------------------------------------
+
+/// Checks every process of a network against the 512-word tile data
+/// memory. A process that cannot fit on any tile is an error.
+pub fn network_budget_diagnostics(net: &ProcessNetwork) -> Vec<Diagnostic> {
+    net.processes
+        .iter()
+        .filter_map(|p| check_data_budget(&p.name, p.data_words()))
+        .collect()
+}
+
+/// Checks a rebalanced tile assignment: every process must fit a tile
+/// (error), and a load whose *combined* footprint exceeds the tile memory
+/// is flagged as a warning — its programs can time-share the instruction
+/// memory through reconfiguration, but its data cannot all be resident.
+pub fn assignment_diagnostics(net: &ProcessNetwork, asg: &Assignment) -> Vec<Diagnostic> {
+    let mut out = network_budget_diagnostics(net);
+    for l in &asg.loads {
+        let total: usize = net.processes[l.first..=l.last]
+            .iter()
+            .map(|p| p.data_words())
+            .sum();
+        if total > DATA_WORDS {
+            out.push(Diagnostic::warning(
+                Code::DataBudget,
+                format!(
+                    "load p{}-p{} packs {total} data words onto one tile ({DATA_WORDS} resident)",
+                    l.first, l.last
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_kernels::jpeg::processes::paper_network;
+    use cgra_verify::has_errors;
+
+    #[test]
+    fn layouts_fit_every_partition_size() {
+        for m in [4usize, 8, 16, 32, 64, 128] {
+            let lay = Layout::for_m(m);
+            let top = lay.recv as usize + 2 * lay.chunk;
+            assert!(top <= lay.cpvars as usize, "m={m}");
+            assert!(lay.out as usize + 2 * lay.chunk <= DATA_WORDS, "m={m}");
+            // The staging buffer never collides with a chunk's twiddles.
+            assert!(
+                lay.out >= tw_base(m) + 2 * lay.chunk as u16
+                    || lay.out >= (tmp_base(m) + 41) as u16,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_16_schedule_verifies_clean() {
+        let plan = FftPlan::new(16, 4).unwrap();
+        let diags = fft_schedule_diagnostics(&plan);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn jpeg_schedule_verifies_clean() {
+        let diags = jpeg_schedule_diagnostics(&QuantTable::luma(75));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn paper_network_fits_budgets() {
+        let net = paper_network();
+        assert!(network_budget_diagnostics(&net).is_empty());
+    }
+
+    #[test]
+    fn oversized_process_flagged() {
+        let mut net = paper_network();
+        net.processes[0].data2 = DATA_WORDS + 1;
+        let d = network_budget_diagnostics(&net);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::DataBudget);
+        assert!(d[0].is_error());
+    }
+
+    #[test]
+    fn single_tile_packing_warns_not_errors() {
+        let net = paper_network();
+        let asg = Assignment::single_tile(&net);
+        let d = assignment_diagnostics(&net, &asg);
+        assert!(!has_errors(&d));
+    }
+}

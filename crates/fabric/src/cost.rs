@@ -10,11 +10,10 @@
 //!   Figures 10-12).
 
 use crate::mem::{DATA_WORD_BYTES, INSTR_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Cost model of the fabric; every figure/table bench reads its constants
 /// from here so a single struct parameterizes the whole design space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Tile clock frequency in MHz (paper: 400).
     pub clock_mhz: f64,

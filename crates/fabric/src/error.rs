@@ -1,9 +1,7 @@
 //! Error type shared by the fabric model.
 
-use serde::{Deserialize, Serialize};
-
 /// Errors raised by the fabric model (memories, links, reconfiguration).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FabricError {
     /// A data-memory access addressed past the 512-word window.
     DataAddressOutOfRange {

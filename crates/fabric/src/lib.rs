@@ -15,7 +15,9 @@
 //! * [`bitstream`] — the framed on-flash partial-bitstream format
 //!   (serialize/parse/apply),
 //! * [`cost`] — the calibrated cost model (400 MHz, 180 MB/s ICAP,
-//!   parametric per-link cost `L`).
+//!   parametric per-link cost `L`),
+//! * [`rng`]/[`par`] — in-tree PRNG and parallel fan-out helpers keeping
+//!   the workspace dependency-free.
 
 #![warn(missing_docs)]
 
@@ -25,7 +27,9 @@ pub mod error;
 pub mod link;
 pub mod mem;
 pub mod mesh;
+pub mod par;
 pub mod reconfig;
+pub mod rng;
 pub mod tile;
 pub mod word;
 
@@ -34,6 +38,8 @@ pub use error::FabricError;
 pub use link::{Direction, LinkConfig, TileId, LINK_WIRES};
 pub use mem::{DataMemory, InstrMemory, RawInstr, DATA_WORDS, INSTR_SLOTS};
 pub use mesh::Mesh;
+pub use par::parallel_map;
 pub use reconfig::{DataPatch, ReconfigPlan, TileReconfig};
+pub use rng::Rng;
 pub use tile::Tile;
 pub use word::{Word, WORD_BITS};

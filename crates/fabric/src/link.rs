@@ -10,13 +10,11 @@
 //! Reconfiguring from one epoch to the next costs time proportional to the
 //! number of **changed** links ([`LinkConfig::delta`], the paper's `l_ij`).
 
-use serde::{Deserialize, Serialize};
-
 /// Wires per link (one 48-bit word path).
 pub const LINK_WIRES: u32 = 48;
 
 /// The four principal mesh directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Toward row - 1.
     North,
@@ -79,7 +77,7 @@ pub type TileId = usize;
 
 /// Connectivity of the whole array for one epoch: for each tile, the
 /// direction of its single active outgoing link (or `None` when idle).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkConfig {
     out: Vec<Option<Direction>>,
 }

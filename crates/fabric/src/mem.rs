@@ -12,7 +12,6 @@
 
 use crate::error::FabricError;
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 
 /// Words in a tile data memory (paper: 512 x 48 dual-port BRAM pair).
 pub const DATA_WORDS: usize = 512;
@@ -31,7 +30,7 @@ pub const INSTR_BYTES: usize = 9;
 pub const DATA_WORD_BYTES: usize = 6;
 
 /// Per-cycle port budget of the data memory: two reads, one write.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PortUsage {
     /// Reads issued in the current cycle.
     pub reads: u8,
@@ -46,7 +45,7 @@ pub const MAX_READS_PER_CYCLE: u8 = 2;
 pub const MAX_WRITES_PER_CYCLE: u8 = 1;
 
 /// A tile data memory with optional port-discipline checking.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DataMemory {
     words: Vec<Word>,
     usage: PortUsage,
@@ -181,7 +180,7 @@ impl DataMemory {
 pub type RawInstr = u128;
 
 /// A tile instruction memory holding up to [`INSTR_SLOTS`] encoded words.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InstrMemory {
     slots: Vec<RawInstr>,
 }

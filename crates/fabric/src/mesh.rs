@@ -2,11 +2,10 @@
 
 use crate::error::FabricError;
 use crate::link::{Direction, LinkConfig, TileId};
-use serde::{Deserialize, Serialize};
 
 /// A rows x cols mesh topology (coordinates only; tile state lives in
 /// [`crate::tile::Tile`] / the simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mesh {
     rows: usize,
     cols: usize,

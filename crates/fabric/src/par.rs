@@ -1,0 +1,86 @@
+//! Minimal parallel fan-out on `std::thread::scope`.
+//!
+//! The workspace avoids external crates, so the embarrassingly-parallel
+//! spots (annealing restarts, DSE sweeps) use this helper instead of
+//! `rayon`. Results come back in input order regardless of which thread
+//! finished first.
+
+/// Applies `f` to every item, fanning out across up to
+/// `available_parallelism` threads, and returns the results in input
+/// order.
+///
+/// `f` must be `Sync` because multiple worker threads call it
+/// concurrently. Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Feed a shared work queue of (index, item); collect (index, result).
+    let queue = std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let results = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("results poisoned").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    for (i, r) in results.into_inner().expect("results poisoned") {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..57).collect(), |i: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+        assert_eq!(out.len(), 57);
+    }
+}

@@ -16,10 +16,9 @@ use crate::cost::CostModel;
 use crate::link::{LinkConfig, TileId};
 use crate::mem::{DATA_WORD_BYTES, INSTR_BYTES};
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 
 /// A data-memory patch: `words` written starting at `base`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataPatch {
     /// First word address rewritten.
     pub base: usize,
@@ -45,7 +44,7 @@ impl DataPatch {
 }
 
 /// Everything the ICAP must rewrite in one tile for an epoch switch.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TileReconfig {
     /// New program image, if the instructions change (`None` = keep).
     pub program: Option<Vec<u128>>,
@@ -72,7 +71,7 @@ impl TileReconfig {
 }
 
 /// A full epoch-switch plan: per-tile rewrites plus the link delta.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReconfigPlan {
     /// Per-tile rewrites, indexed by [`TileId`]; missing ids are no-ops.
     pub tiles: Vec<(TileId, TileReconfig)>,

@@ -1,0 +1,134 @@
+//! A small deterministic PRNG.
+//!
+//! The workspace builds offline with no external crates, so the stochastic
+//! pieces (annealing placement, randomized property tests) draw from this
+//! seedable SplitMix64/xoshiro256** generator instead of `rand`. Runs are
+//! reproducible: the same seed always yields the same stream.
+
+/// A seedable xoshiro256** PRNG (SplitMix64-initialized).
+///
+/// Not cryptographic — statistical quality only, which is all the
+/// annealer and the test generators need.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the result is
+    /// unbiased.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range(0)");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + self.gen_range((hi - lo) as usize) as i64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(13);
+            assert!(v < 13);
+            let w = r.gen_range_i64(-5, 6);
+            assert!((-5..6).contains(&w));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

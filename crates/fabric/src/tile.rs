@@ -3,7 +3,6 @@
 use crate::link::TileId;
 use crate::mem::{DataMemory, InstrMemory, RawInstr};
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 
 /// One tile: a 48-bit PE with its private data and instruction memories.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// in the ISA crate's interpreter; the `Tile` is the *hardware* the
 /// interpreter runs against, and is also what the reconfiguration engine
 /// rewrites between epochs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tile {
     /// This tile's linear id in the mesh.
     pub id: TileId,

@@ -5,8 +5,6 @@
 //! an `i64`. All arithmetic wraps modulo 2^48, mirroring what a DSP48-based
 //! datapath does when the guard bits are dropped on write-back.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of payload bits in a PE word.
 pub const WORD_BITS: u32 = 48;
 
@@ -24,7 +22,7 @@ pub const WORD_MAX: i64 = (1i64 << (WORD_BITS - 1)) - 1;
 /// The inner `i64` is always kept sign-extended: every constructor and
 /// arithmetic operation re-normalizes through [`Word::wrap`], so two `Word`s
 /// compare equal iff their 48-bit patterns are equal.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Word(i64);
 
 impl Word {

@@ -474,7 +474,7 @@ fn assemble_code(src: &str) -> Result<Vec<Instr>, AsmError> {
             }
             other => return Err(err(n, format!("unknown mnemonic '{other}'"))),
         };
-        i.validate().map_err(|msg| err(n, msg))?;
+        i.validate().map_err(|e| err(n, e.to_string()))?;
         prog.push(i);
     }
     Ok(prog)

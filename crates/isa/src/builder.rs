@@ -19,8 +19,8 @@ pub enum BuildError {
     Invalid {
         /// Instruction index.
         at: usize,
-        /// Validation message.
-        msg: String,
+        /// The typed validation failure.
+        err: crate::instr::IsaError,
     },
     /// The program exceeds the 512-slot instruction memory.
     TooLarge(usize),
@@ -30,7 +30,7 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::UnboundLabel(l) => write!(f, "label {l} never bound"),
-            BuildError::Invalid { at, msg } => write!(f, "instruction {at}: {msg}"),
+            BuildError::Invalid { at, err } => write!(f, "instruction {at}: {err}"),
             BuildError::TooLarge(n) => {
                 write!(f, "program of {n} instructions exceeds {INSTR_SLOTS} slots")
             }
@@ -278,7 +278,7 @@ impl ProgramBuilder {
                 Pending::CondBranch { make, opnd, label } => make(*opnd, resolve(*label)?),
             };
             i.validate()
-                .map_err(|msg| BuildError::Invalid { at, msg })?;
+                .map_err(|err| BuildError::Invalid { at, err })?;
             out.push(i);
         }
         Ok(out)

@@ -12,10 +12,9 @@
 use crate::encode::decode;
 use crate::instr::{Instr, Operand, NUM_AR};
 use cgra_fabric::{FabricError, Tile, Word, DATA_WORDS};
-use serde::{Deserialize, Serialize};
 
 /// Architectural state of one PE (everything outside the BRAMs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PeState {
     /// Program counter.
     pub pc: usize,

@@ -16,15 +16,103 @@
 //! * a *remote* destination writes through the tile's single active
 //!   outgoing link into the neighbour's data memory.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of address registers per PE.
 pub const NUM_AR: usize = 8;
+
+/// Why an instruction failed validation.
+///
+/// Typed so callers (the assembler, the program builder, the decoder, and
+/// the `cgra-verify` static analyzer) can match on the failure kind
+/// instead of parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaError {
+    /// An operand illegal as a source (a remote destination) was read.
+    BadSource {
+        /// Which source slot ("left", "right", "tested", ...).
+        role: &'static str,
+        /// The offending operand.
+        op: Operand,
+    },
+    /// An operand illegal as a destination (an immediate) was written.
+    BadDest {
+        /// The offending operand.
+        op: Operand,
+    },
+    /// An operand's encoded fields are out of range.
+    OperandRange {
+        /// Which slot the operand occupies.
+        role: &'static str,
+        /// The offending operand.
+        op: Operand,
+    },
+    /// A branch target lies outside the 512-slot instruction memory.
+    TargetRange {
+        /// The offending target.
+        target: u16,
+    },
+    /// A multiplier `frac` shift of 64 or more.
+    FracRange {
+        /// The offending shift.
+        frac: u8,
+    },
+    /// An `ldi` immediate exceeding 24 bits.
+    ImmRange {
+        /// The offending immediate.
+        imm: i32,
+    },
+    /// The `djnz` counter operand is remote (read-modify-write cannot
+    /// cross the link).
+    RemoteCounter,
+    /// An address-register index of 8 or more.
+    ArIndex {
+        /// The offending index.
+        k: u8,
+    },
+    /// The `ldar` memory form was given an immediate source.
+    LdarImmForm,
+    /// An `ldar` immediate address of 512 or more.
+    LdarImmRange {
+        /// The offending address.
+        imm: u16,
+    },
+    /// An `adar` step outside `-512..=511`.
+    AdarDeltaRange {
+        /// The offending step.
+        delta: i16,
+    },
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsaError::BadSource { role, op } => {
+                write!(f, "{role} operand {op} cannot be a source")
+            }
+            IsaError::BadDest { op } => write!(f, "destination operand {op} cannot be written"),
+            IsaError::OperandRange { role, op } => write!(f, "{role} operand {op} out of range"),
+            IsaError::TargetRange { target } => write!(f, "branch target {target} out of range"),
+            IsaError::FracRange { frac } => write!(f, "frac {frac} out of range"),
+            IsaError::ImmRange { imm } => write!(f, "immediate {imm} exceeds 24 bits"),
+            IsaError::RemoteCounter => write!(f, "djnz counter cannot be remote"),
+            IsaError::ArIndex { k } => write!(f, "address register a{k} does not exist"),
+            IsaError::LdarImmForm => {
+                write!(
+                    f,
+                    "ldar memory form cannot take an immediate; use the imm form"
+                )
+            }
+            IsaError::LdarImmRange { imm } => write!(f, "ldar immediate {imm} out of range"),
+            IsaError::AdarDeltaRange { delta } => write!(f, "adar delta {delta} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
 
 /// Operand addressing modes.
 ///
 /// The encoding packs each operand into 11 bits (2 mode + 9 payload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Direct data-memory address: `d[addr]`, `addr < 512`.
     Dir(u16),
@@ -97,7 +185,7 @@ impl std::fmt::Display for Operand {
 
 /// Machine operations. `frac` fields are the barrel-shifter setting of the
 /// fixed-point multiplier (result is `(a*b) >> frac`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// Do nothing for a cycle.
     Nop,
@@ -283,28 +371,45 @@ pub enum Instr {
 
 impl Instr {
     /// Validates operand roles and field ranges.
-    pub fn validate(&self) -> Result<(), String> {
-        let check_src = |o: &Operand, what: &str| -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), IsaError> {
+        let check_src = |o: &Operand, role: &'static str| -> Result<(), IsaError> {
             if !o.valid_src() {
-                return Err(format!("{what} operand {o} cannot be a source"));
+                return Err(IsaError::BadSource { role, op: *o });
             }
             if !o.in_range() {
-                return Err(format!("{what} operand {o} out of range"));
+                return Err(IsaError::OperandRange { role, op: *o });
             }
             Ok(())
         };
-        let check_dst = |o: &Operand| -> Result<(), String> {
+        let check_dst = |o: &Operand| -> Result<(), IsaError> {
             if !o.valid_dst() {
-                return Err(format!("destination operand {o} cannot be written"));
+                return Err(IsaError::BadDest { op: *o });
             }
             if !o.in_range() {
-                return Err(format!("destination operand {o} out of range"));
+                return Err(IsaError::OperandRange {
+                    role: "destination",
+                    op: *o,
+                });
             }
             Ok(())
         };
-        let check_target = |t: u16| -> Result<(), String> {
+        let check_target = |t: u16| -> Result<(), IsaError> {
             if t >= 512 {
-                Err(format!("branch target {t} out of range"))
+                Err(IsaError::TargetRange { target: t })
+            } else {
+                Ok(())
+            }
+        };
+        let check_frac = |frac: u8| -> Result<(), IsaError> {
+            if frac >= 64 {
+                Err(IsaError::FracRange { frac })
+            } else {
+                Ok(())
+            }
+        };
+        let check_ar = |k: u8| -> Result<(), IsaError> {
+            if k as usize >= NUM_AR {
+                Err(IsaError::ArIndex { k })
             } else {
                 Ok(())
             }
@@ -326,18 +431,12 @@ impl Instr {
                 check_dst(dst)?;
                 check_src(a, "left")?;
                 check_src(b, "right")?;
-                if *frac >= 64 {
-                    return Err(format!("frac {frac} out of range"));
-                }
-                Ok(())
+                check_frac(*frac)
             }
             Instr::Mac { a, b, frac } => {
                 check_src(a, "left")?;
                 check_src(b, "right")?;
-                if *frac >= 64 {
-                    return Err(format!("frac {frac} out of range"));
-                }
-                Ok(())
+                check_frac(*frac)
             }
             Instr::MovAcc { dst } => check_dst(dst),
             Instr::Not { dst, a } | Instr::Mov { dst, a } => {
@@ -347,7 +446,7 @@ impl Instr {
             Instr::Ldi { dst, imm } => {
                 check_dst(dst)?;
                 if !(-(1 << 23)..(1 << 23)).contains(imm) {
-                    return Err(format!("immediate {imm} exceeds 24 bits"));
+                    return Err(IsaError::ImmRange { imm: *imm });
                 }
                 Ok(())
             }
@@ -362,41 +461,33 @@ impl Instr {
             Instr::Djnz { dst, target } => {
                 check_dst(dst)?;
                 if matches!(dst, Operand::Rem { .. }) {
-                    return Err("djnz counter cannot be remote".into());
+                    return Err(IsaError::RemoteCounter);
                 }
                 check_src(dst, "counter")?;
                 check_target(*target)
             }
             Instr::Ldar { k, src, imm } => {
-                if *k as usize >= NUM_AR {
-                    return Err(format!("address register a{k} does not exist"));
-                }
+                check_ar(*k)?;
                 if let Some(s) = src {
                     if matches!(s, Operand::Imm(_)) {
-                        return Err(
-                            "ldar memory form cannot take an immediate; use the imm form".into(),
-                        );
+                        return Err(IsaError::LdarImmForm);
                     }
                     check_src(s, "address")?;
                 }
                 if *imm >= 512 {
-                    return Err(format!("ldar immediate {imm} out of range"));
+                    return Err(IsaError::LdarImmRange { imm: *imm });
                 }
                 Ok(())
             }
             Instr::Adar { k, delta } => {
-                if *k as usize >= NUM_AR {
-                    return Err(format!("address register a{k} does not exist"));
-                }
+                check_ar(*k)?;
                 if !(-512..=511).contains(delta) {
-                    return Err(format!("adar delta {delta} out of range"));
+                    return Err(IsaError::AdarDeltaRange { delta: *delta });
                 }
                 Ok(())
             }
             Instr::Movar { dst, k } => {
-                if *k as usize >= NUM_AR {
-                    return Err(format!("address register a{k} does not exist"));
-                }
+                check_ar(*k)?;
                 check_dst(dst)
             }
         }

@@ -10,7 +10,9 @@
 //!   generators,
 //! * [`asm`]/[`disasm`] — a round-trippable text assembler,
 //! * [`exec`] — the cycle-counting interpreter (one instruction per 2.5 ns
-//!   cycle, 2R/1W memory discipline, remote writes over the active link).
+//!   cycle, 2R/1W memory discipline, remote writes over the active link),
+//! * [`testgen`] — deterministic random-instruction/program generators for
+//!   the workspace's property tests.
 
 #![warn(missing_docs)]
 
@@ -20,104 +22,58 @@ pub mod disasm;
 pub mod encode;
 pub mod exec;
 pub mod instr;
+pub mod testgen;
 
 pub use asm::assemble;
 pub use builder::{ops, BuildError, Label, ProgramBuilder};
 pub use disasm::{disassemble, disassemble_one};
 pub use encode::{decode, decode_program, encode, encode_program, DecodeError};
 pub use exec::{run, run_with_sink, step, ExecError, PeState, RunStats, StepEffect};
-pub use instr::{Instr, Operand, NUM_AR};
+pub use instr::{Instr, IsaError, Operand, NUM_AR};
 
 #[cfg(test)]
-mod proptests {
+mod random_tests {
+    use super::testgen::{random_instr, random_program};
     use super::*;
-    use proptest::prelude::*;
+    use cgra_fabric::rng::Rng;
 
-    fn arb_operand() -> impl Strategy<Value = Operand> {
-        prop_oneof![
-            (0u16..512).prop_map(Operand::Dir),
-            ((0u8..8), (0u8..64)).prop_map(|(ar, disp)| Operand::Ind { ar, disp }),
-            (-256i16..256).prop_map(Operand::Imm),
-            ((0u8..8), (0u8..64)).prop_map(|(ar, disp)| Operand::Rem { ar, disp }),
-        ]
-    }
-
-    fn arb_src() -> impl Strategy<Value = Operand> {
-        arb_operand().prop_filter("src", |o| o.valid_src())
-    }
-
-    fn arb_dst() -> impl Strategy<Value = Operand> {
-        arb_operand().prop_filter("dst", |o| o.valid_dst())
-    }
-
-    fn arb_instr() -> impl Strategy<Value = Instr> {
-        prop_oneof![
-            Just(Instr::Nop),
-            Just(Instr::Halt),
-            Just(Instr::ClrAcc),
-            (arb_dst(), arb_src(), arb_src()).prop_map(|(dst, a, b)| Instr::Add { dst, a, b }),
-            (arb_dst(), arb_src(), arb_src()).prop_map(|(dst, a, b)| Instr::Sub { dst, a, b }),
-            (arb_dst(), arb_src(), arb_src(), 0u8..64).prop_map(|(dst, a, b, frac)| Instr::Mul {
-                dst,
-                a,
-                b,
-                frac
-            }),
-            (arb_src(), arb_src(), 0u8..64).prop_map(|(a, b, frac)| Instr::Mac { a, b, frac }),
-            arb_dst().prop_map(|dst| Instr::MovAcc { dst }),
-            (arb_dst(), arb_src(), arb_src()).prop_map(|(dst, a, b)| Instr::Xor { dst, a, b }),
-            (arb_dst(), arb_src()).prop_map(|(dst, a)| Instr::Not { dst, a }),
-            (arb_dst(), arb_src(), arb_src()).prop_map(|(dst, a, b)| Instr::Shl { dst, a, b }),
-            (arb_dst(), arb_src(), arb_src()).prop_map(|(dst, a, b)| Instr::Shr { dst, a, b }),
-            (arb_dst(), arb_src()).prop_map(|(dst, a)| Instr::Mov { dst, a }),
-            (arb_dst(), -(1i32 << 23)..(1i32 << 23)).prop_map(|(dst, imm)| Instr::Ldi { dst, imm }),
-            (0u16..512).prop_map(|target| Instr::Jmp { target }),
-            (arb_src(), 0u16..512).prop_map(|(a, target)| Instr::Bz { a, target }),
-            (arb_src(), 0u16..512).prop_map(|(a, target)| Instr::Bnz { a, target }),
-            (arb_src(), 0u16..512).prop_map(|(a, target)| Instr::Bneg { a, target }),
-            (arb_src(), 0u16..512).prop_map(|(a, target)| Instr::Bgez { a, target }),
-            (
-                arb_dst().prop_filter("djnz", |d| !matches!(d, Operand::Rem { .. })),
-                0u16..512
-            )
-                .prop_map(|(dst, target)| Instr::Djnz { dst, target }),
-            (0u8..8, 0u16..512).prop_map(|(k, imm)| Instr::Ldar { k, src: None, imm }),
-            (
-                0u8..8,
-                arb_src().prop_filter("ldar", |s| !matches!(s, Operand::Imm(_)))
-            )
-                .prop_map(|(k, s)| Instr::Ldar {
-                    k,
-                    src: Some(s),
-                    imm: 0
-                }),
-            (0u8..8, -512i16..512).prop_map(|(k, delta)| Instr::Adar { k, delta }),
-            (arb_dst(), 0u8..8).prop_map(|(dst, k)| Instr::Movar { dst, k }),
-        ]
-    }
-
-    proptest! {
-        /// Every valid instruction survives encode -> decode.
-        #[test]
-        fn encode_decode_roundtrip(i in arb_instr()) {
-            prop_assert!(i.validate().is_ok());
+    /// Every valid instruction survives encode -> decode.
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0x15A_0001);
+        for _ in 0..4000 {
+            let i = random_instr(&mut rng);
+            assert!(i.validate().is_ok(), "{i:?}");
             let w = encode::encode(&i);
-            prop_assert_eq!(w >> 72, 0u128);
-            prop_assert_eq!(encode::decode(w).unwrap(), i);
+            assert_eq!(w >> 72, 0, "{i:?} encodes past 72 bits");
+            assert_eq!(encode::decode(w).unwrap(), i);
         }
+    }
 
-        /// Every valid instruction survives disassemble -> assemble.
-        #[test]
-        fn asm_roundtrip(prog in proptest::collection::vec(arb_instr(), 1..40)) {
+    /// Every valid program survives disassemble -> assemble.
+    #[test]
+    fn asm_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0x15A_0002);
+        for _ in 0..200 {
+            let prog = random_program(&mut rng, 40);
             let text = disasm::disassemble(&prog);
             let back = asm::assemble(&text).unwrap();
-            prop_assert_eq!(back, prog);
+            assert_eq!(back, prog);
         }
+    }
 
-        /// Decoding arbitrary 72-bit garbage never panics.
-        #[test]
-        fn decode_never_panics(bits in any::<u128>()) {
-            let _ = encode::decode(bits & ((1u128 << 72) - 1));
+    /// Decoding arbitrary 72-bit garbage never panics, and anything that
+    /// does decode re-validates cleanly (no invalid instruction escapes
+    /// the decoder).
+    #[test]
+    fn decode_never_panics_or_smuggles() {
+        let mut rng = Rng::seed_from_u64(0x15A_0003);
+        for _ in 0..20_000 {
+            let bits =
+                ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) & ((1u128 << 72) - 1);
+            if let Ok(i) = encode::decode(bits) {
+                assert!(i.validate().is_ok(), "decoded invalid instr {i:?}");
+            }
         }
     }
 }

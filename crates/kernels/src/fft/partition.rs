@@ -11,7 +11,6 @@
 //!   `2M` input + `M` twiddle + 41 temporary words (`M = 128` for DM=512).
 
 use cgra_fabric::DATA_WORDS;
-use serde::{Deserialize, Serialize};
 
 /// Words of tile data memory reserved for temporaries/control by a BF
 /// process (the paper's constant 41).
@@ -31,7 +30,7 @@ pub fn max_partition_size(dm: usize) -> usize {
 }
 
 /// A partitioned N-point FFT plan on tiles of size M.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FftPlan {
     /// Transform size (power of two).
     pub n: usize,
@@ -149,7 +148,7 @@ impl FftPlan {
 }
 
 /// One of the Figure-7 style mappings: how many stages each column takes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageSplit {
     /// Stages assigned to each column, left to right.
     pub per_col: Vec<usize>,

@@ -4,13 +4,11 @@
 //! encoder; lacking those, we synthesize test patterns with comparable
 //! block statistics (smooth gradients, textured noise, sharp edges).
 
-use serde::{Deserialize, Serialize};
-
 /// Width/height of a JPEG coding block.
 pub const BLOCK: usize = 8;
 
 /// An 8-bit grayscale image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrayImage {
     /// Width in pixels.
     pub width: usize,

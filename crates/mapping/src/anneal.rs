@@ -9,15 +9,12 @@
 //! between consecutive epochs (term B).
 
 use crate::routing::plan_route;
-use cgra_fabric::{CostModel, FabricError, LinkConfig, Mesh, TileId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use cgra_fabric::rng::Rng;
+use cgra_fabric::{parallel_map, CostModel, FabricError, LinkConfig, Mesh, TileId};
 
 /// One epoch's communication pattern: directed transfers between pipeline
 /// positions, each with a per-hop copy time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochComms {
     /// `(producer_pos, consumer_pos, copy_ns_per_hop)`.
     pub transfers: Vec<(usize, usize, f64)>,
@@ -78,7 +75,7 @@ impl PlacementProblem {
 }
 
 /// Result of an annealing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnealResult {
     /// Best placement found (pipeline position -> tile id).
     pub order: Vec<TileId>,
@@ -93,7 +90,7 @@ pub struct AnnealResult {
 }
 
 /// Annealing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnealParams {
     /// Proposals to evaluate.
     pub iterations: usize,
@@ -128,21 +125,21 @@ pub fn anneal(
     let initial_cost_ns = cost;
     let mut best = order.clone();
     let mut best_cost = cost;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut temp = (initial_cost_ns * params.t0_frac).max(1e-6);
     let all_tiles = problem.mesh.tiles();
     let mut accepted = 0usize;
 
     for _ in 0..params.iterations {
         let mut cand = order.clone();
-        let i = rng.gen_range(0..problem.stages);
+        let i = rng.gen_range(problem.stages);
         if rng.gen_bool(0.5) && all_tiles > problem.stages {
             // Relocate position i to a currently-unused tile.
             let used: std::collections::BTreeSet<TileId> = cand.iter().copied().collect();
             let free: Vec<TileId> = (0..all_tiles).filter(|t| !used.contains(t)).collect();
-            cand[i] = free[rng.gen_range(0..free.len())];
+            cand[i] = free[rng.gen_range(free.len())];
         } else {
-            let j = rng.gen_range(0..problem.stages);
+            let j = rng.gen_range(problem.stages);
             cand.swap(i, j);
         }
         let c = problem.placement_cost(&cand)?;
@@ -176,9 +173,8 @@ pub fn anneal_best_of(
     restarts: usize,
 ) -> Result<AnnealResult, FabricError> {
     assert!(restarts >= 1);
-    let results: Result<Vec<AnnealResult>, FabricError> = (0..restarts as u64)
-        .into_par_iter()
-        .map(|i| {
+    let results: Result<Vec<AnnealResult>, FabricError> =
+        parallel_map((0..restarts as u64).collect(), |i| {
             anneal(
                 problem,
                 AnnealParams {
@@ -189,6 +185,7 @@ pub fn anneal_best_of(
                 },
             )
         })
+        .into_iter()
         .collect();
     Ok(results?
         .into_iter()

@@ -17,10 +17,9 @@
 
 use crate::process::ProcessNetwork;
 use cgra_fabric::{CostModel, INSTR_SLOTS};
-use serde::{Deserialize, Serialize};
 
 /// A contiguous run of processes `first..=last` on `instances` tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileLoad {
     /// Index of the first process of the run.
     pub first: usize,
@@ -53,7 +52,7 @@ impl TileLoad {
 }
 
 /// A full chain assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     /// Loads in pipeline order; runs must tile the chain contiguously.
     pub loads: Vec<TileLoad>,
@@ -106,7 +105,7 @@ impl Assignment {
 }
 
 /// Evaluated steady-state metrics of an assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineMetrics {
     /// Per-load unit time, ns (single instance).
     pub unit_times_ns: Vec<f64>,

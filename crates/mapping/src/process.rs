@@ -10,10 +10,8 @@
 //! * `data3` — words that must be re-initialized every time the process is
 //!   re-instantiated on a tile (the per-epoch reconfiguration payload).
 
-use serde::{Deserialize, Serialize};
-
 /// One annotated process.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessSpec {
     /// Short name (`shift`, `DCT`, `Hman1`, ...).
     pub name: String,
@@ -57,7 +55,7 @@ impl ProcessSpec {
 
 /// An ordered pipeline of processes (the paper's process networks for both
 /// kernels are linear chains; helper/copy processes are inserted in-line).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessNetwork {
     /// Pipeline stages in dataflow order.
     pub processes: Vec<ProcessSpec>,

@@ -8,10 +8,9 @@
 //! L-shaped (row-first) path and re-copies the block.
 
 use cgra_fabric::{CostModel, Direction, FabricError, LinkConfig, Mesh, TileId};
-use serde::{Deserialize, Serialize};
 
 /// One hop of a route: `from` drives its link in `dir`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hop {
     /// Sending tile.
     pub from: TileId,
@@ -22,7 +21,7 @@ pub struct Hop {
 }
 
 /// A planned multi-hop transfer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// The hops, in order.
     pub hops: Vec<Hop>,

@@ -7,6 +7,31 @@
 
 use cgra_fabric::{FabricError, LinkConfig, Mesh, Tile, TileId, Word};
 use cgra_isa::{step, ExecError, PeState, StepEffect};
+use cgra_verify::Diagnostic;
+
+/// Whether the simulator statically verifies programs and epochs before
+/// running them (see `cgra-verify`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Skip static verification entirely.
+    Off,
+    /// Verify; error-severity findings abort the load or epoch switch.
+    /// Warnings are collected but don't stop the run.
+    Strict,
+}
+
+impl Default for VerifyMode {
+    /// Verification is on by default in debug builds and opt-in in
+    /// release builds (large design-space sweeps shouldn't pay for it
+    /// unless asked).
+    fn default() -> VerifyMode {
+        if cfg!(debug_assertions) {
+            VerifyMode::Strict
+        } else {
+            VerifyMode::Off
+        }
+    }
+}
 
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +57,9 @@ pub enum SimError {
         /// Budget that elapsed.
         budget: u64,
     },
+    /// Static verification rejected a program or epoch (error-severity
+    /// findings only; see [`VerifyMode`]).
+    Verify(Vec<Diagnostic>),
 }
 
 impl From<FabricError> for SimError {
@@ -51,6 +79,13 @@ impl std::fmt::Display for SimError {
             SimError::Bitstream(e) => write!(f, "bitstream: {e}"),
             SimError::Deadline { budget } => {
                 write!(f, "array did not quiesce within {budget} cycles")
+            }
+            SimError::Verify(diags) => {
+                write!(f, "verification failed with {} finding(s)", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -86,6 +121,8 @@ pub struct ArraySim {
     pub stats: Vec<TileStats>,
     /// Global cycle counter.
     pub now: u64,
+    /// Static-verification policy for program loads and epoch switches.
+    pub verify: VerifyMode,
 }
 
 impl ArraySim {
@@ -106,6 +143,7 @@ impl ArraySim {
             stall: vec![0; n],
             stats: vec![TileStats::default(); n],
             now: 0,
+            verify: VerifyMode::default(),
         }
     }
 
@@ -117,13 +155,44 @@ impl ArraySim {
     }
 
     /// Loads a program onto tile `t` and arms its PE at pc 0.
+    ///
+    /// Under [`VerifyMode::Strict`] the decoded image is run through the
+    /// program-level verifier first (with permissive preconditions — the
+    /// host may have poked any word and ARs may carry over), and
+    /// error-severity findings reject the load as [`SimError::Verify`].
     pub fn load_program(&mut self, t: TileId, image: &[u128]) -> Result<(), SimError> {
+        if self.verify != VerifyMode::Off {
+            self.verify_image(image)?;
+        }
         let tile = self
             .tiles
             .get_mut(t)
             .ok_or(FabricError::UnknownTile { tile: t })?;
         tile.load_program(image)?;
         self.states[t].soft_reset();
+        Ok(())
+    }
+
+    /// Statically verifies an encoded program image; `Err` carries the
+    /// error-severity findings.
+    pub fn verify_image(&self, image: &[u128]) -> Result<(), SimError> {
+        use cgra_verify::{DmemInit, VerifyOptions};
+        let prog = match cgra_isa::decode_program(image) {
+            Ok(p) => p,
+            // Undecodable slots fault at execution time with a precise
+            // pc; don't mask that path here.
+            Err(_) => return Ok(()),
+        };
+        let opts = VerifyOptions {
+            dmem_init: DmemInit::Everything,
+            ars_preloaded: true,
+        };
+        let diags = cgra_verify::verify_program_with(&prog, &opts);
+        if cgra_verify::has_errors(&diags) {
+            return Err(SimError::Verify(
+                cgra_verify::errors(&diags).cloned().collect(),
+            ));
+        }
         Ok(())
     }
 
@@ -271,6 +340,9 @@ mod tests {
     fn deadline_detected() {
         let mesh = Mesh::new(1, 1);
         let mut sim = ArraySim::new(mesh);
+        // Deliberately load an infinite loop; verification would (rightly)
+        // reject it before the deadline machinery gets a chance.
+        sim.verify = VerifyMode::Off;
         let mut p = ProgramBuilder::new();
         let l = p.here_label();
         p.jmp(l);
@@ -280,6 +352,28 @@ mod tests {
             sim.run_until_quiesced(100),
             Err(SimError::Deadline { budget: 100 })
         ));
+    }
+
+    #[test]
+    fn strict_verify_rejects_nonterminating_load() {
+        let mesh = Mesh::new(1, 1);
+        let mut sim = ArraySim::new(mesh);
+        sim.verify = VerifyMode::Strict;
+        let mut p = ProgramBuilder::new();
+        let l = p.here_label();
+        p.jmp(l);
+        let err = sim
+            .load_program(0, &encode_program(&p.build().unwrap()))
+            .unwrap_err();
+        match err {
+            SimError::Verify(diags) => {
+                assert!(diags.iter().all(|d| d.is_error()));
+                assert!(!diags.is_empty());
+            }
+            other => panic!("expected Verify, got {other:?}"),
+        }
+        // The PE was left untouched (still idle).
+        assert!(sim.states[0].halted);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //!           (A: epochs)   (B: reconfig)    (C: data copies)
 //! ```
 
-use crate::engine::{ArraySim, SimError};
+use crate::engine::{ArraySim, SimError, VerifyMode};
 use crate::trace::{EpochTrace, TileActivity, Trace};
 use cgra_fabric::bitstream::{self, ParsedBitstream};
-use cgra_fabric::{CostModel, DataPatch, LinkConfig, ReconfigPlan, TileId, TileReconfig};
+use cgra_fabric::{CostModel, DataPatch, LinkConfig, Mesh, ReconfigPlan, TileId, TileReconfig};
 use cgra_isa::encode_program;
 use cgra_isa::Instr;
+use cgra_verify::{Diagnostic, EpochSpec, ScheduleChecker, TileSpec};
 
 /// Reconfiguration payload for one tile in an epoch.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +41,34 @@ pub struct Epoch {
     pub setups: Vec<(TileId, TileSetup)>,
     /// Cycle budget for the epoch's computation.
     pub budget: u64,
+}
+
+/// Borrowed `cgra-verify` view of an [`Epoch`].
+pub fn epoch_spec(e: &Epoch) -> EpochSpec<'_> {
+    EpochSpec {
+        name: &e.name,
+        links: &e.links,
+        tiles: e
+            .setups
+            .iter()
+            .map(|(t, s)| TileSpec {
+                tile: *t,
+                program: s.program.as_deref(),
+                data_patches: &s.data_patches,
+            })
+            .collect(),
+    }
+}
+
+/// Statically verifies a whole schedule for `mesh` (a cold array),
+/// without running anything. Returns every finding; filter with
+/// [`cgra_verify::has_errors`] to gate execution.
+pub fn verify_epochs(mesh: Mesh, epochs: &[Epoch]) -> Vec<Diagnostic> {
+    let mut checker = ScheduleChecker::new(mesh);
+    epochs
+        .iter()
+        .flat_map(|e| checker.check_epoch(&epoch_spec(e)))
+        .collect()
 }
 
 /// Eq. 1 accounting for one executed epoch.
@@ -92,18 +121,25 @@ pub struct EpochRunner {
     pub cost: CostModel,
     /// Per-tile activity trace, one entry per executed epoch.
     pub trace: Trace,
+    /// Every verifier finding gathered so far (warnings included; errors
+    /// additionally abort the offending epoch as [`SimError::Verify`]).
+    pub diagnostics: Vec<Diagnostic>,
     prev_links: LinkConfig,
+    checker: ScheduleChecker,
 }
 
 impl EpochRunner {
     /// Wraps an array.
     pub fn new(sim: ArraySim, cost: CostModel) -> EpochRunner {
         let prev_links = sim.links.clone();
+        let checker = ScheduleChecker::new(sim.mesh);
         EpochRunner {
             sim,
             cost,
             trace: Trace::default(),
+            diagnostics: Vec::new(),
             prev_links,
+            checker,
         }
     }
 
@@ -128,7 +164,20 @@ impl EpochRunner {
     }
 
     /// Applies an epoch's reconfiguration and runs it to quiescence.
+    ///
+    /// Under [`VerifyMode::Strict`] the epoch is first checked by the
+    /// schedule verifier (which carries initialized-memory state across
+    /// the epochs this runner has executed); error findings abort the
+    /// switch before anything is applied.
     pub fn run_epoch(&mut self, epoch: &Epoch) -> Result<EpochReport, SimError> {
+        if self.sim.verify != VerifyMode::Off {
+            let found = self.checker.check_epoch(&epoch_spec(epoch));
+            let errs: Vec<Diagnostic> = cgra_verify::errors(&found).cloned().collect();
+            self.diagnostics.extend(found);
+            if !errs.is_empty() {
+                return Err(SimError::Verify(errs));
+            }
+        }
         // Build the reconfiguration plan.
         let mut plan = ReconfigPlan::from_link_change(&self.prev_links, &epoch.links);
         for (t, setup) in &epoch.setups {

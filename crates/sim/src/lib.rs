@@ -14,6 +14,6 @@ pub mod engine;
 pub mod epoch;
 pub mod trace;
 
-pub use engine::{ArraySim, SimError, TileStats};
-pub use epoch::{Epoch, EpochReport, EpochRunner, RunReport, TileSetup};
+pub use engine::{ArraySim, SimError, TileStats, VerifyMode};
+pub use epoch::{epoch_spec, verify_epochs, Epoch, EpochReport, EpochRunner, RunReport, TileSetup};
 pub use trace::{EpochTrace, TileActivity, Trace};

@@ -5,10 +5,8 @@
 //! partial reconfiguration only the rewritten tiles stall (`R`), everyone
 //! else keeps computing (`#`).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-tile activity inside one epoch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TileActivity {
     /// Cycles spent executing instructions.
     pub busy: u64,
@@ -17,7 +15,7 @@ pub struct TileActivity {
 }
 
 /// One traced epoch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochTrace {
     /// Epoch name.
     pub name: String,
@@ -30,7 +28,7 @@ pub struct EpochTrace {
 }
 
 /// A whole-run trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Epochs in execution order.
     pub epochs: Vec<EpochTrace>,

@@ -1,0 +1,165 @@
+//! Address-register use-before-`ldar` dataflow.
+//!
+//! A forward **must-be-loaded** analysis over the CFG: an address
+//! register counts as loaded only when every path from the entry passes
+//! an `ldar` that defines it. Using an unloaded register (indirect or
+//! remote operand, `adar`, `movar`) is reported as a warning — a cold PE
+//! zeroes its ARs, so the access is well-defined but the address is
+//! almost certainly not the one the programmer meant. `adar` propagates
+//! unloaded-ness: shifting a never-loaded register does not make its
+//! value meaningful.
+//!
+//! Programs loaded in a later epoch may legitimately inherit AR values
+//! (the paper's copy-process optimization keeps ARs across epochs), so
+//! the pass can start from "all registers loaded" via `preloaded`.
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use crate::effects::{ar_def, ar_uses};
+use cgra_isa::{Instr, NUM_AR};
+
+const ALL: u8 = 0xff;
+
+/// Runs the pass. `preloaded` marks every AR as already meaningful at
+/// entry (use for programs that inherit ARs from a previous epoch).
+pub fn check_ar_loads(prog: &[Instr], cfg: &Cfg, preloaded: bool) -> Vec<Diagnostic> {
+    if cfg.blocks.is_empty() || preloaded {
+        return Vec::new();
+    }
+    let nb = cfg.blocks.len();
+    // Must-analysis: meet is intersection, so initialize non-entry blocks
+    // to "all loaded" (top) and the entry to "none loaded".
+    let mut inset = vec![ALL; nb];
+    inset[0] = 0;
+    let transfer = |mut loaded: u8, range: std::ops::Range<usize>| {
+        for pc in range {
+            if let Some(k) = ar_def(&prog[pc]) {
+                loaded |= 1 << k;
+            }
+        }
+        loaded
+    };
+    let mut work: Vec<usize> = (0..nb).collect();
+    while let Some(b) = work.pop() {
+        let out = transfer(inset[b], cfg.blocks[b].start..cfg.blocks[b].end);
+        for &s in &cfg.blocks[b].succs {
+            let met = inset[s] & out;
+            if met != inset[s] {
+                inset[s] = met;
+                work.push(s);
+            }
+        }
+    }
+    // Reporting pass over reachable blocks; one warning per (pc, register).
+    let reachable = cfg.reachable();
+    let mut diags = Vec::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        let mut loaded = inset[b];
+        for (pc, instr) in prog.iter().enumerate().take(blk.end).skip(blk.start) {
+            for k in ar_uses(instr) {
+                debug_assert!((k as usize) < NUM_AR);
+                if loaded & (1 << k) == 0 {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::ArUseBeforeLoad,
+                            format!("address register a{k} used before any ldar defines it"),
+                        )
+                        .at_pc(pc),
+                    );
+                }
+            }
+            if let Some(k) = ar_def(instr) {
+                loaded |= 1 << k;
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_isa::ops::{at, d};
+
+    fn run(prog: &[Instr]) -> Vec<Diagnostic> {
+        check_ar_loads(prog, &Cfg::build(prog), false)
+    }
+
+    #[test]
+    fn loaded_then_used_is_clean() {
+        let prog = vec![
+            Instr::Ldar {
+                k: 0,
+                src: None,
+                imm: 100,
+            },
+            Instr::Mov {
+                dst: d(0),
+                a: at(0),
+            },
+            Instr::Halt,
+        ];
+        assert!(run(&prog).is_empty());
+    }
+
+    #[test]
+    fn use_before_load_warned() {
+        let prog = vec![
+            Instr::Mov {
+                dst: d(0),
+                a: at(2),
+            },
+            Instr::Halt,
+        ];
+        let d = run(&prog);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ArUseBeforeLoad);
+        assert_eq!(d[0].pc, Some(0));
+        assert!(!d[0].is_error());
+    }
+
+    #[test]
+    fn adar_does_not_count_as_load() {
+        let prog = vec![Instr::Adar { k: 1, delta: 4 }, Instr::Halt];
+        let d = run(&prog);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ArUseBeforeLoad);
+    }
+
+    #[test]
+    fn must_analysis_requires_all_paths() {
+        // ldar only on the taken path; the join must drop it.
+        let prog = vec![
+            Instr::Bz { a: d(0), target: 2 },
+            Instr::Ldar {
+                k: 0,
+                src: None,
+                imm: 5,
+            },
+            Instr::Mov {
+                dst: d(1),
+                a: at(0),
+            }, // pc 2: a0 loaded only on fallthrough path
+            Instr::Halt,
+        ];
+        let d = run(&prog);
+        assert!(d
+            .iter()
+            .any(|d| d.code == Code::ArUseBeforeLoad && d.pc == Some(2)));
+    }
+
+    #[test]
+    fn preloaded_suppresses() {
+        let prog = vec![
+            Instr::Mov {
+                dst: d(0),
+                a: at(2),
+            },
+            Instr::Halt,
+        ];
+        assert!(check_ar_loads(&prog, &Cfg::build(&prog), true).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Memory-capacity checks: instruction slots and data-word budgets.
+
+use crate::diag::{Code, Diagnostic};
+use cgra_fabric::{DATA_WORDS, INSTR_SLOTS};
+use cgra_isa::Instr;
+
+/// Checks that the program is non-empty and fits the 512-slot
+/// instruction memory.
+pub fn check_program_size(prog: &[Instr]) -> Vec<Diagnostic> {
+    if prog.is_empty() {
+        return vec![Diagnostic::error(
+            Code::EmptyProgram,
+            "program has no instructions; a PE would execute garbage",
+        )];
+    }
+    if prog.len() > INSTR_SLOTS {
+        return vec![Diagnostic::error(
+            Code::ImemOverflow,
+            format!(
+                "program of {} instructions exceeds the {INSTR_SLOTS}-slot instruction memory",
+                prog.len()
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// Checks a data footprint (e.g. a mapped process's `data_words()`)
+/// against the 512-word tile data memory.
+pub fn check_data_budget(what: &str, words: usize) -> Option<Diagnostic> {
+    if words > DATA_WORDS {
+        Some(Diagnostic::error(
+            Code::DataBudget,
+            format!("{what} needs {words} data words but a tile holds {DATA_WORDS}"),
+        ))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_oversized_rejected() {
+        assert_eq!(check_program_size(&[]).len(), 1);
+        assert_eq!(check_program_size(&[])[0].code, Code::EmptyProgram);
+        let big = vec![Instr::Nop; INSTR_SLOTS + 1];
+        let d = check_program_size(&big);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ImemOverflow);
+        assert!(d[0].is_error());
+        let ok = vec![Instr::Nop; INSTR_SLOTS];
+        assert!(check_program_size(&ok).is_empty());
+    }
+
+    #[test]
+    fn data_budget() {
+        assert!(check_data_budget("p", DATA_WORDS).is_none());
+        let d = check_data_budget("fft_bf", DATA_WORDS + 1).unwrap();
+        assert_eq!(d.code, Code::DataBudget);
+        assert!(d.message.contains("fft_bf"));
+    }
+}

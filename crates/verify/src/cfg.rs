@@ -1,0 +1,232 @@
+//! Control-flow graph construction.
+//!
+//! Basic blocks are maximal straight-line runs: a leader starts at pc 0,
+//! at every branch target, and after every control transfer or `halt`.
+//! Block successors follow the ISA's control semantics — `jmp` has one
+//! successor, conditional branches and `djnz` two, `halt` none, and
+//! everything else falls through. A block whose fallthrough would run
+//! past the last instruction is marked [`Block::falls_off`].
+
+use crate::effects::branch_target;
+use cgra_isa::Instr;
+
+/// One basic block: instructions `start..end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First pc of the block.
+    pub start: usize,
+    /// One past the last pc of the block.
+    pub end: usize,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+    /// True when execution can run past the end of the program from here.
+    pub falls_off: bool,
+}
+
+/// A program's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in program order; block 0 (when present) is the entry.
+    pub blocks: Vec<Block>,
+    /// Maps each pc to the index of its containing block.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `prog`. Branch targets outside the program are
+    /// clamped out of the leader set (instruction validation catches them
+    /// separately); an empty program yields an empty CFG.
+    pub fn build(prog: &[Instr]) -> Cfg {
+        let n = prog.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, i) in prog.iter().enumerate() {
+            if let Some(t) = branch_target(i) {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+            let ends_block = matches!(i, Instr::Halt) || branch_target(i).is_some();
+            if ends_block && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+        let mut block_of = vec![0usize; n];
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            block_of[start..end].fill(b);
+            blocks.push(Block {
+                start,
+                end,
+                succs: Vec::new(),
+                falls_off: false,
+            });
+        }
+        // Successors from each block's last instruction.
+        for b in 0..blocks.len() {
+            let last = &prog[blocks[b].end - 1];
+            let end = blocks[b].end;
+            let mut succs = Vec::new();
+            let mut falls_off = false;
+            let fallthrough = |succs: &mut Vec<usize>, falls_off: &mut bool| {
+                if end < n {
+                    succs.push(block_of[end]);
+                } else {
+                    *falls_off = true;
+                }
+            };
+            match last {
+                Instr::Halt => {}
+                Instr::Jmp { target } => {
+                    if (*target as usize) < n {
+                        succs.push(block_of[*target as usize]);
+                    }
+                }
+                i => {
+                    if let Some(t) = branch_target(i) {
+                        if (t as usize) < n {
+                            succs.push(block_of[t as usize]);
+                        }
+                        fallthrough(&mut succs, &mut falls_off);
+                    } else {
+                        fallthrough(&mut succs, &mut falls_off);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs;
+            blocks[b].falls_off = falls_off;
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// Index of the block containing `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Blocks from which some path reaches a `halt` (co-reachability over
+    /// the reversed CFG from every halt-terminated block).
+    pub fn can_halt(&self, prog: &[Instr]) -> Vec<bool> {
+        let nb = self.blocks.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        let mut ok = vec![false; nb];
+        let mut stack: Vec<usize> = (0..nb)
+            .filter(|&b| matches!(prog[self.blocks[b].end - 1], Instr::Halt))
+            .collect();
+        for &b in &stack {
+            ok[b] = true;
+        }
+        while let Some(b) = stack.pop() {
+            for &p in &preds[b] {
+                if !ok[p] {
+                    ok[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_isa::ops::d;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let prog = vec![Instr::Nop, Instr::Mov { dst: d(0), a: d(1) }, Instr::Halt];
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].succs, Vec::<usize>::new());
+        assert!(!cfg.blocks[0].falls_off);
+    }
+
+    #[test]
+    fn loop_splits_blocks() {
+        // 0: ldi; 1: djnz ->1; 2: halt
+        let prog = vec![
+            Instr::Ldi { dst: d(0), imm: 4 },
+            Instr::Djnz {
+                dst: d(0),
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.block_of(1), 1);
+        // djnz block loops to itself and falls through to halt.
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+        let reach = cfg.reachable();
+        assert!(reach.iter().all(|&r| r));
+        let halt = cfg.can_halt(&prog);
+        assert!(halt.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn fall_off_detected() {
+        let prog = vec![Instr::Nop, Instr::Nop];
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].falls_off);
+    }
+
+    #[test]
+    fn closed_jmp_cycle_cannot_halt() {
+        // 0: jmp 1; 1: jmp 0; 2: halt (unreachable)
+        let prog = vec![
+            Instr::Jmp { target: 1 },
+            Instr::Jmp { target: 0 },
+            Instr::Halt,
+        ];
+        let cfg = Cfg::build(&prog);
+        let reach = cfg.reachable();
+        let halt = cfg.can_halt(&prog);
+        assert!(reach[cfg.block_of(0)] && reach[cfg.block_of(1)]);
+        assert!(!reach[cfg.block_of(2)]);
+        assert!(!halt[cfg.block_of(0)] && !halt[cfg.block_of(1)]);
+        assert!(halt[cfg.block_of(2)]);
+    }
+
+    #[test]
+    fn empty_program_is_empty_cfg() {
+        let cfg = Cfg::build(&[]);
+        assert!(cfg.blocks.is_empty());
+        assert!(cfg.reachable().is_empty());
+    }
+}

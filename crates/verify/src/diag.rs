@@ -1,0 +1,229 @@
+//! Structured, machine-readable diagnostics.
+//!
+//! Every pass reports findings as [`Diagnostic`] values: a severity, a
+//! stable [`Code`], a human-readable message, and an optional location
+//! (tile / epoch / pc). Callers filter on [`Severity::Error`] to gate
+//! execution and can match on [`Code`] without parsing strings.
+
+use cgra_fabric::TileId;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not certainly fatal (e.g. dead code).
+    Warning,
+    /// The program or schedule is certainly broken.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifier of each defect class the verifier detects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// An instruction fails [`cgra_isa::Instr::validate`].
+    InvalidInstr,
+    /// The program is empty (a PE would fall straight off the end).
+    EmptyProgram,
+    /// The program exceeds the 512-slot instruction memory.
+    ImemOverflow,
+    /// A basic block can never be reached from the entry.
+    Unreachable,
+    /// A reachable path can loop forever without retiring `halt`.
+    NoHaltPath,
+    /// Execution can run past the last instruction without a `halt`.
+    FallsOffEnd,
+    /// An address register is used before any `ldar` defines it.
+    ArUseBeforeLoad,
+    /// A read of a data-memory word that no patch, store, or inbound
+    /// remote write ever initialized.
+    UninitRead,
+    /// A program performs a remote write but the tile has no active
+    /// outgoing link in that epoch.
+    RemoteWriteNoLink,
+    /// A link points off the mesh or the config covers unknown tiles.
+    IllegalLink,
+    /// An epoch reconfigures a tile outside the mesh.
+    UnknownTile,
+    /// A data patch runs past the 512-word data memory.
+    PatchOutOfRange,
+    /// Two data patches in the same epoch rewrite the same word.
+    PatchOverlap,
+    /// A process's data footprint exceeds the 512-word tile memory.
+    DataBudget,
+}
+
+impl Code {
+    /// Short machine-readable identifier, e.g. `V007`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::InvalidInstr => "V001",
+            Code::EmptyProgram => "V002",
+            Code::ImemOverflow => "V003",
+            Code::Unreachable => "V004",
+            Code::NoHaltPath => "V005",
+            Code::FallsOffEnd => "V006",
+            Code::ArUseBeforeLoad => "V007",
+            Code::UninitRead => "V008",
+            Code::RemoteWriteNoLink => "V009",
+            Code::IllegalLink => "V010",
+            Code::UnknownTile => "V011",
+            Code::PatchOutOfRange => "V012",
+            Code::PatchOverlap => "V013",
+            Code::DataBudget => "V014",
+        }
+    }
+
+    /// Kebab-case name of the defect class.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::InvalidInstr => "invalid-instr",
+            Code::EmptyProgram => "empty-program",
+            Code::ImemOverflow => "imem-overflow",
+            Code::Unreachable => "unreachable",
+            Code::NoHaltPath => "no-halt-path",
+            Code::FallsOffEnd => "falls-off-end",
+            Code::ArUseBeforeLoad => "ar-use-before-load",
+            Code::UninitRead => "uninit-read",
+            Code::RemoteWriteNoLink => "remote-write-no-link",
+            Code::IllegalLink => "illegal-link",
+            Code::UnknownTile => "unknown-tile",
+            Code::PatchOutOfRange => "patch-out-of-range",
+            Code::PatchOverlap => "patch-overlap",
+            Code::DataBudget => "data-budget",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The defect class.
+    pub code: Code,
+    /// Human-readable detail.
+    pub message: String,
+    /// Tile the finding concerns, when known.
+    pub tile: Option<TileId>,
+    /// Epoch index in the schedule, when schedule-level.
+    pub epoch: Option<usize>,
+    /// Program counter of the offending instruction, when program-level.
+    pub pc: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Builds an error.
+    pub fn error(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            tile: None,
+            epoch: None,
+            pc: None,
+        }
+    }
+
+    /// Builds a warning.
+    pub fn warning(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches a program counter.
+    pub fn at_pc(mut self, pc: usize) -> Diagnostic {
+        self.pc = Some(pc);
+        self
+    }
+
+    /// Attaches a tile.
+    pub fn on_tile(mut self, tile: TileId) -> Diagnostic {
+        self.tile = Some(tile);
+        self
+    }
+
+    /// Attaches an epoch index.
+    pub fn in_epoch(mut self, epoch: usize) -> Diagnostic {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// True for [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]",
+            self.severity,
+            self.code.id(),
+            self.code.name()
+        )?;
+        if let Some(t) = self.tile {
+            write!(f, " tile {t}")?;
+        }
+        if let Some(e) = self.epoch {
+            write!(f, " epoch {e}")?;
+        }
+        if let Some(pc) = self.pc {
+            write!(f, " pc {pc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// True when any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// The errors among `diags`.
+pub fn errors(diags: &[Diagnostic]) -> impl Iterator<Item = &Diagnostic> {
+    diags.iter().filter(|d| d.is_error())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let d = Diagnostic::error(Code::UninitRead, "read of d[7]")
+            .on_tile(3)
+            .in_epoch(1)
+            .at_pc(12);
+        let s = d.to_string();
+        assert!(s.contains("error"));
+        assert!(s.contains("V008"));
+        assert!(s.contains("uninit-read"));
+        assert!(s.contains("tile 3"));
+        assert!(s.contains("epoch 1"));
+        assert!(s.contains("pc 12"));
+        assert!(s.contains("read of d[7]"));
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        let diags = vec![
+            Diagnostic::warning(Code::Unreachable, "dead"),
+            Diagnostic::error(Code::ImemOverflow, "big"),
+        ];
+        assert!(has_errors(&diags));
+        assert_eq!(errors(&diags).count(), 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Abstract interpretation over the 512-word data memory.
+//!
+//! The abstract state tracks, per program point:
+//!
+//! * a **may-init** word set — every word some path may have initialized
+//!   (by the caller-supplied precondition, a local store, or — at the
+//!   schedule level — a data patch or inbound remote write), joined by
+//!   union, and
+//! * an abstract value per address register — `Const(a)` when every path
+//!   agrees on the register's value, else `Unknown` — so indirect
+//!   accesses with statically-known bases resolve to concrete addresses.
+//!
+//! A read of a word **not** in the may-init set is *definitely*
+//! uninitialized on every path and is reported ([`Code::UninitRead`]).
+//! Because the set over-approximates, the pass never produces a false
+//! positive from path merging; the price is false *negatives*: a store
+//! through an `Unknown` register havocs the whole set (it may have
+//! initialized anything), silencing later reads. Reads through `Unknown`
+//! registers are never reported for the same reason. Remote writes are
+//! collected separately so the schedule verifier can credit them to the
+//! neighbour's memory.
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use cgra_fabric::DATA_WORDS;
+use cgra_isa::{Instr, Operand, NUM_AR};
+
+/// A set of data-memory word addresses (0..512).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordSet([u64; DATA_WORDS / 64]);
+
+impl WordSet {
+    /// The empty set.
+    pub fn empty() -> WordSet {
+        WordSet([0; DATA_WORDS / 64])
+    }
+
+    /// The full set (all 512 words).
+    pub fn full() -> WordSet {
+        WordSet([!0; DATA_WORDS / 64])
+    }
+
+    /// Adds `addr` (mod 512, matching the PE's address wrap).
+    pub fn insert(&mut self, addr: usize) {
+        let a = addr % DATA_WORDS;
+        self.0[a / 64] |= 1 << (a % 64);
+    }
+
+    /// Adds `count` words starting at `base`.
+    pub fn insert_range(&mut self, base: usize, count: usize) {
+        for a in base..base + count {
+            self.insert(a);
+        }
+    }
+
+    /// True when `addr` is in the set.
+    pub fn contains(&self, addr: usize) -> bool {
+        let a = addr % DATA_WORDS;
+        self.0[a / 64] & (1 << (a % 64)) != 0
+    }
+
+    /// In-place union.
+    pub fn union(&mut self, other: &WordSet) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of words in the set.
+    pub fn len(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no word is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+}
+
+impl Default for WordSet {
+    fn default() -> WordSet {
+        WordSet::empty()
+    }
+}
+
+/// Abstract address-register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArVal {
+    Const(u16),
+    Unknown,
+}
+
+impl ArVal {
+    fn join(self, other: ArVal) -> ArVal {
+        match (self, other) {
+            (ArVal::Const(a), ArVal::Const(b)) if a == b => ArVal::Const(a),
+            _ => ArVal::Unknown,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AbsState {
+    init: WordSet,
+    ar: [ArVal; NUM_AR],
+}
+
+impl AbsState {
+    fn join(&mut self, other: &AbsState) -> bool {
+        let before = *self;
+        self.init.union(&other.init);
+        for k in 0..NUM_AR {
+            self.ar[k] = self.ar[k].join(other.ar[k]);
+        }
+        *self != before
+    }
+
+    fn addr_of(&self, ar: u8, disp: u8) -> Option<usize> {
+        match self.ar[ar as usize] {
+            ArVal::Const(c) => Some((c as usize + disp as usize) % DATA_WORDS),
+            ArVal::Unknown => None,
+        }
+    }
+}
+
+/// What a program may do to memory, plus any uninit-read findings.
+#[derive(Debug, Clone)]
+pub struct DmemSummary {
+    /// Local words the program may write on some path.
+    pub written: WordSet,
+    /// Neighbour words the program may write through the link.
+    pub remote_written: WordSet,
+    /// A remote write through an `Unknown` register was seen — the
+    /// neighbour's whole memory must be treated as possibly written.
+    pub remote_unknown: bool,
+    /// Some reachable instruction writes through the link at all.
+    pub has_remote_write: bool,
+    /// Uninitialized-read findings.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Runs the pass. `preinit` seeds the may-init set (data patches, host
+/// pokes, inbound remote writes); `ars_known_zero` models a cold PE
+/// whose address registers are all zero (pass `false` for programs that
+/// inherit ARs from a previous epoch).
+pub fn analyze(prog: &[Instr], cfg: &Cfg, preinit: &WordSet, ars_known_zero: bool) -> DmemSummary {
+    let mut summary = DmemSummary {
+        written: WordSet::empty(),
+        remote_written: WordSet::empty(),
+        remote_unknown: false,
+        has_remote_write: false,
+        diags: Vec::new(),
+    };
+    if cfg.blocks.is_empty() {
+        return summary;
+    }
+    let entry = AbsState {
+        init: *preinit,
+        ar: [if ars_known_zero {
+            ArVal::Const(0)
+        } else {
+            ArVal::Unknown
+        }; NUM_AR],
+    };
+    let nb = cfg.blocks.len();
+    let reachable = cfg.reachable();
+    let mut inset: Vec<Option<AbsState>> = vec![None; nb];
+    inset[0] = Some(entry);
+
+    // Fixpoint on block-entry states (effects only, no reporting).
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut st = match inset[b] {
+            Some(s) => s,
+            None => continue,
+        };
+        for instr in &prog[cfg.blocks[b].start..cfg.blocks[b].end] {
+            step(instr, &mut st, None, 0, &mut summary);
+        }
+        for &s in &cfg.blocks[b].succs {
+            match &mut inset[s] {
+                Some(existing) => {
+                    if existing.join(&st) {
+                        work.push(s);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(st);
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    // Reporting pass with the stable entry states.
+    summary = DmemSummary {
+        written: WordSet::empty(),
+        remote_written: WordSet::empty(),
+        remote_unknown: false,
+        has_remote_write: false,
+        diags: Vec::new(),
+    };
+    for b in 0..nb {
+        if !reachable[b] {
+            continue;
+        }
+        let mut st = match inset[b] {
+            Some(s) => s,
+            None => continue,
+        };
+        let blk = &cfg.blocks[b];
+        for (pc, instr) in prog.iter().enumerate().take(blk.end).skip(blk.start) {
+            let mut diags = Vec::new();
+            step(instr, &mut st, Some(&mut diags), pc, &mut summary);
+            summary.diags.append(&mut diags);
+        }
+    }
+    summary
+}
+
+/// Interprets one instruction: checks reads, applies writes and AR
+/// updates, and records write effects into `summary`.
+fn step(
+    i: &Instr,
+    st: &mut AbsState,
+    mut report: Option<&mut Vec<Diagnostic>>,
+    pc: usize,
+    summary: &mut DmemSummary,
+) {
+    let check_read = |o: &Operand, st: &AbsState, report: &mut Option<&mut Vec<Diagnostic>>| {
+        let addr = match o {
+            Operand::Dir(a) => Some(*a as usize),
+            Operand::Ind { ar, disp } => st.addr_of(*ar, *disp),
+            _ => None,
+        };
+        if let (Some(a), Some(out)) = (addr, report.as_deref_mut()) {
+            if !st.init.contains(a) {
+                out.push(
+                    Diagnostic::warning(
+                        Code::UninitRead,
+                        format!(
+                            "read of d[{a}], which no patch, store, or inbound write initialized"
+                        ),
+                    )
+                    .at_pc(pc),
+                );
+            }
+        }
+    };
+    for o in crate::effects::reads(i) {
+        check_read(&o, st, &mut report);
+    }
+    if let Some(dst) = crate::effects::write(i) {
+        match dst {
+            Operand::Dir(a) => {
+                st.init.insert(a as usize);
+                summary.written.insert(a as usize);
+            }
+            Operand::Ind { ar, disp } => match st.addr_of(ar, disp) {
+                Some(a) => {
+                    st.init.insert(a);
+                    summary.written.insert(a);
+                }
+                None => {
+                    // A store through an unknown register may have hit
+                    // any word: havoc to stay sound.
+                    st.init = WordSet::full();
+                    summary.written = WordSet::full();
+                }
+            },
+            Operand::Rem { ar, disp } => {
+                summary.has_remote_write = true;
+                match st.addr_of(ar, disp) {
+                    Some(a) => summary.remote_written.insert(a),
+                    None => summary.remote_unknown = true,
+                }
+            }
+            Operand::Imm(_) => {}
+        }
+    }
+    match i {
+        Instr::Ldar { k, src: None, imm } => st.ar[*k as usize] = ArVal::Const(*imm),
+        Instr::Ldar {
+            k, src: Some(_), ..
+        } => st.ar[*k as usize] = ArVal::Unknown,
+        Instr::Adar { k, delta } => {
+            if let ArVal::Const(c) = st.ar[*k as usize] {
+                let v = (c as i32 + *delta as i32).rem_euclid(DATA_WORDS as i32);
+                st.ar[*k as usize] = ArVal::Const(v as u16);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_isa::ops::{at, at_off, d, imm, rem};
+
+    fn run(prog: &[Instr]) -> DmemSummary {
+        analyze(prog, &Cfg::build(prog), &WordSet::empty(), true)
+    }
+
+    #[test]
+    fn uninit_read_flagged_and_store_silences() {
+        let prog = vec![
+            Instr::Mov { dst: d(1), a: d(0) }, // d[0] uninit
+            Instr::Mov { dst: d(2), a: d(1) }, // d[1] now written
+            Instr::Halt,
+        ];
+        let s = run(&prog);
+        assert_eq!(s.diags.len(), 1);
+        assert_eq!(s.diags[0].code, Code::UninitRead);
+        assert_eq!(s.diags[0].pc, Some(0));
+        assert!(s.written.contains(1) && s.written.contains(2));
+    }
+
+    #[test]
+    fn preinit_respected() {
+        let mut pre = WordSet::empty();
+        pre.insert(0);
+        let prog = vec![Instr::Mov { dst: d(1), a: d(0) }, Instr::Halt];
+        let s = analyze(&prog, &Cfg::build(&prog), &pre, true);
+        assert!(s.diags.is_empty());
+    }
+
+    #[test]
+    fn constant_ar_resolves_indirect() {
+        let prog = vec![
+            Instr::Ldar {
+                k: 0,
+                src: None,
+                imm: 100,
+            },
+            Instr::Adar { k: 0, delta: 2 },
+            Instr::Mov {
+                dst: d(0),
+                a: at_off(0, 1),
+            }, // reads d[103]: uninit
+            Instr::Halt,
+        ];
+        let s = run(&prog);
+        assert_eq!(s.diags.len(), 1);
+        assert!(s.diags[0].message.contains("d[103]"));
+    }
+
+    #[test]
+    fn unknown_store_havocs() {
+        let prog = vec![
+            Instr::Ldar {
+                k: 0,
+                src: Some(d(5)), // d[5] itself uninit: one warning
+                imm: 0,
+            },
+            Instr::Mov {
+                dst: at(0),
+                a: imm(1),
+            }, // store through unknown a0: havoc
+            Instr::Mov { dst: d(1), a: d(9) }, // d[9] may now be written
+            Instr::Halt,
+        ];
+        let s = run(&prog);
+        assert_eq!(s.diags.len(), 1);
+        assert_eq!(s.diags[0].pc, Some(0));
+        assert!(s.written.contains(9));
+    }
+
+    #[test]
+    fn remote_writes_summarized() {
+        let prog = vec![
+            Instr::Ldar {
+                k: 1,
+                src: None,
+                imm: 200,
+            },
+            Instr::Mov {
+                dst: rem(1),
+                a: imm(7),
+            },
+            Instr::Halt,
+        ];
+        let s = run(&prog);
+        assert!(s.has_remote_write);
+        assert!(s.remote_written.contains(200));
+        assert!(!s.remote_unknown);
+        // Remote writes don't initialize local memory.
+        assert!(!s.written.contains(200));
+    }
+
+    #[test]
+    fn join_is_union_no_false_positives() {
+        // d[10] written on only one branch; later read must NOT warn
+        // (may-init over-approximates).
+        let prog = vec![
+            Instr::Bz {
+                a: imm(0),
+                target: 2,
+            },
+            Instr::Ldi { dst: d(10), imm: 1 },
+            Instr::Mov {
+                dst: d(11),
+                a: d(10),
+            },
+            Instr::Halt,
+        ];
+        let s = run(&prog);
+        assert!(s.diags.is_empty());
+    }
+
+    #[test]
+    fn wordset_basics() {
+        let mut w = WordSet::empty();
+        assert!(w.is_empty());
+        w.insert_range(510, 4); // wraps: 510, 511, 0, 1
+        assert!(w.contains(511) && w.contains(0) && w.contains(1));
+        assert_eq!(w.len(), 4);
+        assert_eq!(WordSet::full().len(), DATA_WORDS);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-instruction read/write/branch summaries.
+//!
+//! The dataflow passes need a uniform view of what each [`Instr`] reads,
+//! writes, and where it can transfer control; this module centralizes
+//! that classification so no pass hand-matches all 24 variants.
+
+use cgra_isa::{Instr, Operand};
+
+/// Operands the instruction reads (memory or immediate sources).
+///
+/// `djnz` reads its counter; the `ldar` memory form reads its address
+/// source. Remote operands never appear here (they are write-only).
+pub fn reads(i: &Instr) -> Vec<Operand> {
+    match i {
+        Instr::Nop | Instr::Halt | Instr::ClrAcc | Instr::Jmp { .. } => vec![],
+        Instr::Add { a, b, .. }
+        | Instr::Sub { a, b, .. }
+        | Instr::And { a, b, .. }
+        | Instr::Or { a, b, .. }
+        | Instr::Xor { a, b, .. }
+        | Instr::Shl { a, b, .. }
+        | Instr::Shr { a, b, .. }
+        | Instr::Mul { a, b, .. }
+        | Instr::Mac { a, b, .. } => vec![*a, *b],
+        Instr::Not { a, .. } | Instr::Mov { a, .. } => vec![*a],
+        Instr::MovAcc { .. } | Instr::Ldi { .. } | Instr::Movar { .. } | Instr::Adar { .. } => {
+            vec![]
+        }
+        Instr::Bz { a, .. }
+        | Instr::Bnz { a, .. }
+        | Instr::Bneg { a, .. }
+        | Instr::Bgez { a, .. } => {
+            vec![*a]
+        }
+        Instr::Djnz { dst, .. } => vec![*dst],
+        Instr::Ldar { src, .. } => src.map(|s| vec![s]).unwrap_or_default(),
+    }
+}
+
+/// The operand the instruction writes, if any (may be remote).
+pub fn write(i: &Instr) -> Option<Operand> {
+    match i {
+        Instr::Add { dst, .. }
+        | Instr::Sub { dst, .. }
+        | Instr::Mul { dst, .. }
+        | Instr::MovAcc { dst }
+        | Instr::And { dst, .. }
+        | Instr::Or { dst, .. }
+        | Instr::Xor { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::Shl { dst, .. }
+        | Instr::Shr { dst, .. }
+        | Instr::Mov { dst, .. }
+        | Instr::Ldi { dst, .. }
+        | Instr::Djnz { dst, .. }
+        | Instr::Movar { dst, .. } => Some(*dst),
+        Instr::Nop
+        | Instr::Halt
+        | Instr::ClrAcc
+        | Instr::Mac { .. }
+        | Instr::Jmp { .. }
+        | Instr::Bz { .. }
+        | Instr::Bnz { .. }
+        | Instr::Bneg { .. }
+        | Instr::Bgez { .. }
+        | Instr::Ldar { .. }
+        | Instr::Adar { .. } => None,
+    }
+}
+
+/// The branch target, for any control-transfer instruction.
+pub fn branch_target(i: &Instr) -> Option<u16> {
+    match i {
+        Instr::Jmp { target }
+        | Instr::Bz { target, .. }
+        | Instr::Bnz { target, .. }
+        | Instr::Bneg { target, .. }
+        | Instr::Bgez { target, .. }
+        | Instr::Djnz { target, .. } => Some(*target),
+        _ => None,
+    }
+}
+
+/// Address registers the instruction reads: every `Ind`/`Rem` operand it
+/// touches, plus `adar`'s in-place update and `movar`'s source.
+pub fn ar_uses(i: &Instr) -> Vec<u8> {
+    let mut ars = Vec::new();
+    let mut from_op = |o: &Operand| {
+        if let Operand::Ind { ar, .. } | Operand::Rem { ar, .. } = o {
+            ars.push(*ar);
+        }
+    };
+    for o in reads(i) {
+        from_op(&o);
+    }
+    if let Some(o) = write(i) {
+        from_op(&o);
+    }
+    match i {
+        Instr::Adar { k, .. } | Instr::Movar { k, .. } => ars.push(*k),
+        Instr::Ldar { .. } => {} // source operand already covered above
+        _ => {}
+    }
+    ars.sort_unstable();
+    ars.dedup();
+    ars
+}
+
+/// The address register the instruction (re)defines, if any.
+///
+/// Only `ldar` counts as a definition; `adar` shifts an existing value
+/// and therefore *propagates* an unloaded register instead of fixing it.
+pub fn ar_def(i: &Instr) -> Option<u8> {
+    match i {
+        Instr::Ldar { k, .. } => Some(*k),
+        _ => None,
+    }
+}
+
+/// True when the instruction writes through the remote link.
+pub fn writes_remote(i: &Instr) -> bool {
+    matches!(write(i), Some(Operand::Rem { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_isa::ops::{at, at_off, d, imm, rem};
+
+    #[test]
+    fn djnz_reads_and_writes_counter() {
+        let i = Instr::Djnz {
+            dst: d(5),
+            target: 0,
+        };
+        assert_eq!(reads(&i), vec![d(5)]);
+        assert_eq!(write(&i), Some(d(5)));
+        assert_eq!(branch_target(&i), Some(0));
+    }
+
+    #[test]
+    fn ar_classification() {
+        let i = Instr::Mov {
+            dst: rem(3),
+            a: at_off(1, 4),
+        };
+        assert_eq!(ar_uses(&i), vec![1, 3]);
+        assert_eq!(ar_def(&i), None);
+        assert!(writes_remote(&i));
+
+        let ld = Instr::Ldar {
+            k: 2,
+            src: Some(at(6)),
+            imm: 0,
+        };
+        assert_eq!(ar_uses(&ld), vec![6]);
+        assert_eq!(ar_def(&ld), Some(2));
+
+        let ad = Instr::Adar { k: 4, delta: 1 };
+        assert_eq!(ar_uses(&ad), vec![4]);
+        assert_eq!(ar_def(&ad), None);
+    }
+
+    #[test]
+    fn arithmetic_reads_both_sources() {
+        let i = Instr::Add {
+            dst: d(0),
+            a: d(1),
+            b: imm(3),
+        };
+        assert_eq!(reads(&i), vec![d(1), imm(3)]);
+        assert_eq!(write(&i), Some(d(0)));
+        assert!(!writes_remote(&i));
+    }
+}

@@ -1,0 +1,54 @@
+//! # cgra-verify
+//!
+//! Static verifier for reMORPH PE programs and epoch schedules.
+//!
+//! The simulator executes whatever it is handed; a malformed program or
+//! schedule surfaces as a hung epoch, a garbage FFT, or a deadline trip
+//! deep inside a design-space sweep. This crate front-loads those
+//! failures: it analyzes assembled [`cgra_isa::Instr`] programs and
+//! epoch-schedule descriptions *before* anything runs and reports
+//! machine-readable [`Diagnostic`]s with tile/epoch/pc locations.
+//!
+//! ## Program-level passes ([`verify_program`])
+//!
+//! 1. per-instruction validation (typed [`cgra_isa::IsaError`] findings),
+//! 2. capacity — non-empty and within the 512-slot instruction memory,
+//! 3. control flow — CFG construction, reachability, "every path reaches
+//!    `halt`", no falling off the end ([`cfg`], [`term`]),
+//! 4. address registers — must-be-loaded dataflow flagging uses before
+//!    any `ldar` ([`ars`]),
+//! 5. data memory — abstract interpretation over the 512-word memory
+//!    flagging reads of words nothing initialized ([`dmem`]).
+//!
+//! ## Schedule-level passes ([`verify_schedule`] / [`ScheduleChecker`])
+//!
+//! Epoch sequences are checked for link legality on the mesh, remote
+//! writes without an active outgoing link, data-patch range/overlap
+//! errors, and memory budgets — threading the may-initialized word sets
+//! across epochs so that patches, earlier stores and inbound neighbour
+//! writes all count as initializing ([`schedule`]).
+//!
+//! Findings split into [`Severity::Error`] (the simulator or hardware
+//! would reject or hang on this) and [`Severity::Warning`] (well-defined
+//! but almost certainly a generator bug, e.g. reading a word nothing
+//! wrote). See `DESIGN.md` for the soundness caveats of the abstract
+//! domains.
+
+#![warn(missing_docs)]
+
+pub mod ars;
+pub mod capacity;
+pub mod cfg;
+pub mod diag;
+pub mod dmem;
+pub mod effects;
+pub mod program;
+pub mod schedule;
+pub mod term;
+
+pub use capacity::check_data_budget;
+pub use cfg::Cfg;
+pub use diag::{errors, has_errors, Code, Diagnostic, Severity};
+pub use dmem::{DmemSummary, WordSet};
+pub use program::{analyze_program, verify_program, verify_program_with, DmemInit, VerifyOptions};
+pub use schedule::{verify_schedule, EpochSpec, ScheduleChecker, TileSpec};

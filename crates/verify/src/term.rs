@@ -1,0 +1,122 @@
+//! Reachability and guaranteed-termination analysis.
+//!
+//! A well-formed PE program must retire `halt` on **every** path — the
+//! epoch runner detects completion by quiescence, so a tile that loops
+//! forever (or falls off the end of its instruction memory) hangs the
+//! whole epoch until the cycle budget trips. Three findings:
+//!
+//! * [`Code::NoHaltPath`] (error) — a reachable block from which no path
+//!   reaches a `halt`. Conditional loops are fine (some path exits);
+//!   closed `jmp` cycles are not.
+//! * [`Code::FallsOffEnd`] (error) — a reachable path can run past the
+//!   last instruction.
+//! * [`Code::Unreachable`] (warning) — dead code; harmless at runtime
+//!   but almost always a generator bug.
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use cgra_isa::Instr;
+
+/// Runs the termination pass over a built CFG.
+pub fn check_termination(prog: &[Instr], cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if cfg.blocks.is_empty() {
+        return diags;
+    }
+    let reachable = cfg.reachable();
+    let can_halt = cfg.can_halt(prog);
+
+    let stuck: Vec<usize> = (0..cfg.blocks.len())
+        .filter(|&b| reachable[b] && !can_halt[b])
+        .map(|b| cfg.blocks[b].start)
+        .collect();
+    if let Some(&first) = stuck.iter().min() {
+        diags.push(
+            Diagnostic::error(
+                Code::NoHaltPath,
+                format!(
+                    "{} reachable basic block(s) can never reach a halt (infinite loop)",
+                    stuck.len()
+                ),
+            )
+            .at_pc(first),
+        );
+    }
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if reachable[b] && blk.falls_off {
+            diags.push(
+                Diagnostic::error(
+                    Code::FallsOffEnd,
+                    "execution can run past the last instruction without a halt",
+                )
+                .at_pc(blk.end - 1),
+            );
+        }
+    }
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] {
+            diags.push(
+                Diagnostic::warning(
+                    Code::Unreachable,
+                    format!("instructions {}..{} are unreachable", blk.start, blk.end),
+                )
+                .at_pc(blk.start),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_isa::ops::d;
+
+    fn run(prog: &[Instr]) -> Vec<Diagnostic> {
+        check_termination(prog, &Cfg::build(prog))
+    }
+
+    #[test]
+    fn clean_loop_passes() {
+        let prog = vec![
+            Instr::Ldi { dst: d(0), imm: 4 },
+            Instr::Djnz {
+                dst: d(0),
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        assert!(run(&prog).is_empty());
+    }
+
+    #[test]
+    fn closed_cycle_flagged() {
+        let prog = vec![Instr::Jmp { target: 0 }, Instr::Halt];
+        let d = run(&prog);
+        assert!(d.iter().any(|d| d.code == Code::NoHaltPath && d.is_error()));
+        assert!(d.iter().any(|d| d.code == Code::Unreachable));
+    }
+
+    #[test]
+    fn fall_off_flagged() {
+        let prog = vec![Instr::Nop];
+        let d = run(&prog);
+        assert!(d
+            .iter()
+            .any(|d| d.code == Code::FallsOffEnd && d.is_error()));
+    }
+
+    #[test]
+    fn dead_tail_is_warning_only() {
+        let prog = vec![
+            Instr::Halt,
+            Instr::Nop, // dead
+            Instr::Halt,
+        ];
+        let d = run(&prog);
+        assert!(d.iter().all(|d| !d.is_error()));
+        assert!(d.iter().any(|d| d.code == Code::Unreachable));
+    }
+}

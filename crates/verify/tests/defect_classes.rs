@@ -1,0 +1,197 @@
+//! The five defect classes from the acceptance criteria, each caught by
+//! the verifier on a minimal bad program or schedule:
+//!
+//! 1. remote write without an active link,
+//! 2. read of uninitialized data memory,
+//! 3. instruction-memory overflow,
+//! 4. unreachable / non-terminating code,
+//! 5. illegal link configuration for the mesh.
+
+use cgra_fabric::{DataPatch, Direction, Mesh, Word};
+use cgra_isa::ops::{d, imm, rem};
+use cgra_isa::Instr;
+use cgra_verify::{
+    has_errors, verify_program, verify_program_with, verify_schedule, Code, DmemInit, EpochSpec,
+    TileSpec, VerifyOptions,
+};
+
+/// Defect class 1: a program drives its remote operand while the tile's
+/// outgoing link is inactive that epoch — the write would raise
+/// `UnroutedWrite` at runtime.
+#[test]
+fn defect_remote_write_without_link() {
+    let mesh = Mesh::new(2, 2);
+    let prog = vec![
+        Instr::Ldar {
+            k: 0,
+            src: None,
+            imm: 0,
+        },
+        Instr::Mov {
+            dst: rem(0),
+            a: imm(42),
+        },
+        Instr::Halt,
+    ];
+    let links = mesh.disconnected(); // nobody's link is active
+    let epochs = [EpochSpec {
+        name: "compute",
+        links: &links,
+        tiles: vec![TileSpec {
+            tile: 0,
+            program: Some(&prog),
+            data_patches: &[],
+        }],
+    }];
+    let diags = verify_schedule(mesh, &epochs);
+    let hit = diags
+        .iter()
+        .find(|d| d.code == Code::RemoteWriteNoLink)
+        .expect("remote write with no active link must be reported");
+    assert!(hit.is_error());
+    assert_eq!(hit.tile, Some(0));
+    assert_eq!(hit.epoch, Some(0));
+
+    // Activating the link fixes it.
+    let linked = mesh.disconnected().with(0, Direction::East);
+    let epochs = [EpochSpec {
+        name: "compute",
+        links: &linked,
+        tiles: vec![TileSpec {
+            tile: 0,
+            program: Some(&prog),
+            data_patches: &[],
+        }],
+    }];
+    assert!(!has_errors(&verify_schedule(mesh, &epochs)));
+}
+
+/// Defect class 2: reading a data-memory word that no patch, store or
+/// inbound remote write ever initialized.
+#[test]
+fn defect_uninitialized_dmem_read() {
+    let prog = vec![
+        Instr::Add {
+            dst: d(0),
+            a: imm(1),
+            b: d(300), // d[300] was never written
+        },
+        Instr::Halt,
+    ];
+    let diags = verify_program(&prog);
+    let hit = diags
+        .iter()
+        .find(|d| d.code == Code::UninitRead)
+        .expect("uninitialized read must be reported");
+    assert_eq!(hit.pc, Some(0));
+
+    // A data patch covering the word silences it.
+    let mesh = Mesh::new(1, 1);
+    let links = mesh.disconnected();
+    let patches = [DataPatch::new(300, vec![Word::wrap(5)])];
+    let epochs = [EpochSpec {
+        name: "patched",
+        links: &links,
+        tiles: vec![TileSpec {
+            tile: 0,
+            program: Some(&prog),
+            data_patches: &patches,
+        }],
+    }];
+    let diags = verify_schedule(mesh, &epochs);
+    assert!(
+        diags.iter().all(|d| d.code != Code::UninitRead),
+        "{diags:?}"
+    );
+}
+
+/// Defect class 3: a program that does not fit the 512-slot instruction
+/// memory.
+#[test]
+fn defect_imem_overflow() {
+    let mut prog = vec![Instr::Nop; 600];
+    *prog.last_mut().unwrap() = Instr::Halt;
+    let diags = verify_program(&prog);
+    let hit = diags
+        .iter()
+        .find(|d| d.code == Code::ImemOverflow)
+        .expect("oversized program must be reported");
+    assert!(hit.is_error());
+}
+
+/// Defect class 4: non-terminating control flow (a closed jmp cycle) and
+/// the unreachable code it strands behind it.
+#[test]
+fn defect_unreachable_and_nonterminating() {
+    let prog = vec![
+        Instr::Ldi { dst: d(0), imm: 1 },
+        Instr::Jmp { target: 1 }, // spins forever
+        Instr::Halt,              // dead
+    ];
+    let diags = verify_program(&prog);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::NoHaltPath && d.is_error()),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::Unreachable && !d.is_error()),
+        "{diags:?}"
+    );
+
+    // Falling off the end of instruction memory is the other way a
+    // program never halts.
+    let off_end = vec![Instr::Ldi { dst: d(0), imm: 1 }];
+    assert!(verify_program_with(
+        &off_end,
+        &VerifyOptions {
+            dmem_init: DmemInit::Everything,
+            ars_preloaded: true,
+        }
+    )
+    .iter()
+    .any(|d| d.code == Code::FallsOffEnd && d.is_error()));
+}
+
+/// Defect class 5: a link configuration illegal for the mesh topology —
+/// pointing off the edge, or covering tiles the mesh doesn't have.
+#[test]
+fn defect_illegal_link_config() {
+    let mesh = Mesh::new(2, 2);
+    // Tile 0 sits at the north-west corner; a North link leaves the mesh.
+    let links = mesh.disconnected().with(0, Direction::North);
+    let epochs = [EpochSpec {
+        name: "bad-links",
+        links: &links,
+        tiles: vec![],
+    }];
+    let diags = verify_schedule(mesh, &epochs);
+    assert!(diags
+        .iter()
+        .any(|d| d.code == Code::IllegalLink && d.is_error() && d.tile == Some(0)));
+
+    // Config sized for more tiles than the mesh has.
+    let oversized = Mesh::new(3, 3).disconnected();
+    let epochs = [EpochSpec {
+        name: "oversized",
+        links: &oversized,
+        tiles: vec![],
+    }];
+    assert!(verify_schedule(mesh, &epochs)
+        .iter()
+        .any(|d| d.code == Code::IllegalLink && d.is_error()));
+}
+
+/// Diagnostics render with code id, kebab-case name and location — the
+/// machine-readable shape downstream tools grep for.
+#[test]
+fn diagnostics_are_machine_readable() {
+    let prog = vec![Instr::Jmp { target: 0 }];
+    let diags = verify_program(&prog);
+    let text = diags[0].to_string();
+    assert!(text.starts_with("error[V005 no-halt-path]"), "{text}");
+    assert!(text.contains("pc 0"), "{text}");
+}

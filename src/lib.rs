@@ -16,7 +16,10 @@
 //! * [`kernels`] — the two evaluation kernels: the partitioned radix-2 FFT
 //!   and a complete baseline JPEG encoder (plus a validating decoder),
 //! * [`explore`] — the design-space-exploration models that regenerate
-//!   every table and figure of the paper.
+//!   every table and figure of the paper,
+//! * [`verify`] — the static program / epoch-schedule verifier (CFG,
+//!   termination, dataflow and data-budget passes) the simulator and the
+//!   DSE pipelines run before anything executes.
 //!
 //! ## Quickstart
 //!
@@ -45,3 +48,4 @@ pub use cgra_isa as isa;
 pub use cgra_kernels as kernels;
 pub use cgra_map as map;
 pub use cgra_sim as sim;
+pub use cgra_verify as verify;
