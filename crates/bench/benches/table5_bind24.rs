@@ -10,7 +10,10 @@ fn main() {
         "IPDPSW'13 Table 5",
     );
     let cost = CostModel::default();
-    let (binding, pt) = bind_tiles(24, &cost);
+    let Some((binding, pt)) = bind_tiles(24, &cost) else {
+        println!("  no binding for 24 tiles");
+        return;
+    };
     println!("  paper: T1:p0  T2:p1(17)  T3:p2-4  T4:p5(2)  T5:p6  T6:p7-8  T7:p9");
     println!("  ours:  {}", binding.join("  "));
     println!();

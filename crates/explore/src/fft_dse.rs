@@ -267,7 +267,11 @@ pub fn sweep_link_cost(model: &TauModel, max_link_ns: f64, step_ns: f64) -> Vec<
         let mut points = Vec::new();
         let mut l = 0.0;
         while l <= max_link_ns + 1e-9 {
-            points.push((l, model.throughput(cols, l).expect("valid cols")));
+            // `cols` comes from `valid_cols()`, so this cannot fail; a
+            // column count the model rejects simply yields no point.
+            if let Ok(t) = model.throughput(cols, l) {
+                points.push((l, t));
+            }
             l += step_ns;
         }
         ThroughputSeries { cols, points }
@@ -282,7 +286,7 @@ pub fn sweep_columns(model: &TauModel, link_costs_ns: &[f64]) -> Vec<(f64, Vec<(
             .plan
             .valid_cols()
             .into_iter()
-            .map(|c| (c, model.throughput(c, l).expect("valid cols")))
+            .filter_map(|c| model.throughput(c, l).ok().map(|t| (c, t)))
             .collect();
         (l, series)
     })
@@ -312,18 +316,18 @@ pub fn copy_optimization_table(model: &TauModel) -> Vec<CopyOptRow> {
         .plan
         .valid_cols()
         .into_iter()
-        .map(|cols| {
+        .filter_map(|cols| {
             let mut reload = model.clone();
             reload.optimized_copy = false;
             let mut updated = model.clone();
             updated.optimized_copy = true;
-            let prev = reload.evaluate(cols, 0.0).expect("valid").tau3;
-            let new = updated.evaluate(cols, 0.0).expect("valid").tau3;
-            CopyOptRow {
+            let prev = reload.evaluate(cols, 0.0).ok()?.tau3;
+            let new = updated.evaluate(cols, 0.0).ok()?.tau3;
+            Some(CopyOptRow {
                 cols,
                 prev_ns: prev,
                 new_ns: new,
-            }
+            })
         })
         .collect()
 }

@@ -280,10 +280,12 @@ pub fn binding_notation(asg: &Assignment) -> Vec<String> {
 }
 
 /// Table 5: reBalanceOne binding of the JPEG encoder to `tiles` tiles.
-pub fn bind_tiles(tiles: usize, cost: &CostModel) -> (Vec<String>, SweepPoint) {
+/// `None` when the sweep has no design point (too few tiles for the
+/// eleven pipeline stages).
+pub fn bind_tiles(tiles: usize, cost: &CostModel) -> Option<(Vec<String>, SweepPoint)> {
     let pts = rebalance_sweep(Algo::One, tiles, cost);
-    let last = pts.into_iter().last().expect("non-empty sweep");
-    (binding_notation(&last.assignment), last)
+    let last = pts.into_iter().last()?;
+    Some((binding_notation(&last.assignment), last))
 }
 
 #[cfg(test)]
@@ -397,7 +399,7 @@ mod tests {
     #[test]
     fn table5_binding_shape() {
         let cost = CostModel::default();
-        let (binding, pt) = bind_tiles(24, &cost);
+        let (binding, pt) = bind_tiles(24, &cost).expect("24 tiles is a valid sweep");
         assert_eq!(pt.assignment.tiles(), 24);
         // DCT must dominate the replicas, like the paper's p1(17).
         let dct_instances = pt

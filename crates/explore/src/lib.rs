@@ -6,6 +6,8 @@
 //!   Figures 10-12 plus the Table 2 copy-process optimization,
 //! * [`jpeg_dse`] — Table 4's manual mappings, Table 5's 24-tile binding,
 //!   and the rebalancing sweeps of Figures 16-17,
+//! * [`rank`] — static Eq. 1 pricing of candidate schedules via the
+//!   `cgra-verify` WCET engine, so sweeps simulate only the frontier,
 //! * [`report`] — plain-text table/series rendering for the bench targets,
 //! * [`schedule`] — concrete epoch schedules behind the candidates, plus
 //!   the `cgra-verify` gates the sweeps run over every design point.
@@ -14,11 +16,16 @@
 
 pub mod fft_dse;
 pub mod jpeg_dse;
+pub mod rank;
 pub mod report;
 pub mod schedule;
 
 pub use fft_dse::{copy_optimization_table, sweep_columns, sweep_link_cost, TauModel};
 pub use jpeg_dse::{evaluate_manual, manual_implementations, rebalance_sweep, Algo};
+pub use rank::{
+    fft_partition_candidates, rank_fft_candidates, simulate_frontier, FrontierPoint,
+    RankedCandidate,
+};
 pub use schedule::{
     assignment_diagnostics, fft_column_schedule, fft_schedule_diagnostics, jpeg_block_schedule,
     jpeg_schedule_diagnostics, network_budget_diagnostics,

@@ -1,0 +1,164 @@
+//! Static candidate ranking for the DSE sweeps.
+//!
+//! Simulating every design point is the expensive part of a sweep: an
+//! FFT schedule runs thousands of cycles per epoch across every tile.
+//! The WCET engine makes most of that unnecessary — every kernel
+//! program is branch-deterministic, so [`cgra_sim::bound_epochs`]
+//! prices a candidate schedule *exactly* (Eq. 1: `Σ T_i + Σ τ_ij`)
+//! without executing a cycle. The sweep then ranks all candidates by
+//! their static worst-case bound and simulates only the frontier it
+//! actually wants to report, trusting (and, in tests, checking) that
+//! the static order matches the simulated order.
+
+use crate::schedule::fft_column_schedule;
+use cgra_fabric::CostModel;
+use cgra_kernels::fft::fixed::Cfx;
+use cgra_kernels::fft::partition::FftPlan;
+use cgra_sim::{bound_epochs, ArraySim, EpochRunner, SimError};
+use cgra_verify::ScheduleBound;
+
+/// A deterministic input signal; the values are irrelevant to timing
+/// (the ISA has no data-dependent latencies) but make the schedule
+/// concrete.
+fn probe_input(n: usize) -> Vec<Cfx> {
+    (0..n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect()
+}
+
+/// Partition sizes worth considering for an `n`-point FFT: powers of
+/// two from 4 (smaller partitions leave the butterfly layout no room)
+/// up to the 128-point cap a 512-word tile memory imposes.
+pub fn fft_partition_candidates(n: usize) -> Vec<usize> {
+    (2..=7).map(|s| 1usize << s).filter(|&m| m <= n).collect()
+}
+
+/// One statically-priced design point.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// Partition size (points per tile).
+    pub m: usize,
+    /// Static Eq. 1 bound of the candidate's concrete schedule.
+    pub bound: ScheduleBound,
+}
+
+impl RankedCandidate {
+    /// The ranking key: static worst-case runtime in ns (`+inf` when
+    /// the bound is open, pushing the candidate behind every bounded
+    /// one).
+    pub fn worst_ns(&self) -> f64 {
+        self.bound.total_ns().worst.unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Prices every partition-size candidate for an `n`-point FFT with the
+/// WCET engine and returns them ranked, fastest static bound first.
+/// Nothing is simulated.
+pub fn rank_fft_candidates(n: usize, cost: &CostModel) -> Vec<RankedCandidate> {
+    let input = probe_input(n);
+    let mut ranked: Vec<RankedCandidate> = fft_partition_candidates(n)
+        .into_iter()
+        .filter_map(|m| {
+            let plan = FftPlan::new(n, m).ok()?;
+            let (mesh, epochs) = fft_column_schedule(&plan, &input);
+            Some(RankedCandidate {
+                m,
+                bound: bound_epochs(mesh, cost, &epochs),
+            })
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.worst_ns()
+            .partial_cmp(&b.worst_ns())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ranked
+}
+
+/// One simulated frontier point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// Partition size.
+    pub m: usize,
+    /// Eq. 1 runtime the simulator reported, ns.
+    pub simulated_ns: f64,
+}
+
+/// Simulates the top `k` statically-ranked candidates (in rank order)
+/// and returns their measured Eq. 1 runtimes. This is the only part of
+/// the sweep that executes cycles.
+pub fn simulate_frontier(
+    n: usize,
+    ranked: &[RankedCandidate],
+    cost: &CostModel,
+    k: usize,
+) -> Result<Vec<FrontierPoint>, SimError> {
+    let input = probe_input(n);
+    let mut out = Vec::new();
+    for cand in ranked.iter().take(k) {
+        // Ranked candidates came from valid plans; a stale entry for a
+        // different `n` simply yields no point.
+        let Ok(plan) = FftPlan::new(n, cand.m) else {
+            continue;
+        };
+        let (mesh, epochs) = fft_column_schedule(&plan, &input);
+        let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+        let report = runner.run_schedule(&epochs)?;
+        out.push(FrontierPoint {
+            m: cand.m,
+            simulated_ns: report.total_ns(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_verify::has_errors;
+
+    #[test]
+    fn candidates_are_valid_powers_of_two() {
+        assert_eq!(fft_partition_candidates(64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(fft_partition_candidates(8), vec![4, 8]);
+        assert_eq!(fft_partition_candidates(1024), vec![4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn fft64_static_rank_matches_simulated_order() {
+        let cost = CostModel::with_link_cost(25.0);
+        let ranked = rank_fft_candidates(64, &cost);
+        assert_eq!(ranked.len(), 5);
+        for c in &ranked {
+            assert!(
+                !has_errors(&c.bound.diags),
+                "m={}: {:?}",
+                c.m,
+                c.bound.diags
+            );
+            assert!(c.bound.is_bounded(), "m={} should bound statically", c.m);
+        }
+        // Simulate the whole frontier and compare orderings.
+        let sim = simulate_frontier(64, &ranked, &cost, ranked.len()).expect("schedules run");
+        let mut by_sim = sim.clone();
+        by_sim.sort_by(|a, b| a.simulated_ns.partial_cmp(&b.simulated_ns).unwrap());
+        let static_order: Vec<usize> = sim.iter().map(|p| p.m).collect();
+        let sim_order: Vec<usize> = by_sim.iter().map(|p| p.m).collect();
+        assert_eq!(
+            static_order, sim_order,
+            "static Eq. 1 ranking must agree with the simulator"
+        );
+        // Every kernel is branch-deterministic, so the static interval
+        // must contain the simulated runtime tightly.
+        for (c, p) in ranked.iter().zip(&sim) {
+            let b = c.bound.total_ns();
+            assert!(
+                b.contains(p.simulated_ns, 1e-9),
+                "m={}: simulated {} outside static {:?}",
+                c.m,
+                p.simulated_ns,
+                b
+            );
+        }
+    }
+}

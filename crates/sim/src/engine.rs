@@ -186,6 +186,7 @@ impl ArraySim {
         let opts = VerifyOptions {
             dmem_init: DmemInit::Everything,
             ars_preloaded: true,
+            ..VerifyOptions::default()
         };
         let diags = cgra_verify::verify_program_with(&prog, &opts);
         if cgra_verify::has_errors(&diags) {

@@ -19,7 +19,7 @@ use cgra_fabric::bitstream::{self, ParsedBitstream};
 use cgra_fabric::{CostModel, DataPatch, LinkConfig, Mesh, ReconfigPlan, TileId, TileReconfig};
 use cgra_isa::encode_program;
 use cgra_isa::Instr;
-use cgra_verify::{Diagnostic, EpochSpec, ScheduleChecker, TileSpec};
+use cgra_verify::{Code, Diagnostic, EpochSpec, ScheduleChecker, TileSpec};
 
 /// Reconfiguration payload for one tile in an epoch.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +69,54 @@ pub fn verify_epochs(mesh: Mesh, epochs: &[Epoch]) -> Vec<Diagnostic> {
         .iter()
         .flat_map(|e| checker.check_epoch(&epoch_spec(e)))
         .collect()
+}
+
+/// Statically bounds a whole schedule for `mesh` without running it:
+/// the verifier's WCET engine ([`cgra_verify::bound_schedule`]) plus a
+/// per-epoch deadline check against each [`Epoch::budget`]. A budget
+/// the best case already exceeds is a [`Code::DeadlineRisk`] error (the
+/// runner *will* abort with `CycleBudgetExhausted`); a budget only the
+/// worst case exceeds — or an unbounded worst case — is a warning.
+pub fn bound_epochs(mesh: Mesh, cost: &CostModel, epochs: &[Epoch]) -> cgra_verify::ScheduleBound {
+    let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+    let mut bound = cgra_verify::bound_schedule(mesh, cost, &specs);
+    for (ei, (e, eb)) in epochs.iter().zip(bound.epochs.iter()).enumerate() {
+        // The stall cycles spend budget too: quiescence counts them.
+        let need_best = eb.stall_cycles.saturating_add(eb.compute.best);
+        let need_worst = eb.compute.worst.map(|w| eb.stall_cycles.saturating_add(w));
+        let risk = |d: Diagnostic| d.in_epoch(ei);
+        if need_best > e.budget {
+            bound.diags.push(risk(Diagnostic::error(
+                Code::DeadlineRisk,
+                format!(
+                    "epoch '{}': needs at least {} cycles (stall {} + compute {}) but the \
+                     budget is {}",
+                    e.name, need_best, eb.stall_cycles, eb.compute.best, e.budget
+                ),
+            )));
+        } else {
+            match need_worst {
+                None => bound.diags.push(risk(Diagnostic::warning(
+                    Code::DeadlineRisk,
+                    format!(
+                        "epoch '{}': worst-case cycles unbounded; the {}-cycle budget \
+                         cannot be guaranteed",
+                        e.name, e.budget
+                    ),
+                ))),
+                Some(w) if w > e.budget => bound.diags.push(risk(Diagnostic::warning(
+                    Code::DeadlineRisk,
+                    format!(
+                        "epoch '{}': may need up to {} cycles (stall {} + worst-case \
+                         compute) but the budget is {}",
+                        e.name, w, eb.stall_cycles, e.budget
+                    ),
+                ))),
+                Some(_) => {}
+            }
+        }
+    }
+    bound
 }
 
 /// Eq. 1 accounting for one executed epoch.

@@ -15,5 +15,7 @@ pub mod epoch;
 pub mod trace;
 
 pub use engine::{ArraySim, SimError, TileStats, VerifyMode};
-pub use epoch::{epoch_spec, verify_epochs, Epoch, EpochReport, EpochRunner, RunReport, TileSetup};
+pub use epoch::{
+    bound_epochs, epoch_spec, verify_epochs, Epoch, EpochReport, EpochRunner, RunReport, TileSetup,
+};
 pub use trace::{EpochTrace, TileActivity, Trace};

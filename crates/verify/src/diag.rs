@@ -58,9 +58,51 @@ pub enum Code {
     PatchOverlap,
     /// A process's data footprint exceeds the 512-word tile memory.
     DataBudget,
+    /// Two tiles remote-write the same word of the same destination tile
+    /// within one epoch — which value survives depends on cycle timing.
+    RaceWriteWrite,
+    /// A tile remote-writes a word the destination tile's own program
+    /// also writes in the same epoch (a lost update).
+    RaceLostUpdate,
+    /// A tile remote-writes a word the destination tile's program reads
+    /// in the same epoch — the value observed depends on arrival order.
+    RaceReadWrite,
+    /// Tiles in an epoch spin on words only each other write — a
+    /// possible cross-tile deadlock on blocking links.
+    CyclicWait,
+    /// The WCET engine could not infer a constant trip count for a loop,
+    /// so the program's worst-case cycle bound is unbounded.
+    UnboundedLoop,
+    /// An epoch's static cycle bound is at or over its cycle budget.
+    DeadlineRisk,
 }
 
 impl Code {
+    /// Every defect class, in V-number order. The registry the README
+    /// table is checked against; append new codes here.
+    pub const ALL: [Code; 20] = [
+        Code::InvalidInstr,
+        Code::EmptyProgram,
+        Code::ImemOverflow,
+        Code::Unreachable,
+        Code::NoHaltPath,
+        Code::FallsOffEnd,
+        Code::ArUseBeforeLoad,
+        Code::UninitRead,
+        Code::RemoteWriteNoLink,
+        Code::IllegalLink,
+        Code::UnknownTile,
+        Code::PatchOutOfRange,
+        Code::PatchOverlap,
+        Code::DataBudget,
+        Code::RaceWriteWrite,
+        Code::RaceLostUpdate,
+        Code::RaceReadWrite,
+        Code::CyclicWait,
+        Code::UnboundedLoop,
+        Code::DeadlineRisk,
+    ];
+
     /// Short machine-readable identifier, e.g. `V007`.
     pub fn id(self) -> &'static str {
         match self {
@@ -78,6 +120,12 @@ impl Code {
             Code::PatchOutOfRange => "V012",
             Code::PatchOverlap => "V013",
             Code::DataBudget => "V014",
+            Code::RaceWriteWrite => "V100",
+            Code::RaceLostUpdate => "V101",
+            Code::RaceReadWrite => "V102",
+            Code::CyclicWait => "V103",
+            Code::UnboundedLoop => "V110",
+            Code::DeadlineRisk => "V111",
         }
     }
 
@@ -98,6 +146,38 @@ impl Code {
             Code::PatchOutOfRange => "patch-out-of-range",
             Code::PatchOverlap => "patch-overlap",
             Code::DataBudget => "data-budget",
+            Code::RaceWriteWrite => "race-write-write",
+            Code::RaceLostUpdate => "race-lost-update",
+            Code::RaceReadWrite => "race-read-write",
+            Code::CyclicWait => "cyclic-wait",
+            Code::UnboundedLoop => "unbounded-loop",
+            Code::DeadlineRisk => "deadline-risk",
+        }
+    }
+
+    /// One-line description of the defect class (drives the README table).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Code::InvalidInstr => "an instruction fails ISA validation",
+            Code::EmptyProgram => "the program is empty",
+            Code::ImemOverflow => "the program exceeds the 512-slot instruction memory",
+            Code::Unreachable => "a basic block can never be reached from the entry",
+            Code::NoHaltPath => "a reachable path can loop forever without retiring halt",
+            Code::FallsOffEnd => "execution can run past the last instruction",
+            Code::ArUseBeforeLoad => "an address register is used before any ldar defines it",
+            Code::UninitRead => "a read of a data-memory word nothing initialized",
+            Code::RemoteWriteNoLink => "a remote write with no active outgoing link",
+            Code::IllegalLink => "a link points off the mesh or covers unknown tiles",
+            Code::UnknownTile => "an epoch reconfigures a tile outside the mesh",
+            Code::PatchOutOfRange => "a data patch runs past the 512-word data memory",
+            Code::PatchOverlap => "two data patches in one epoch rewrite the same word",
+            Code::DataBudget => "a process's data footprint exceeds the tile memory",
+            Code::RaceWriteWrite => "two tiles remote-write the same destination word in one epoch",
+            Code::RaceLostUpdate => "a remote write collides with the destination's own write",
+            Code::RaceReadWrite => "a remote write lands on a word the destination reads",
+            Code::CyclicWait => "tiles spin on words only each other write (possible deadlock)",
+            Code::UnboundedLoop => "no constant trip count; worst-case cycles unbounded",
+            Code::DeadlineRisk => "an epoch's static cycle bound reaches its budget",
         }
     }
 }
@@ -214,6 +294,35 @@ mod tests {
         assert!(s.contains("epoch 1"));
         assert!(s.contains("pc 12"));
         assert!(s.contains("read of d[7]"));
+    }
+
+    #[test]
+    fn registry_ids_unique_stable_and_described() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            let id = c.id();
+            assert!(seen.insert(id), "duplicate diagnostic id {id}");
+            assert!(
+                id.len() == 4
+                    && id.starts_with('V')
+                    && id[1..].chars().all(|ch| ch.is_ascii_digit()),
+                "malformed id {id}"
+            );
+            assert!(!c.name().is_empty() && !c.describe().is_empty());
+            assert!(
+                c.name()
+                    .chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch == '-'),
+                "name not kebab-case: {}",
+                c.name()
+            );
+        }
+        // V-numbers are stable: program/schedule codes stay below V100,
+        // concurrency codes sit at V10x, timing codes at V11x.
+        assert_eq!(Code::InvalidInstr.id(), "V001");
+        assert_eq!(Code::DataBudget.id(), "V014");
+        assert_eq!(Code::RaceWriteWrite.id(), "V100");
+        assert_eq!(Code::UnboundedLoop.id(), "V110");
     }
 
     #[test]

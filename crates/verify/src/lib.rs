@@ -14,7 +14,7 @@
 //! 1. per-instruction validation (typed [`cgra_isa::IsaError`] findings),
 //! 2. capacity — non-empty and within the 512-slot instruction memory,
 //! 3. control flow — CFG construction, reachability, "every path reaches
-//!    `halt`", no falling off the end ([`cfg`], [`term`]),
+//!    `halt`", no falling off the end ([`mod@cfg`], [`term`]),
 //! 4. address registers — must-be-loaded dataflow flagging uses before
 //!    any `ldar` ([`ars`]),
 //! 5. data memory — abstract interpretation over the 512-word memory
@@ -25,8 +25,25 @@
 //! Epoch sequences are checked for link legality on the mesh, remote
 //! writes without an active outgoing link, data-patch range/overlap
 //! errors, and memory budgets — threading the may-initialized word sets
-//! across epochs so that patches, earlier stores and inbound neighbour
-//! writes all count as initializing ([`schedule`]).
+//! and known word constants across epochs so that patches, earlier
+//! stores and inbound neighbour writes all count as initializing
+//! ([`schedule`]).
+//!
+//! ## Concurrency pass ([`races`], V10x codes)
+//!
+//! Each epoch's remote-write / local-read-write effects are intersected
+//! across the link topology: write/write clashes on one destination word
+//! ([`Code::RaceWriteWrite`]), lost updates ([`Code::RaceLostUpdate`]),
+//! read/write ordering hazards ([`Code::RaceReadWrite`]) and cyclic
+//! spin-wait patterns ([`Code::CyclicWait`]).
+//!
+//! ## Timing pass ([`timing`], V11x codes)
+//!
+//! A WCET engine bounds each program's cycles and remote traffic as
+//! `[best, worst]` intervals — exact single-path execution when control
+//! flow is input-independent, CFG loop-bound inference otherwise — and
+//! [`timing::bound_schedule`] composes them with `fabric::cost`
+//! reconfiguration charges into an analytic Eq. 1 bound per schedule.
 //!
 //! Findings split into [`Severity::Error`] (the simulator or hardware
 //! would reject or hang on this) and [`Severity::Warning`] (well-defined
@@ -43,12 +60,21 @@ pub mod diag;
 pub mod dmem;
 pub mod effects;
 pub mod program;
+pub mod races;
 pub mod schedule;
 pub mod term;
+pub mod timing;
 
 pub use capacity::check_data_budget;
 pub use cfg::Cfg;
 pub use diag::{errors, has_errors, Code, Diagnostic, Severity};
-pub use dmem::{DmemSummary, WordSet};
+pub use dmem::{ConstMap, DmemSummary, WordSet};
 pub use program::{analyze_program, verify_program, verify_program_with, DmemInit, VerifyOptions};
-pub use schedule::{verify_schedule, EpochSpec, ScheduleChecker, TileSpec};
+pub use races::{check_epoch_races, TileEffects};
+pub use schedule::{
+    verify_schedule, EpochAnalysis, EpochSpec, ScheduleChecker, TileAnalysis, TileSpec,
+};
+pub use timing::{
+    bound_program, bound_schedule, CycleInterval, EpochBound, LoopBound, NsInterval, ProgramBound,
+    ScheduleBound,
+};

@@ -11,7 +11,7 @@ use crate::ars::check_ar_loads;
 use crate::capacity::check_program_size;
 use crate::cfg::Cfg;
 use crate::diag::{Code, Diagnostic};
-use crate::dmem::{self, DmemSummary, WordSet};
+use crate::dmem::{self, ConstMap, DmemSummary, WordSet};
 use cgra_isa::Instr;
 
 /// Which data-memory words the verifier may assume initialized before
@@ -29,7 +29,8 @@ pub enum DmemInit {
 }
 
 impl DmemInit {
-    fn as_set(&self) -> WordSet {
+    /// The may-initialized word set this precondition denotes.
+    pub(crate) fn as_set(&self) -> WordSet {
         match self {
             DmemInit::Nothing => WordSet::empty(),
             DmemInit::Everything => WordSet::full(),
@@ -43,6 +44,10 @@ impl DmemInit {
 pub struct VerifyOptions {
     /// Data-memory words assumed initialized at entry.
     pub dmem_init: DmemInit,
+    /// Data-memory words whose *value* is statically known at entry
+    /// (data patches); lets `ldar` through a patched variable resolve
+    /// and gives `djnz` counters constant trip counts.
+    pub dmem_consts: ConstMap,
     /// True when the tile inherits address registers from a previous
     /// epoch (suppresses use-before-`ldar` findings and makes AR values
     /// unknown to the data-memory pass).
@@ -81,7 +86,13 @@ pub fn analyze_program(
     let cfg = Cfg::build(prog);
     diags.extend(crate::term::check_termination(prog, &cfg));
     diags.extend(check_ar_loads(prog, &cfg, opts.ars_preloaded));
-    let summary = dmem::analyze(prog, &cfg, &opts.dmem_init.as_set(), !opts.ars_preloaded);
+    let summary = dmem::analyze(
+        prog,
+        &cfg,
+        &opts.dmem_init.as_set(),
+        &opts.dmem_consts,
+        !opts.ars_preloaded,
+    );
     diags.extend(summary.diags.clone());
     (diags, Some(summary))
 }
@@ -146,7 +157,7 @@ mod tests {
         assert!(!verify_program(&prog).is_empty());
         let opts = VerifyOptions {
             dmem_init: DmemInit::Everything,
-            ars_preloaded: false,
+            ..VerifyOptions::default()
         };
         assert!(verify_program_with(&prog, &opts).is_empty());
     }

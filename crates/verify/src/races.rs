@@ -1,0 +1,602 @@
+//! Static cross-tile race detection within an epoch.
+//!
+//! The simulator delivers remote writes at end-of-cycle while the
+//! destination tile keeps executing, so two tiles touching the same
+//! data-memory word in the same epoch produce a result that depends on
+//! cycle-accurate interleaving. This pass builds the epoch's
+//! happens-before structure from each tile's [`DmemSummary`] effects —
+//! remote-write sets on one side, local read/write sets on the other —
+//! and flags:
+//!
+//! * **V100** ([`Code::RaceWriteWrite`]) — two tiles remote-write the
+//!   same word of the same destination tile (two links can target one
+//!   tile from opposite directions),
+//! * **V101** ([`Code::RaceLostUpdate`]) — a remote write collides with
+//!   a word the destination's own program writes (last writer wins,
+//!   cycle-dependently),
+//! * **V102** ([`Code::RaceReadWrite`]) — a remote write lands on a word
+//!   the destination's program reads (the observed value depends on
+//!   arrival order),
+//! * **V103** ([`Code::CyclicWait`]) — tiles spin in CFG cycles on words
+//!   only each other write, the blocking-link deadlock shape.
+//!
+//! ## Soundness posture
+//!
+//! This is a **may**-analysis over may-effect sets. Definite overlaps of
+//! *known* address sets are reported as errors (V100/V101) — on those
+//! the outcome is provably interleaving-dependent. Overlaps involving an
+//! imprecise set (a write through an unresolved address register, a
+//! havocked local write set) and all read/write overlaps are reported as
+//! warnings: flag-handshake protocols *intend* a cross-tile read of a
+//! remotely-written word, so V102/V103 describe suspicion, not certain
+//! defects. Absence of findings proves race-freedom only up to the
+//! precision of the abstract domains — an unresolved register silently
+//! widens the sets it feeds (the checker then warns rather than errs).
+
+use crate::cfg::Cfg;
+use crate::diag::{Code, Diagnostic};
+use crate::dmem::{DmemSummary, WordSet};
+use crate::effects::{branch_target, reads};
+use cgra_fabric::{Direction, LinkConfig, Mesh, TileId};
+use cgra_isa::{Instr, Operand};
+
+/// One tile's effects within the epoch under analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct TileEffects<'a> {
+    /// The tile.
+    pub tile: TileId,
+    /// The program it runs this epoch.
+    pub prog: &'a [Instr],
+    /// The program's memory-effect summary (phase-B, under the epoch's
+    /// accumulated precondition).
+    pub summary: &'a DmemSummary,
+}
+
+/// A remote-write edge: `src` writes `words` of `dst` over its `dir`
+/// link; `words` is `None` when the write set could not be resolved.
+struct WriteEdge {
+    src: TileId,
+    dst: TileId,
+    dir: Direction,
+    words: Option<WordSet>,
+}
+
+fn fmt_words(set: &WordSet) -> String {
+    let mut names: Vec<String> = set.iter().take(4).map(|a| format!("d[{a}]")).collect();
+    let extra = set.len().saturating_sub(names.len());
+    if extra > 0 {
+        names.push(format!("(+{extra} more)"));
+    }
+    names.join(", ")
+}
+
+/// Checks one epoch's programs for cross-tile races. `tiles` holds the
+/// tiles loaded this epoch with their phase-B summaries; the caller tags
+/// the returned diagnostics with the epoch index.
+pub fn check_epoch_races(
+    mesh: &Mesh,
+    links: &LinkConfig,
+    epoch_name: &str,
+    tiles: &[TileEffects],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let edges: Vec<WriteEdge> = tiles
+        .iter()
+        .filter(|te| te.summary.has_remote_write)
+        .filter_map(|te| {
+            let dir = links.get(te.tile)?;
+            let dst = mesh.neighbour(te.tile, dir)?;
+            Some(WriteEdge {
+                src: te.tile,
+                dst,
+                dir,
+                words: if te.summary.remote_unknown {
+                    None
+                } else {
+                    Some(te.summary.remote_written)
+                },
+            })
+        })
+        .collect();
+
+    // V100: two writers into the same destination word.
+    for (i, a) in edges.iter().enumerate() {
+        for b in edges.iter().skip(i + 1) {
+            if a.dst != b.dst {
+                continue;
+            }
+            match (&a.words, &b.words) {
+                (Some(wa), Some(wb)) => {
+                    let both = wa.intersection(wb);
+                    if !both.is_empty() {
+                        diags.push(
+                            Diagnostic::error(
+                                Code::RaceWriteWrite,
+                                format!(
+                                    "epoch '{epoch_name}': tiles {} (via {}) and {} (via {}) \
+                                     both write {} of tile {} in the same epoch — the surviving \
+                                     value depends on cycle interleaving",
+                                    a.src,
+                                    a.dir,
+                                    b.src,
+                                    b.dir,
+                                    fmt_words(&both),
+                                    a.dst
+                                ),
+                            )
+                            .on_tile(a.dst),
+                        );
+                    }
+                }
+                _ => diags.push(
+                    Diagnostic::warning(
+                        Code::RaceWriteWrite,
+                        format!(
+                            "epoch '{epoch_name}': tiles {} (via {}) and {} (via {}) both write \
+                             tile {} through unresolved address registers — the write sets may \
+                             overlap",
+                            a.src, a.dir, b.src, b.dir, a.dst
+                        ),
+                    )
+                    .on_tile(a.dst),
+                ),
+            }
+        }
+    }
+
+    // V101 / V102: a remote write against the destination's own effects.
+    for e in &edges {
+        let dst = match tiles.iter().find(|te| te.tile == e.dst) {
+            Some(te) => te,
+            None => continue, // destination idle this epoch
+        };
+        let local_havoc = dst.summary.written.len() == cgra_fabric::DATA_WORDS;
+        match &e.words {
+            Some(w) => {
+                let ww = w.intersection(&dst.summary.written);
+                if !ww.is_empty() {
+                    let msg = format!(
+                        "epoch '{epoch_name}': tile {} writes {} of tile {} over the {} link \
+                         while tile {}'s own program writes the same words — lost update",
+                        e.src,
+                        fmt_words(&ww),
+                        e.dst,
+                        e.dir,
+                        e.dst
+                    );
+                    diags.push(if local_havoc {
+                        // The local write set was havocked by an
+                        // unresolved store: suspicion, not proof.
+                        Diagnostic::warning(Code::RaceLostUpdate, msg).on_tile(e.dst)
+                    } else {
+                        Diagnostic::error(Code::RaceLostUpdate, msg).on_tile(e.dst)
+                    });
+                }
+                let wr = w.intersection(&dst.summary.read);
+                if !wr.is_empty() {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::RaceReadWrite,
+                            format!(
+                                "epoch '{epoch_name}': tile {} writes {} of tile {} over the {} \
+                                 link while tile {}'s program reads the same words — the value \
+                                 observed depends on arrival cycle",
+                                e.src,
+                                fmt_words(&wr),
+                                e.dst,
+                                e.dir,
+                                e.dst
+                            ),
+                        )
+                        .on_tile(e.dst),
+                    );
+                } else if dst.summary.read_unknown {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::RaceReadWrite,
+                            format!(
+                                "epoch '{epoch_name}': tile {} writes tile {} over the {} link \
+                                 while tile {} reads through an unresolved address register — \
+                                 the reads may observe in-flight writes",
+                                e.src, e.dst, e.dir, e.dst
+                            ),
+                        )
+                        .on_tile(e.dst),
+                    );
+                }
+            }
+            None => {
+                if !dst.summary.written.is_empty() || !dst.summary.read.is_empty() {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::RaceLostUpdate,
+                            format!(
+                                "epoch '{epoch_name}': tile {} writes tile {} through an \
+                                 unresolved address register while tile {}'s program touches \
+                                 local memory — the accesses may collide",
+                                e.src, e.dst, e.dst
+                            ),
+                        )
+                        .on_tile(e.dst),
+                    );
+                }
+            }
+        }
+    }
+
+    // V103: cyclic waits. Tile t waits on tile s when t spins (a
+    // conditional branch inside a CFG cycle) on a word s remote-writes
+    // into t. A cycle in that wait-for relation is the blocking-link
+    // deadlock shape.
+    let wait_sets: Vec<(TileId, WordSet)> = tiles
+        .iter()
+        .map(|te| (te.tile, spin_words(te.prog)))
+        .collect();
+    let n = tiles.len();
+    let mut waits_on = vec![Vec::new(); n];
+    for (ti, (t, waits)) in wait_sets.iter().enumerate() {
+        if waits.is_empty() {
+            continue;
+        }
+        for e in &edges {
+            if e.dst != *t || e.src == *t {
+                continue;
+            }
+            let blocking = match &e.words {
+                Some(w) => w.intersects(waits),
+                None => true,
+            };
+            if blocking {
+                if let Some(si) = tiles.iter().position(|te| te.tile == e.src) {
+                    waits_on[ti].push(si);
+                }
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(&waits_on) {
+        let path: Vec<String> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|&i| tiles[i].tile.to_string())
+            .collect();
+        diags.push(
+            Diagnostic::warning(
+                Code::CyclicWait,
+                format!(
+                    "epoch '{epoch_name}': tiles {} each spin on a word only the next tile in \
+                     the cycle writes — possible cross-tile deadlock on blocking links",
+                    path.join(" -> ")
+                ),
+            )
+            .on_tile(tiles[cycle[0]].tile),
+        );
+    }
+    diags
+}
+
+/// Directly-addressed words a program's conditional branches test inside
+/// CFG cycles — the words a spin loop blocks on.
+fn spin_words(prog: &[Instr]) -> WordSet {
+    let mut out = WordSet::empty();
+    let has_cond = prog.iter().any(|i| {
+        branch_target(i).is_some() && !matches!(i, Instr::Jmp { .. } | Instr::Djnz { .. })
+    });
+    if !has_cond {
+        return out;
+    }
+    let cfg = Cfg::build(prog);
+    let cyclic = cyclic_blocks(&cfg);
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cyclic[b] {
+            continue;
+        }
+        let last = &prog[blk.end - 1];
+        if branch_target(last).is_none() || matches!(last, Instr::Jmp { .. } | Instr::Djnz { .. }) {
+            continue;
+        }
+        for o in reads(last) {
+            if let Operand::Dir(a) = o {
+                out.insert(a as usize);
+            }
+        }
+    }
+    out
+}
+
+/// Blocks that lie on some CFG cycle (can reach themselves).
+fn cyclic_blocks(cfg: &Cfg) -> Vec<bool> {
+    let nb = cfg.blocks.len();
+    let mut out = vec![false; nb];
+    for (b, ob) in out.iter_mut().enumerate() {
+        let mut seen = vec![false; nb];
+        let mut stack: Vec<usize> = cfg.blocks[b].succs.clone();
+        while let Some(x) = stack.pop() {
+            if x == b {
+                *ob = true;
+                break;
+            }
+            if !seen[x] {
+                seen[x] = true;
+                stack.extend(cfg.blocks[x].succs.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+/// Finds one cycle in the wait-for graph (nodes are indices into the
+/// epoch's tile list), as the list of nodes on it.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = adj.len();
+    let mut mark = vec![Mark::White; n];
+    let mut stack = Vec::new();
+    fn dfs(
+        v: usize,
+        adj: &[Vec<usize>],
+        mark: &mut [Mark],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        mark[v] = Mark::Grey;
+        stack.push(v);
+        for &w in &adj[v] {
+            match mark[w] {
+                Mark::Grey => {
+                    let at = stack.iter().position(|&x| x == w).unwrap_or(0);
+                    return Some(stack[at..].to_vec());
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(w, adj, mark, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        mark[v] = Mark::Black;
+        None
+    }
+    (0..n).find_map(|v| {
+        if mark[v] == Mark::White {
+            dfs(v, adj, &mut mark, &mut stack)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{analyze_program, DmemInit, VerifyOptions};
+    use cgra_isa::ops::{d, imm, rem};
+
+    fn summarize(prog: &[Instr]) -> DmemSummary {
+        let opts = VerifyOptions {
+            dmem_init: DmemInit::Everything,
+            ..VerifyOptions::default()
+        };
+        analyze_program(prog, &opts).1.expect("well-formed program")
+    }
+
+    fn remote_writer(addr: u16) -> Vec<Instr> {
+        vec![
+            Instr::Ldar {
+                k: 0,
+                src: None,
+                imm: addr,
+            },
+            Instr::Mov {
+                dst: rem(0),
+                a: imm(1),
+            },
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn two_writers_same_word_is_error() {
+        // 1x3 mesh: tiles 0 (east) and 2 (west) both write d[50] of tile 1.
+        let mesh = Mesh::new(1, 3);
+        let links = mesh
+            .disconnected()
+            .with(0, Direction::East)
+            .with(2, Direction::West);
+        let p0 = remote_writer(50);
+        let p2 = remote_writer(50);
+        let s0 = summarize(&p0);
+        let s2 = summarize(&p2);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 2,
+                prog: &p2,
+                summary: &s2,
+            },
+        ];
+        let diags = check_epoch_races(&mesh, &links, "clash", &tiles);
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::RaceWriteWrite)
+            .expect("race reported");
+        assert!(d.is_error());
+        assert_eq!(d.tile, Some(1));
+        assert!(d.message.contains("tiles 0") && d.message.contains("and 2"));
+        assert!(d.message.contains("d[50]"));
+    }
+
+    #[test]
+    fn disjoint_writers_are_clean() {
+        let mesh = Mesh::new(1, 3);
+        let links = mesh
+            .disconnected()
+            .with(0, Direction::East)
+            .with(2, Direction::West);
+        let p0 = remote_writer(50);
+        let p2 = remote_writer(60);
+        let s0 = summarize(&p0);
+        let s2 = summarize(&p2);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 2,
+                prog: &p2,
+                summary: &s2,
+            },
+        ];
+        assert_eq!(check_epoch_races(&mesh, &links, "ok", &tiles), vec![]);
+    }
+
+    #[test]
+    fn remote_vs_local_write_is_lost_update() {
+        let mesh = Mesh::new(1, 2);
+        let links = mesh.disconnected().with(0, Direction::East);
+        let p0 = remote_writer(7);
+        let p1 = vec![Instr::Ldi { dst: d(7), imm: 3 }, Instr::Halt];
+        let s0 = summarize(&p0);
+        let s1 = summarize(&p1);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 1,
+                prog: &p1,
+                summary: &s1,
+            },
+        ];
+        let diags = check_epoch_races(&mesh, &links, "lost", &tiles);
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::RaceLostUpdate)
+            .expect("lost update reported");
+        assert!(d.is_error());
+        assert!(d.message.contains("d[7]"));
+    }
+
+    #[test]
+    fn remote_vs_local_read_warns_only() {
+        let mesh = Mesh::new(1, 2);
+        let links = mesh.disconnected().with(0, Direction::East);
+        let p0 = remote_writer(7);
+        let p1 = vec![Instr::Mov { dst: d(8), a: d(7) }, Instr::Halt];
+        let s0 = summarize(&p0);
+        let s1 = summarize(&p1);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 1,
+                prog: &p1,
+                summary: &s1,
+            },
+        ];
+        let diags = check_epoch_races(&mesh, &links, "rw", &tiles);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == Code::RaceReadWrite && !d.is_error()));
+        assert!(!crate::diag::has_errors(&diags));
+    }
+
+    #[test]
+    fn handshake_cycle_flagged() {
+        // Each tile spins on a flag the other writes: classic deadlock
+        // shape on blocking links.
+        let spin_then_write = |flag: u16, out: u16| {
+            vec![
+                Instr::Bz {
+                    a: d(flag),
+                    target: 0,
+                },
+                Instr::Ldar {
+                    k: 0,
+                    src: None,
+                    imm: out,
+                },
+                Instr::Mov {
+                    dst: rem(0),
+                    a: imm(1),
+                },
+                Instr::Halt,
+            ]
+        };
+        let mesh = Mesh::new(1, 2);
+        let links = mesh
+            .disconnected()
+            .with(0, Direction::East)
+            .with(1, Direction::West);
+        let p0 = spin_then_write(10, 11);
+        let p1 = spin_then_write(11, 10);
+        let s0 = summarize(&p0);
+        let s1 = summarize(&p1);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 1,
+                prog: &p1,
+                summary: &s1,
+            },
+        ];
+        let diags = check_epoch_races(&mesh, &links, "dead", &tiles);
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::CyclicWait)
+            .expect("cycle reported");
+        assert!(!d.is_error());
+        assert!(d.message.contains("0 -> 1 -> 0") || d.message.contains("1 -> 0 -> 1"));
+    }
+
+    #[test]
+    fn one_way_handshake_is_no_cycle() {
+        // Consumer spins on a producer's flag, producer never waits: fine.
+        let mesh = Mesh::new(1, 2);
+        let links = mesh.disconnected().with(0, Direction::East);
+        let p0 = remote_writer(10);
+        let p1 = vec![
+            Instr::Bz {
+                a: d(10),
+                target: 0,
+            },
+            Instr::Halt,
+        ];
+        let s0 = summarize(&p0);
+        let s1 = summarize(&p1);
+        let tiles = [
+            TileEffects {
+                tile: 0,
+                prog: &p0,
+                summary: &s0,
+            },
+            TileEffects {
+                tile: 1,
+                prog: &p1,
+                summary: &s1,
+            },
+        ];
+        let diags = check_epoch_races(&mesh, &links, "oneway", &tiles);
+        assert!(diags.iter().all(|d| d.code != Code::CyclicWait));
+    }
+}

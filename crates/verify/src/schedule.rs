@@ -20,8 +20,9 @@
 //! of its epochs and feeds them here.
 
 use crate::diag::{Code, Diagnostic};
-use crate::dmem::WordSet;
+use crate::dmem::{ConstMap, DmemSummary, WordSet};
 use crate::program::{analyze_program, DmemInit, VerifyOptions};
+use crate::races::{self, TileEffects};
 use cgra_fabric::{DataPatch, LinkConfig, Mesh, TileId, DATA_WORDS};
 use cgra_isa::Instr;
 
@@ -47,6 +48,32 @@ pub struct EpochSpec<'a> {
     pub tiles: Vec<TileSpec<'a>>,
 }
 
+/// Per-tile outcome of analyzing one epoch: the exact preconditions the
+/// program was verified under (so the WCET engine can re-analyze the
+/// same program under the same assumptions) and its memory summary.
+#[derive(Debug, Clone)]
+pub struct TileAnalysis<'a> {
+    /// The tile.
+    pub tile: TileId,
+    /// The program loaded this epoch.
+    pub prog: &'a [Instr],
+    /// Preconditions the program was verified under (phase B: accumulated
+    /// init set, carried word constants, AR inheritance).
+    pub opts: VerifyOptions,
+    /// Memory-effect summary, `None` when structural errors stopped the
+    /// dataflow passes.
+    pub summary: Option<DmemSummary>,
+}
+
+/// Everything [`ScheduleChecker::analyze_epoch`] learns about one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochAnalysis<'a> {
+    /// All findings for the epoch.
+    pub diags: Vec<Diagnostic>,
+    /// Per-tile preconditions and summaries (tiles that loaded a program).
+    pub tiles: Vec<TileAnalysis<'a>>,
+}
+
 /// Incremental schedule verifier; feed epochs in execution order.
 #[derive(Debug, Clone)]
 pub struct ScheduleChecker {
@@ -54,6 +81,9 @@ pub struct ScheduleChecker {
     epoch: usize,
     /// Per-tile may-initialized words, accumulated across epochs.
     init: Vec<WordSet>,
+    /// Per-tile words whose value is still statically known (patched
+    /// constants, surviving program stores), accumulated across epochs.
+    consts: Vec<ConstMap>,
     /// Per-tile: was a program ever loaded (=> ARs carry over).
     programmed: Vec<bool>,
 }
@@ -65,6 +95,7 @@ impl ScheduleChecker {
             mesh,
             epoch: 0,
             init: vec![WordSet::empty(); mesh.tiles()],
+            consts: vec![ConstMap::empty(); mesh.tiles()],
             programmed: vec![false; mesh.tiles()],
         }
     }
@@ -79,6 +110,14 @@ impl ScheduleChecker {
 
     /// Checks the next epoch and advances the cross-epoch state.
     pub fn check_epoch(&mut self, e: &EpochSpec) -> Vec<Diagnostic> {
+        self.analyze_epoch(e).diags
+    }
+
+    /// Checks the next epoch, advances the cross-epoch state, and returns
+    /// the per-tile preconditions/summaries alongside the diagnostics —
+    /// the hook `crate::timing::bound_schedule` uses to bound each
+    /// program under exactly the assumptions it was verified under.
+    pub fn analyze_epoch<'a>(&mut self, e: &EpochSpec<'a>) -> EpochAnalysis<'a> {
         let ei = self.epoch;
         self.epoch += 1;
         let mut diags = Vec::new();
@@ -163,6 +202,12 @@ impl ScheduleChecker {
                 }
                 touched.insert_range(p.base, p.len());
                 self.init[spec.tile].insert_range(p.base, p.len());
+                // Patch values are statically known: seed the const map
+                // (in patch order, so a later overlapping patch wins,
+                // matching the reconfiguration engine's apply order).
+                for (k, w) in p.words.iter().enumerate() {
+                    self.consts[spec.tile].set(p.base + k, w.value());
+                }
             }
         }
 
@@ -178,6 +223,7 @@ impl ScheduleChecker {
             };
             let opts = VerifyOptions {
                 dmem_init: DmemInit::Everything,
+                dmem_consts: self.consts[t].clone(),
                 ars_preloaded: self.programmed[t],
             };
             let summary = match analyze_program(prog, &opts).1 {
@@ -212,10 +258,14 @@ impl ScheduleChecker {
         }
         for (t, set) in inbound.iter().enumerate() {
             self.init[t].union(set);
+            // An inbound write may replace a word whose value we thought
+            // we knew: forget it before the epoch's own verification.
+            self.consts[t].clear_set(set);
         }
 
         // Phase B: full program verification under the accumulated
         // precondition, and advance the per-tile state.
+        let mut tiles: Vec<TileAnalysis<'a>> = Vec::new();
         for spec in &e.tiles {
             let (t, prog) = match (spec.tile, spec.program) {
                 (t, Some(p)) if t < self.mesh.tiles() => (t, p),
@@ -223,16 +273,51 @@ impl ScheduleChecker {
             };
             let opts = VerifyOptions {
                 dmem_init: DmemInit::Words(self.init[t]),
+                dmem_consts: self.consts[t].clone(),
                 ars_preloaded: self.programmed[t],
             };
             let (pd, summary) = analyze_program(prog, &opts);
             diags.extend(pd.into_iter().map(|d| d.on_tile(t).in_epoch(ei)));
-            if let Some(s) = summary {
-                self.init[t].union(&s.written);
+            match &summary {
+                Some(s) => {
+                    self.init[t].union(&s.written);
+                    // Word values surviving to halt (joined over every
+                    // exit) carry into the next epoch; a program with no
+                    // reachable halt leaves nothing trustworthy.
+                    match &s.exit_consts {
+                        Some(ec) => self.consts[t] = ec.clone(),
+                        None => self.consts[t].clear_all(),
+                    }
+                }
+                None => self.consts[t].clear_all(),
             }
             self.programmed[t] = true;
+            tiles.push(TileAnalysis {
+                tile: t,
+                prog,
+                opts,
+                summary,
+            });
         }
-        diags
+
+        // Concurrency pass: cross-tile races over this epoch's combined
+        // effects (phase-B summaries against the link topology).
+        let views: Vec<TileEffects> = tiles
+            .iter()
+            .filter_map(|ta| {
+                ta.summary.as_ref().map(|s| TileEffects {
+                    tile: ta.tile,
+                    prog: ta.prog,
+                    summary: s,
+                })
+            })
+            .collect();
+        diags.extend(
+            races::check_epoch_races(&self.mesh, e.links, e.name, &views)
+                .into_iter()
+                .map(|d| d.in_epoch(ei)),
+        );
+        EpochAnalysis { diags, tiles }
     }
 }
 

@@ -150,6 +150,7 @@ fn defect_unreachable_and_nonterminating() {
         &VerifyOptions {
             dmem_init: DmemInit::Everything,
             ars_preloaded: true,
+            ..VerifyOptions::default()
         }
     )
     .iter()

@@ -1,0 +1,63 @@
+//! Keeps the README's diagnostic-code table honest: every code in the
+//! `cgra-verify` registry appears exactly once with its exact name and
+//! description, no stale rows linger, and ids stay unique and stable.
+
+use remorph::verify::Code;
+use std::collections::BTreeMap;
+
+/// Parses `| `V001` | `invalid-instr` | meaning |` rows out of README.md.
+fn readme_table() -> BTreeMap<String, (String, String)> {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is readable");
+    let mut rows = BTreeMap::new();
+    for line in readme.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| a | b | c |` splits into ["", a, b, c, ""].
+        if cells.len() != 5 {
+            continue;
+        }
+        let strip = |s: &str| s.trim_matches('`').to_string();
+        let id = strip(cells[1]);
+        if id.len() == 4 && id.starts_with('V') && id[1..].chars().all(|c| c.is_ascii_digit()) {
+            let prev = rows.insert(id.clone(), (strip(cells[2]), strip(cells[3])));
+            assert!(prev.is_none(), "duplicate README row for {id}");
+        }
+    }
+    rows
+}
+
+#[test]
+fn readme_table_matches_registry() {
+    let rows = readme_table();
+    assert_eq!(
+        rows.len(),
+        Code::ALL.len(),
+        "README table must list every registered code exactly once"
+    );
+    for code in Code::ALL {
+        let (name, meaning) = rows
+            .get(code.id())
+            .unwrap_or_else(|| panic!("README table is missing {}", code.id()));
+        assert_eq!(name, code.name(), "{}: README name drifted", code.id());
+        assert_eq!(
+            meaning,
+            code.describe(),
+            "{}: README meaning drifted",
+            code.id()
+        );
+    }
+}
+
+#[test]
+fn registry_ids_are_unique_and_well_formed() {
+    let mut seen = std::collections::BTreeSet::new();
+    for code in Code::ALL {
+        let id = code.id();
+        assert!(seen.insert(id), "duplicate diagnostic id {id}");
+        assert!(
+            id.len() == 4 && id.starts_with('V'),
+            "id {id} must be V followed by three digits"
+        );
+        assert!(!code.name().is_empty() && !code.describe().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Source-level hygiene gate: the verifier and the simulator are the
+//! components that *reject other code*, so they must not panic on bad
+//! input themselves. Non-test code in `cgra-verify` and `cgra-sim`
+//! reports failures through structured `Result`/`Diagnostic` values —
+//! this scan keeps `.unwrap()` / `.expect(` from creeping back in.
+
+use std::fs;
+use std::path::Path;
+
+/// Strips everything from the first `#[cfg(test)]` marker onward. In
+/// this repo test modules always sit at the end of a file, so the
+/// remainder is exactly the shipped code. Line comments (including doc
+/// comments, whose examples may legitimately unwrap) are dropped too.
+fn shipped_code(src: &str) -> String {
+    src.lines()
+        .take_while(|l| !l.contains("#[cfg(test)]"))
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn scan_dir(dir: &Path, offenders: &mut Vec<String>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_dir(&path, offenders);
+            continue;
+        }
+        if path.extension().map(|e| e == "rs") != Some(true) {
+            continue;
+        }
+        let src =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        for (i, line) in shipped_code(&src).lines().enumerate() {
+            if line.contains(".unwrap()") || line.contains(".expect(") {
+                offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+            }
+        }
+    }
+}
+
+#[test]
+fn verify_and_sim_use_structured_errors() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    for crate_dir in ["crates/verify/src", "crates/sim/src"] {
+        scan_dir(&root.join(crate_dir), &mut offenders);
+    }
+    assert!(
+        offenders.is_empty(),
+        "unwrap/expect in shipped verifier/simulator code (use structured \
+         errors or diagnostics instead):\n{}",
+        offenders.join("\n")
+    );
+}

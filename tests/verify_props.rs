@@ -17,6 +17,7 @@ fn warm() -> VerifyOptions {
     VerifyOptions {
         dmem_init: DmemInit::Everything,
         ars_preloaded: true,
+        ..VerifyOptions::default()
     }
 }
 

@@ -1,0 +1,122 @@
+//! WCET conformance: the static Eq. 1 bound from `cgra-verify` must
+//! dominate what the cycle-driven simulator actually observes, epoch by
+//! epoch and in total, on the paper's two evaluation kernels.
+//!
+//! Every kernel program is branch-deterministic, so the check is tight:
+//! the static `[best, worst]` interval must *contain* the observed
+//! value, the reconfiguration charge must match the simulator's to
+//! floating-point noise, and race-free schedules must replay with
+//! bit-identical per-epoch reports.
+
+use remorph::explore::fft_column_schedule;
+use remorph::explore::jpeg_block_schedule;
+use remorph::fabric::{CostModel, Mesh};
+use remorph::kernels::fft::fixed::Cfx;
+use remorph::kernels::fft::partition::FftPlan;
+use remorph::kernels::jpeg::quant::QuantTable;
+use remorph::sim::{bound_epochs, ArraySim, Epoch, EpochRunner, RunReport};
+use remorph::verify::has_errors;
+
+/// Relative tolerance for ns comparisons: the static engine and the
+/// simulator compute the same sums in a different order.
+const TOL: f64 = 1e-6;
+
+fn probe_input(n: usize) -> Vec<Cfx> {
+    (0..n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect()
+}
+
+fn simulate(mesh: Mesh, cost: &CostModel, epochs: &[Epoch]) -> RunReport {
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+    runner.run_schedule(epochs).expect("schedule runs clean")
+}
+
+/// The shared conformance check: static bound vs. observed run.
+fn check_conformance(label: &str, mesh: Mesh, cost: &CostModel, epochs: &[Epoch]) {
+    let bound = bound_epochs(mesh, cost, epochs);
+    assert!(
+        !has_errors(&bound.diags),
+        "{label}: static analysis must pass: {:?}",
+        bound.diags
+    );
+    assert!(
+        bound.is_bounded(),
+        "{label}: every kernel epoch must bound statically"
+    );
+
+    let report = simulate(mesh, cost, epochs);
+    assert_eq!(bound.epochs.len(), report.epochs.len());
+    for (i, (b, o)) in bound.epochs.iter().zip(&report.epochs).enumerate() {
+        assert_eq!(b.name, o.name, "{label}: epoch {i} order");
+        let c = b.compute_ns(cost);
+        assert!(
+            c.contains(o.compute_ns, TOL),
+            "{label}: epoch {i} '{}': observed compute {} ns outside static {:?}",
+            o.name,
+            o.compute_ns,
+            c
+        );
+        assert!(
+            (b.reconfig_ns - o.reconfig_ns).abs() <= TOL * (1.0 + o.reconfig_ns.abs()),
+            "{label}: epoch {i} '{}': static reconfig {} ns != observed {} ns",
+            o.name,
+            b.reconfig_ns,
+            o.reconfig_ns
+        );
+        assert!(
+            b.copied_words.contains(o.words_copied),
+            "{label}: epoch {i} '{}': observed {} copied words outside static {:?}",
+            o.name,
+            o.words_copied,
+            b.copied_words
+        );
+    }
+
+    // Eq. 1 totals: the static interval contains the observed runtime,
+    // i.e. the worst case dominates and the best case never overshoots.
+    let total = bound.total_ns();
+    assert!(
+        total.contains(report.total_ns(), TOL),
+        "{label}: observed Eq. 1 runtime {} ns outside static {:?}",
+        report.total_ns(),
+        total
+    );
+    assert!(
+        total
+            .worst
+            .expect("bounded schedules have a finite worst case")
+            + TOL
+            >= report.total_ns(),
+        "{label}: static worst case must dominate the observed runtime"
+    );
+
+    // Race-free schedules replay deterministically: a fresh array run
+    // over the same epochs produces bit-identical per-epoch accounting.
+    let replay = simulate(mesh, cost, epochs);
+    assert_eq!(
+        report.epochs, replay.epochs,
+        "{label}: replay must be deterministic"
+    );
+}
+
+#[test]
+fn fft64_static_bound_dominates_simulation() {
+    let plan = FftPlan::new(64, 16).expect("valid plan");
+    let (mesh, epochs) = fft_column_schedule(&plan, &probe_input(64));
+    check_conformance("FFT-64", mesh, &CostModel::default(), &epochs);
+}
+
+#[test]
+fn fft1024_static_bound_dominates_simulation() {
+    let plan = FftPlan::paper_1024();
+    let (mesh, epochs) = fft_column_schedule(&plan, &probe_input(1024));
+    check_conformance("FFT-1024", mesh, &CostModel::with_link_cost(25.0), &epochs);
+}
+
+#[test]
+fn jpeg_block_static_bound_dominates_simulation() {
+    let block: [u8; 64] = std::array::from_fn(|i| (i * 3 % 256) as u8);
+    let (mesh, epochs) = jpeg_block_schedule(&block, &QuantTable::luma(75));
+    check_conformance("JPEG 1x3", mesh, &CostModel::default(), &epochs);
+}
