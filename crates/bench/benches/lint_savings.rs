@@ -1,0 +1,118 @@
+//! Lint auto-fix savings: simulated Eq. 1 reconfiguration time of the
+//! FFT-1024 and streaming-JPEG schedules before and after the
+//! `cgra-lint` reconfiguration-diff minimizer, with bit-exactness
+//! checked word for word. Emits `BENCH_lint.json` at the repo root.
+
+use cgra_bench::{banner, check, f};
+use cgra_explore::jpeg_probe_blocks;
+use cgra_explore::schedule::{fft_column_schedule, jpeg_stream_schedule, minimize_schedule};
+use cgra_fabric::{CostModel, Mesh, DATA_WORDS};
+use cgra_kernels::fft::fixed::Cfx;
+use cgra_kernels::fft::partition::FftPlan;
+use cgra_kernels::jpeg::quant::QuantTable;
+use cgra_sim::{verify_epochs, ArraySim, Epoch, EpochRunner};
+use cgra_verify::has_errors;
+
+fn verify_epochs_or_panic(mesh: Mesh, epochs: &[Epoch], name: &str) {
+    let diags = verify_epochs(mesh, epochs);
+    assert!(!has_errors(&diags), "{name} must verify clean: {diags:?}");
+}
+
+/// Runs a schedule to completion, returning `(Σ tau ns, Σ T ns, final
+/// data-memory image of every tile)`.
+fn simulate(mesh: Mesh, epochs: &[Epoch], cost: &CostModel) -> (f64, f64, Vec<Vec<i64>>) {
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+    let report = runner.run_schedule(epochs).expect("schedule runs");
+    let mems = (0..mesh.tiles())
+        .map(|t| {
+            (0..DATA_WORDS)
+                .map(|a| runner.sim.tiles[t].dmem.peek(a).expect("in range").value())
+                .collect()
+        })
+        .collect();
+    (report.total_reconfig_ns(), report.total_compute_ns(), mems)
+}
+
+struct Row {
+    name: &'static str,
+    removed: usize,
+    pre_tau_ns: f64,
+    post_tau_ns: f64,
+}
+
+fn measure(name: &'static str, mesh: Mesh, mut epochs: Vec<Epoch>, cost: &CostModel) -> Row {
+    verify_epochs_or_panic(mesh, &epochs, name);
+    let (pre_tau_ns, pre_compute, pre_mem) = simulate(mesh, &epochs, cost);
+    let report = minimize_schedule(mesh, &mut epochs, cost);
+    verify_epochs_or_panic(mesh, &epochs, name);
+    let (post_tau_ns, post_compute, post_mem) = simulate(mesh, &epochs, cost);
+    check(
+        &format!("{name}: fixed schedule is bit-exact on every tile's data memory"),
+        pre_mem == post_mem,
+    );
+    check(
+        &format!("{name}: compute time unchanged by the fix"),
+        (pre_compute - post_compute).abs() < 1e-9,
+    );
+    check(
+        &format!("{name}: measured tau strictly drops"),
+        post_tau_ns < pre_tau_ns,
+    );
+    check(
+        &format!("{name}: measured drop matches the lint's prediction"),
+        (pre_tau_ns - post_tau_ns - report.saved_ns()).abs() < 1e-6,
+    );
+    Row {
+        name,
+        removed: report.removals.len(),
+        pre_tau_ns,
+        post_tau_ns,
+    }
+}
+
+fn main() {
+    banner(
+        "Lint auto-fix savings — Eq. 1 reconfiguration term, pre vs post fix",
+        "IPDPSW'13 Eq. 1 (tau term), cgra-lint minimizer",
+    );
+    let cost = CostModel::default();
+
+    let plan = FftPlan::new(1024, 128).expect("1024-point plan");
+    let input: Vec<Cfx> = (0..1024)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect();
+    let (fft_mesh, fft_epochs) = fft_column_schedule(&plan, &input);
+    let fft = measure("fft-1024", fft_mesh, fft_epochs, &cost);
+
+    let (jpeg_mesh, jpeg_epochs) =
+        jpeg_stream_schedule(&jpeg_probe_blocks(), &QuantTable::luma(75));
+    let jpeg = measure("jpeg-stream-1x3", jpeg_mesh, jpeg_epochs, &cost);
+
+    println!();
+    for r in [&fft, &jpeg] {
+        println!(
+            "  {:<16} removed {:>3} words   tau {:>10} -> {:>10} ns   (-{} ns)",
+            r.name,
+            r.removed,
+            f(r.pre_tau_ns, 1),
+            f(r.post_tau_ns, 1),
+            f(r.pre_tau_ns - r.post_tau_ns, 1)
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schedules\": [\n{}\n  ]\n}}\n",
+        [&fft, &jpeg]
+            .iter()
+            .map(|r| format!(
+                "    {{\"name\": \"{}\", \"removed_words\": {}, \"pre_fix_tau_ns\": {:.3}, \
+                 \"post_fix_tau_ns\": {:.3}}}",
+                r.name, r.removed, r.pre_tau_ns, r.post_tau_ns
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(path, json).expect("BENCH_lint.json is writable");
+    println!("\n  wrote {path}");
+}

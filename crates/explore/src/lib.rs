@@ -28,5 +28,6 @@ pub use rank::{
 };
 pub use schedule::{
     assignment_diagnostics, fft_column_schedule, fft_schedule_diagnostics, jpeg_block_schedule,
-    jpeg_schedule_diagnostics, network_budget_diagnostics,
+    jpeg_probe_blocks, jpeg_schedule_diagnostics, jpeg_stream_diagnostics, jpeg_stream_schedule,
+    minimize_schedule, network_budget_diagnostics,
 };

@@ -10,7 +10,7 @@
 //! actually wants to report, trusting (and, in tests, checking) that
 //! the static order matches the simulated order.
 
-use crate::schedule::fft_column_schedule;
+use crate::schedule::{fft_column_schedule, minimize_schedule};
 use cgra_fabric::CostModel;
 use cgra_kernels::fft::fixed::Cfx;
 use cgra_kernels::fft::partition::FftPlan;
@@ -53,14 +53,19 @@ impl RankedCandidate {
 
 /// Prices every partition-size candidate for an `n`-point FFT with the
 /// WCET engine and returns them ranked, fastest static bound first.
-/// Nothing is simulated.
+/// Nothing is simulated. Every candidate schedule is first minimized by
+/// the `cgra-lint` reconfiguration-diff pass
+/// ([`crate::schedule::minimize_schedule`]), so the static prices — and
+/// therefore the ranking — reflect the patches the runtime system would
+/// actually stream, not the generator's redundant ones.
 pub fn rank_fft_candidates(n: usize, cost: &CostModel) -> Vec<RankedCandidate> {
     let input = probe_input(n);
     let mut ranked: Vec<RankedCandidate> = fft_partition_candidates(n)
         .into_iter()
         .filter_map(|m| {
             let plan = FftPlan::new(n, m).ok()?;
-            let (mesh, epochs) = fft_column_schedule(&plan, &input);
+            let (mesh, mut epochs) = fft_column_schedule(&plan, &input);
+            minimize_schedule(mesh, &mut epochs, cost);
             Some(RankedCandidate {
                 m,
                 bound: bound_epochs(mesh, cost, &epochs),
@@ -101,7 +106,9 @@ pub fn simulate_frontier(
         let Ok(plan) = FftPlan::new(n, cand.m) else {
             continue;
         };
-        let (mesh, epochs) = fft_column_schedule(&plan, &input);
+        // Simulate the same minimized schedule the ranking priced.
+        let (mesh, mut epochs) = fft_column_schedule(&plan, &input);
+        minimize_schedule(mesh, &mut epochs, cost);
         let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
         let report = runner.run_schedule(&epochs)?;
         out.push(FrontierPoint {

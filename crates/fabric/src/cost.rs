@@ -89,6 +89,54 @@ impl CostModel {
     pub fn links_reconfig_ns(&self, links: usize) -> f64 {
         self.link_reconfig_ns * links as f64
     }
+
+    /// Prices a [`TransitionBreakdown`]'s three components and total.
+    pub fn transition_ns(&self, b: &TransitionBreakdown) -> (f64, f64, f64, f64) {
+        let data = self.data_reload_ns(b.data_words);
+        let instr = self.instr_reload_ns(b.instr_words);
+        let links = self.links_reconfig_ns(b.links);
+        (data, instr, links, data + instr + links)
+    }
+}
+
+/// What one epoch switch streams through the ICAP, split by kind — the
+/// exact per-transition decomposition of Eq. 1's `tau_ij` term (words
+/// reloaded x per-word ns) rather than only the aggregate, so the
+/// reconfiguration-diff minimizer can report exact savings.
+///
+/// Priced through [`CostModel::transition_ns`]; the total may differ from
+/// [`crate::ReconfigPlan::total_ns`] by float rounding only (`< 1e-9`
+/// relative), never by accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionBreakdown {
+    /// 48-bit data-memory words rewritten (33.33 ns each at 180 MB/s).
+    pub data_words: usize,
+    /// 72-bit instruction words reloaded (50 ns each at 180 MB/s).
+    pub instr_words: usize,
+    /// 48-wire links re-routed (`L` ns each).
+    pub links: usize,
+}
+
+impl TransitionBreakdown {
+    /// Data-word reload time, ns.
+    pub fn data_ns(&self, cost: &CostModel) -> f64 {
+        cost.data_reload_ns(self.data_words)
+    }
+
+    /// Instruction-word reload time, ns.
+    pub fn instr_ns(&self, cost: &CostModel) -> f64 {
+        cost.instr_reload_ns(self.instr_words)
+    }
+
+    /// Link re-routing time, ns.
+    pub fn link_ns(&self, cost: &CostModel) -> f64 {
+        cost.links_reconfig_ns(self.links)
+    }
+
+    /// Total switch time, ns.
+    pub fn total_ns(&self, cost: &CostModel) -> f64 {
+        self.data_ns(cost) + self.instr_ns(cost) + self.link_ns(cost)
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ pub mod rng;
 pub mod tile;
 pub mod word;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, TransitionBreakdown};
 pub use error::FabricError;
 pub use link::{Direction, LinkConfig, TileId, LINK_WIRES};
 pub use mem::{DataMemory, InstrMemory, RawInstr, DATA_WORDS, INSTR_SLOTS};

@@ -58,6 +58,16 @@ impl TileReconfig {
         self.program.is_none() && self.data_patches.iter().all(DataPatch::is_empty)
     }
 
+    /// Data-memory words this tile's patches rewrite.
+    pub fn data_words(&self) -> usize {
+        self.data_patches.iter().map(DataPatch::len).sum()
+    }
+
+    /// Instruction words this tile's program reload streams.
+    pub fn instr_words(&self) -> usize {
+        self.program.as_ref().map_or(0, Vec::len)
+    }
+
     /// Bitstream bytes this tile contributes.
     pub fn bytes(&self) -> usize {
         let prog = self.program.as_ref().map_or(0, |p| p.len() * INSTR_BYTES);
@@ -104,6 +114,16 @@ impl ReconfigPlan {
     /// Total bitstream bytes streamed through the ICAP.
     pub fn bitstream_bytes(&self) -> usize {
         self.tiles.iter().map(|(_, rc)| rc.bytes()).sum()
+    }
+
+    /// The per-kind decomposition of this switch: data words, instruction
+    /// words and links, for exact Eq. 1 savings reporting.
+    pub fn breakdown(&self) -> crate::cost::TransitionBreakdown {
+        crate::cost::TransitionBreakdown {
+            data_words: self.tiles.iter().map(|(_, rc)| rc.data_words()).sum(),
+            instr_words: self.tiles.iter().map(|(_, rc)| rc.instr_words()).sum(),
+            links: self.changed_links,
+        }
     }
 
     /// Time the ICAP needs for the memory rewrites, ns.

@@ -340,6 +340,30 @@ pub fn copy_program(words: u16, self_update: bool, var_base: u16) -> Vec<Instr> 
     p.build().expect("copy program is valid")
 }
 
+/// Builds a purely local copy: moves `words` words from `src` to `dst`
+/// within the tile's own data memory, unrolled by four, with the loop
+/// counter at `ctr`. Used to drain an output region to a scratch area
+/// before the next block of a streaming schedule overwrites it.
+pub fn local_copy_program(words: u16, src: u16, dst: u16, ctr: u16) -> Vec<Instr> {
+    assert!(
+        words > 0 && words.is_multiple_of(4),
+        "copy length must be a multiple of 4"
+    );
+    let mut p = ProgramBuilder::new();
+    p.ldar(0, src);
+    p.ldar(1, dst);
+    p.ldi(d(ctr), (words / 4) as i32);
+    let l = p.here_label();
+    for k in 0..4 {
+        p.mov(at_off(1, k), at_off(0, k));
+    }
+    p.adar(0, 4);
+    p.adar(1, 4);
+    p.djnz(d(ctr), l);
+    p.halt();
+    p.build().expect("local copy program is valid")
+}
+
 /// Sets up the copy variables consumed by [`copy_program`].
 pub fn init_copy_vars(tile: &mut Tile, var_base: u16, src: u16, dst: u16, stride: i64) {
     tile.dmem

@@ -1,0 +1,77 @@
+//! Applying lint removals: the reconfiguration-diff minimizer.
+//!
+//! [`minimize_patches`] rewrites one tile-slot's data-patch list with a
+//! set of removable words dropped. A removal in the middle of a patch
+//! splits it — the surviving words keep their exact base addresses and
+//! payloads, so the fixed switch writes precisely the non-redundant
+//! subset of the original words, in the original order.
+
+use cgra_fabric::DataPatch;
+
+/// Rewrites `patches` with the `(patch index, word index)` pairs in
+/// `removed` dropped, splitting patches around the holes. Pairs that are
+/// out of range are ignored; empty survivors are not emitted.
+///
+/// The result streams `Σ len - |removed|` data words and initializes
+/// exactly the original address set minus the removed words.
+pub fn minimize_patches(patches: &[DataPatch], removed: &[(usize, usize)]) -> Vec<DataPatch> {
+    let mut out = Vec::with_capacity(patches.len());
+    for (pi, p) in patches.iter().enumerate() {
+        let mut run_start: Option<usize> = None;
+        for wi in 0..=p.len() {
+            let drop = wi == p.len() || removed.contains(&(pi, wi));
+            match (drop, run_start) {
+                (false, None) => run_start = Some(wi),
+                (true, Some(s)) => {
+                    out.push(DataPatch::new(p.base + s, p.words[s..wi].to_vec()));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_fabric::Word;
+
+    fn patch(base: usize, vals: &[i64]) -> DataPatch {
+        DataPatch::new(base, vals.iter().map(|&v| Word::wrap(v)).collect())
+    }
+
+    #[test]
+    fn untouched_patches_survive_verbatim() {
+        let ps = vec![patch(10, &[1, 2, 3]), patch(40, &[4])];
+        assert_eq!(minimize_patches(&ps, &[]), ps);
+    }
+
+    #[test]
+    fn middle_removal_splits_a_patch() {
+        let ps = vec![patch(10, &[1, 2, 3, 4])];
+        let fixed = minimize_patches(&ps, &[(0, 1)]);
+        assert_eq!(fixed, vec![patch(10, &[1]), patch(12, &[3, 4])]);
+    }
+
+    #[test]
+    fn edge_removals_trim_without_splitting() {
+        let ps = vec![patch(5, &[1, 2, 3])];
+        assert_eq!(minimize_patches(&ps, &[(0, 0)]), vec![patch(6, &[2, 3])]);
+        assert_eq!(minimize_patches(&ps, &[(0, 2)]), vec![patch(5, &[1, 2])]);
+    }
+
+    #[test]
+    fn fully_removed_patch_vanishes() {
+        let ps = vec![patch(0, &[7, 8]), patch(20, &[9])];
+        let fixed = minimize_patches(&ps, &[(0, 0), (0, 1)]);
+        assert_eq!(fixed, vec![patch(20, &[9])]);
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_ignored() {
+        let ps = vec![patch(0, &[1])];
+        assert_eq!(minimize_patches(&ps, &[(3, 0), (0, 9)]), ps);
+    }
+}

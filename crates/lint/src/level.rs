@@ -1,0 +1,189 @@
+//! Deny / warn / allow lint levels.
+//!
+//! Every lint code carries a default level; a [`LintLevels`] table maps
+//! each `L`-code to its effective level and is what the driver CLI's
+//! `--level name=deny` flags and the `--deny-warnings` switch mutate.
+//! Deny findings become [`Severity::Error`] diagnostics (gate execution
+//! exactly like verifier errors), warn findings become warnings, and
+//! allowed findings are dropped before they are materialized.
+
+use cgra_verify::{Code, Severity};
+
+/// How a lint finding is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintLevel {
+    /// Drop the finding entirely.
+    Allow,
+    /// Report as a warning.
+    Warn,
+    /// Report as an error (aborts strict runs, fails the driver).
+    Deny,
+}
+
+impl std::fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintLevel::Allow => write!(f, "allow"),
+            LintLevel::Warn => write!(f, "warn"),
+            LintLevel::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// Every lint code, in L-number order.
+pub const LINT_CODES: [Code; 7] = [
+    Code::ClobberByPatch,
+    Code::ClobberByCopy,
+    Code::ClobberByStore,
+    Code::DeadInit,
+    Code::RedundantPatch,
+    Code::RedundantReload,
+    Code::UnreachableImem,
+];
+
+/// The default level of each lint.
+///
+/// Only [`Code::ClobberByPatch`] denies by default: a patch *definitely*
+/// rewrites its words, so a kill of unread computed data is a
+/// must-property. The copy/store clobbers rest on may-write effect sets
+/// and warn. [`Code::RedundantReload`] defaults to allow because on this
+/// fabric a reload is also what re-arms a halted PE — the finding is
+/// informational (Eq. 1 cost of the identical image), not actionable.
+pub fn default_level(code: Code) -> LintLevel {
+    match code {
+        Code::ClobberByPatch => LintLevel::Deny,
+        Code::ClobberByCopy => LintLevel::Warn,
+        Code::ClobberByStore => LintLevel::Warn,
+        Code::DeadInit => LintLevel::Warn,
+        Code::RedundantPatch => LintLevel::Warn,
+        Code::RedundantReload => LintLevel::Allow,
+        Code::UnreachableImem => LintLevel::Warn,
+        _ => LintLevel::Allow,
+    }
+}
+
+/// Effective level per lint code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintLevels {
+    levels: [LintLevel; LINT_CODES.len()],
+}
+
+impl Default for LintLevels {
+    fn default() -> LintLevels {
+        let mut levels = [LintLevel::Allow; LINT_CODES.len()];
+        for (slot, code) in levels.iter_mut().zip(LINT_CODES) {
+            *slot = default_level(code);
+        }
+        LintLevels { levels }
+    }
+}
+
+impl LintLevels {
+    /// The default table (see [`default_level`]).
+    pub fn new() -> LintLevels {
+        LintLevels::default()
+    }
+
+    /// The defaults with every warn-level lint raised to deny (the CI
+    /// driver's `--deny-warnings`). Allowed lints stay allowed.
+    pub fn deny_warnings(mut self) -> LintLevels {
+        for l in &mut self.levels {
+            if *l == LintLevel::Warn {
+                *l = LintLevel::Deny;
+            }
+        }
+        self
+    }
+
+    fn index(code: Code) -> Option<usize> {
+        LINT_CODES.iter().position(|&c| c == code)
+    }
+
+    /// The effective level of `code` ([`LintLevel::Allow`] for codes that
+    /// are not lints).
+    pub fn get(&self, code: Code) -> LintLevel {
+        match LintLevels::index(code) {
+            Some(i) => self.levels[i],
+            None => LintLevel::Allow,
+        }
+    }
+
+    /// Sets the level of a lint code; non-lint codes are ignored.
+    pub fn set(&mut self, code: Code, level: LintLevel) -> &mut LintLevels {
+        if let Some(i) = LintLevels::index(code) {
+            self.levels[i] = level;
+        }
+        self
+    }
+
+    /// The severity findings of `code` materialize with, `None` when the
+    /// finding is allowed (dropped).
+    pub fn severity(&self, code: Code) -> Option<Severity> {
+        match self.get(code) {
+            LintLevel::Allow => None,
+            LintLevel::Warn => Some(Severity::Warning),
+            LintLevel::Deny => Some(Severity::Error),
+        }
+    }
+
+    /// Parses a `name=level` directive (e.g. `clobber-by-copy=deny`) and
+    /// applies it. Errors name the unknown half.
+    pub fn apply_directive(&mut self, directive: &str) -> Result<(), String> {
+        let (name, level) = directive
+            .split_once('=')
+            .ok_or_else(|| format!("'{directive}': expected <lint-name>=<allow|warn|deny>"))?;
+        let level = match level.trim() {
+            "allow" => LintLevel::Allow,
+            "warn" => LintLevel::Warn,
+            "deny" => LintLevel::Deny,
+            other => return Err(format!("'{other}' is not a level (allow|warn|deny)")),
+        };
+        let name = name.trim();
+        let code = LINT_CODES
+            .iter()
+            .copied()
+            .find(|c| c.name() == name || c.id() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = LINT_CODES.iter().map(|c| c.name()).collect();
+                format!("'{name}' is not a lint (known: {})", known.join(", "))
+            })?;
+        self.set(code, level);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_taxonomy() {
+        let l = LintLevels::default();
+        assert_eq!(l.get(Code::ClobberByPatch), LintLevel::Deny);
+        assert_eq!(l.get(Code::RedundantPatch), LintLevel::Warn);
+        assert_eq!(l.get(Code::RedundantReload), LintLevel::Allow);
+        // Non-lint codes have no level.
+        assert_eq!(l.get(Code::UninitRead), LintLevel::Allow);
+        assert_eq!(l.severity(Code::ClobberByPatch), Some(Severity::Error));
+        assert_eq!(l.severity(Code::RedundantReload), None);
+    }
+
+    #[test]
+    fn deny_warnings_raises_only_warns() {
+        let l = LintLevels::default().deny_warnings();
+        assert_eq!(l.get(Code::RedundantPatch), LintLevel::Deny);
+        assert_eq!(l.get(Code::RedundantReload), LintLevel::Allow);
+    }
+
+    #[test]
+    fn directives_parse_by_name_and_id() {
+        let mut l = LintLevels::default();
+        l.apply_directive("clobber-by-copy=deny").unwrap();
+        assert_eq!(l.get(Code::ClobberByCopy), LintLevel::Deny);
+        l.apply_directive("L006=warn").unwrap();
+        assert_eq!(l.get(Code::RedundantReload), LintLevel::Warn);
+        assert!(l.apply_directive("nope=deny").is_err());
+        assert!(l.apply_directive("never-read-init=loud").is_err());
+        assert!(l.apply_directive("malformed").is_err());
+    }
+}

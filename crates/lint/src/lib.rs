@@ -1,0 +1,49 @@
+//! # cgra-lint
+//!
+//! Whole-schedule, inter-epoch dataflow lints for reMORPH epoch
+//! schedules — the layer above `cgra-verify`: where the verifier checks
+//! each epoch for *legality* (and threads may-init/const state forward),
+//! this crate checks the schedule as one program for *waste and
+//! lifetime hazards*, and can rewrite it:
+//!
+//! * **Lifetime / clobber analysis** — tracks every data-memory word's
+//!   current definition (ICAP patch, program store, or inbound `T_copy`
+//!   write) across the whole schedule and reports kills of data nothing
+//!   ever read, with provenance: [`cgra_verify::Code::ClobberByPatch`]
+//!   (L001, deny by default — patch writes are must-writes),
+//!   [`cgra_verify::Code::ClobberByCopy`] (L002),
+//!   [`cgra_verify::Code::ClobberByStore`] (L003) and
+//!   [`cgra_verify::Code::DeadInit`] (L004) for patched words no program
+//!   ever consumes.
+//! * **Reconfiguration-diff minimizer** — a patch word whose payload
+//!   equals the value the word statically already holds is a no-op
+//!   rewrite ([`cgra_verify::Code::RedundantPatch`], L005). Each is
+//!   recorded as a [`Removal`]; [`minimize_patches`] rewrites the patch
+//!   list without them, and [`TransitionSavings`] prices the Eq. 1
+//!   reconfiguration-time reduction per epoch switch.
+//! * **Dead configuration state** — byte-identical program reloads
+//!   ([`cgra_verify::Code::RedundantReload`], L006, allow by default:
+//!   a reload is also what re-arms a halted PE) and instruction slots
+//!   unreachable from the entry that the ICAP streams anyway
+//!   ([`cgra_verify::Code::UnreachableImem`], L007).
+//!
+//! Every lint has a deny/warn/allow [`LintLevel`]; [`LintLevels`] is the
+//! mutable table the `cgra-lint` driver binary exposes as `--level
+//! name=deny` / `--deny-warnings`. Deny findings materialize as
+//! [`cgra_verify::Severity::Error`] diagnostics, so
+//! `cgra_sim::EpochRunner` can gate strict runs on them exactly as it
+//! gates on verifier errors.
+//!
+//! The soundness argument for the minimizer (why dropping a [`Removal`]
+//! is bit-exact at every cycle, not just at the end) is DESIGN.md
+//! Section 11.
+
+#![warn(missing_docs)]
+
+pub mod fix;
+pub mod level;
+pub mod pass;
+
+pub use fix::minimize_patches;
+pub use level::{default_level, LintLevel, LintLevels, LINT_CODES};
+pub use pass::{lint_schedule, LintReport, Removal, TransitionSavings};

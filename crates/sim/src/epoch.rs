@@ -322,7 +322,31 @@ impl EpochRunner {
     }
 
     /// Runs a whole schedule.
+    ///
+    /// Unlike [`EpochRunner::run_epoch`] (which only sees one epoch at a
+    /// time), this has the whole schedule in hand, so under any verify
+    /// mode other than [`VerifyMode::Off`] it first runs the
+    /// `cgra-lint` inter-epoch pass at its default levels: deny-level
+    /// findings (e.g. a reconfiguration patch clobbering live data,
+    /// [`cgra_verify::Code::ClobberByPatch`]) abort before anything is
+    /// applied, warnings land in [`EpochRunner::diagnostics`]. The lint
+    /// pass assumes a cold array, so it is skipped when this runner has
+    /// already executed epochs.
     pub fn run_schedule(&mut self, epochs: &[Epoch]) -> Result<RunReport, SimError> {
+        if self.sim.verify != VerifyMode::Off && self.checker.epochs_seen() == 0 {
+            let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+            let lint = cgra_lint::lint_schedule(
+                self.sim.mesh,
+                &specs,
+                &cgra_lint::LintLevels::default(),
+                &self.cost,
+            );
+            let errs: Vec<Diagnostic> = cgra_verify::errors(&lint.diags).cloned().collect();
+            self.diagnostics.extend(lint.diags);
+            if !errs.is_empty() {
+                return Err(SimError::Verify(errs));
+            }
+        }
         let mut report = RunReport::default();
         for e in epochs {
             report.epochs.push(self.run_epoch(e)?);

@@ -6,16 +6,21 @@
 //!   tile per cycle, link-routed remote writes, reconfiguration stalls),
 //! * [`epoch`] — epoch schedules, partial-reconfiguration switches with
 //!   compute overlap, and the paper's Eq. 1 runtime decomposition,
-//! * [`trace`] — per-tile activity traces with ASCII Gantt rendering.
+//! * [`trace`] — per-tile activity traces with ASCII Gantt rendering,
+//! * [`lint`] — whole-schedule `cgra-lint` integration: the inter-epoch
+//!   lifetime/redundancy pass over [`Epoch`] schedules and the auto-fix
+//!   that drops redundant ICAP patch words.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod epoch;
+pub mod lint;
 pub mod trace;
 
 pub use engine::{ArraySim, SimError, TileStats, VerifyMode};
 pub use epoch::{
     bound_epochs, epoch_spec, verify_epochs, Epoch, EpochReport, EpochRunner, RunReport, TileSetup,
 };
+pub use lint::{apply_lint_fixes, lint_epochs};
 pub use trace::{EpochTrace, TileActivity, Trace};

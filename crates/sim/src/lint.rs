@@ -1,0 +1,40 @@
+//! Schedule-level lint integration: running the `cgra-lint` pass over
+//! [`Epoch`] schedules and applying its auto-fixes.
+
+use crate::epoch::{epoch_spec, Epoch};
+use cgra_fabric::{CostModel, Mesh};
+use cgra_lint::{minimize_patches, LintLevels, LintReport};
+use cgra_verify::EpochSpec;
+
+/// Runs the whole-schedule lint pass over `epochs` for a cold array on
+/// `mesh` — the [`Epoch`]-typed counterpart of
+/// [`cgra_lint::lint_schedule`], mirroring [`crate::verify_epochs`].
+pub fn lint_epochs(
+    mesh: Mesh,
+    epochs: &[Epoch],
+    levels: &LintLevels,
+    cost: &CostModel,
+) -> LintReport {
+    let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+    cgra_lint::lint_schedule(mesh, &specs, levels, cost)
+}
+
+/// Applies a lint report's patch-word removals to a schedule in place:
+/// every `(epoch, slot)` with removable words gets its data-patch list
+/// rewritten by [`minimize_patches`]. Programs, links and budgets are
+/// untouched — only redundant ICAP data words disappear, so the fixed
+/// schedule executes bit-exact with a strictly smaller Eq. 1
+/// reconfiguration term (see `DESIGN.md` Section 11).
+pub fn apply_lint_fixes(epochs: &mut [Epoch], report: &LintReport) {
+    let mut slots: Vec<(usize, usize)> =
+        report.removals.iter().map(|r| (r.epoch, r.slot)).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    for (ei, slot) in slots {
+        let Some((_, setup)) = epochs.get_mut(ei).and_then(|e| e.setups.get_mut(slot)) else {
+            continue;
+        };
+        let removed = report.removals_for(ei, slot);
+        setup.data_patches = minimize_patches(&setup.data_patches, &removed);
+    }
+}

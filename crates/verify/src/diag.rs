@@ -75,12 +75,34 @@ pub enum Code {
     UnboundedLoop,
     /// An epoch's static cycle bound is at or over its cycle budget.
     DeadlineRisk,
+    /// A reconfiguration patch overwrites computed data (an earlier store
+    /// or inbound copy) that no program ever read.
+    ClobberByPatch,
+    /// A T_copy inbound write overwrites computed data that no program
+    /// ever read.
+    ClobberByCopy,
+    /// A program store overwrites another epoch's computed data that no
+    /// program ever read.
+    ClobberByStore,
+    /// A patched (ICAP-initialized) word is never read by any subsequent
+    /// program before it is overwritten or the schedule ends.
+    DeadInit,
+    /// A patch word rewrites a value the word already holds — removable
+    /// without changing any memory state (Eq. 1 savings).
+    RedundantPatch,
+    /// A tile is reloaded with the byte-identical program image it
+    /// already holds (charged at instruction-word ICAP rates; kept
+    /// because a reload is what re-arms a halted PE).
+    RedundantReload,
+    /// Instruction-memory slots unreachable from the entry are streamed
+    /// through the ICAP anyway — wasted reconfiguration time.
+    UnreachableImem,
 }
 
 impl Code {
-    /// Every defect class, in V-number order. The registry the README
-    /// table is checked against; append new codes here.
-    pub const ALL: [Code; 20] = [
+    /// Every defect class, in V-number then L-number order. The registry
+    /// the README table is checked against; append new codes here.
+    pub const ALL: [Code; 27] = [
         Code::InvalidInstr,
         Code::EmptyProgram,
         Code::ImemOverflow,
@@ -101,6 +123,13 @@ impl Code {
         Code::CyclicWait,
         Code::UnboundedLoop,
         Code::DeadlineRisk,
+        Code::ClobberByPatch,
+        Code::ClobberByCopy,
+        Code::ClobberByStore,
+        Code::DeadInit,
+        Code::RedundantPatch,
+        Code::RedundantReload,
+        Code::UnreachableImem,
     ];
 
     /// Short machine-readable identifier, e.g. `V007`.
@@ -126,6 +155,13 @@ impl Code {
             Code::CyclicWait => "V103",
             Code::UnboundedLoop => "V110",
             Code::DeadlineRisk => "V111",
+            Code::ClobberByPatch => "L001",
+            Code::ClobberByCopy => "L002",
+            Code::ClobberByStore => "L003",
+            Code::DeadInit => "L004",
+            Code::RedundantPatch => "L005",
+            Code::RedundantReload => "L006",
+            Code::UnreachableImem => "L007",
         }
     }
 
@@ -152,6 +188,13 @@ impl Code {
             Code::CyclicWait => "cyclic-wait",
             Code::UnboundedLoop => "unbounded-loop",
             Code::DeadlineRisk => "deadline-risk",
+            Code::ClobberByPatch => "clobber-by-patch",
+            Code::ClobberByCopy => "clobber-by-copy",
+            Code::ClobberByStore => "clobber-by-store",
+            Code::DeadInit => "never-read-init",
+            Code::RedundantPatch => "redundant-patch-word",
+            Code::RedundantReload => "redundant-program-reload",
+            Code::UnreachableImem => "unreachable-imem",
         }
     }
 
@@ -178,6 +221,13 @@ impl Code {
             Code::CyclicWait => "tiles spin on words only each other write (possible deadlock)",
             Code::UnboundedLoop => "no constant trip count; worst-case cycles unbounded",
             Code::DeadlineRisk => "an epoch's static cycle bound reaches its budget",
+            Code::ClobberByPatch => "a reconfiguration patch overwrites unread computed data",
+            Code::ClobberByCopy => "an inbound copy overwrites unread computed data",
+            Code::ClobberByStore => "a store overwrites another epoch's unread computed data",
+            Code::DeadInit => "a patched word is never read by any subsequent program",
+            Code::RedundantPatch => "a patch word rewrites a value the word already holds",
+            Code::RedundantReload => "a tile is reloaded with the program image it already holds",
+            Code::UnreachableImem => "unreachable instruction slots waste ICAP reload time",
         }
     }
 }
@@ -304,7 +354,7 @@ mod tests {
             assert!(seen.insert(id), "duplicate diagnostic id {id}");
             assert!(
                 id.len() == 4
-                    && id.starts_with('V')
+                    && (id.starts_with('V') || id.starts_with('L'))
                     && id[1..].chars().all(|ch| ch.is_ascii_digit()),
                 "malformed id {id}"
             );
@@ -318,11 +368,14 @@ mod tests {
             );
         }
         // V-numbers are stable: program/schedule codes stay below V100,
-        // concurrency codes sit at V10x, timing codes at V11x.
+        // concurrency codes sit at V10x, timing codes at V11x. Lint codes
+        // live in their own L namespace.
         assert_eq!(Code::InvalidInstr.id(), "V001");
         assert_eq!(Code::DataBudget.id(), "V014");
         assert_eq!(Code::RaceWriteWrite.id(), "V100");
         assert_eq!(Code::UnboundedLoop.id(), "V110");
+        assert_eq!(Code::ClobberByPatch.id(), "L001");
+        assert_eq!(Code::UnreachableImem.id(), "L007");
     }
 
     #[test]

@@ -108,6 +108,32 @@ impl ScheduleChecker {
         }
     }
 
+    /// The value `d[addr]` of `tile` is statically known to hold going
+    /// into the *next* epoch fed to [`ScheduleChecker::analyze_epoch`]
+    /// (patched constants and surviving program stores). The hook the
+    /// `cgra-lint` reconfiguration-diff minimizer compares patch payloads
+    /// against: a patch word whose value equals the known surviving value
+    /// is a no-op rewrite.
+    ///
+    /// Invariant: a known word is always in the may-initialized set too
+    /// (both are fed by the same patches and stores, and the init set
+    /// only ever grows), so dropping a no-op patch word never introduces
+    /// an uninitialized read.
+    pub fn known_value(&self, tile: TileId, addr: usize) -> Option<i64> {
+        self.consts.get(tile).and_then(|c| c.get(addr))
+    }
+
+    /// True when `d[addr]` of `tile` may already be initialized going
+    /// into the next epoch.
+    pub fn may_initialized(&self, tile: TileId, addr: usize) -> bool {
+        self.init.get(tile).is_some_and(|s| s.contains(addr))
+    }
+
+    /// How many epochs have been fed to the checker so far.
+    pub fn epochs_seen(&self) -> usize {
+        self.epoch
+    }
+
     /// Checks the next epoch and advances the cross-epoch state.
     pub fn check_epoch(&mut self, e: &EpochSpec) -> Vec<Diagnostic> {
         self.analyze_epoch(e).diags

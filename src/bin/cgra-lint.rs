@@ -1,0 +1,230 @@
+//! The `cgra-lint` driver: lints the toolkit's example epoch schedules
+//! with the whole-schedule inter-epoch pass and optionally applies the
+//! reconfiguration-diff auto-fix.
+//!
+//! ```console
+//! $ cargo run --release --bin cgra-lint -- --all --fix --deny-warnings
+//! ```
+//!
+//! Exit status 0 when every selected schedule is clean at the configured
+//! levels (after fixing, when `--fix` is given), 1 when any deny-level
+//! finding survives, 2 on usage errors.
+
+use remorph::explore::{
+    fft_column_schedule, jpeg_block_schedule, jpeg_probe_blocks, jpeg_stream_schedule,
+};
+use remorph::fabric::{CostModel, Mesh};
+use remorph::kernels::fft::fixed::Cfx;
+use remorph::kernels::fft::partition::FftPlan;
+use remorph::kernels::jpeg::quant::QuantTable;
+use remorph::lint::{LintLevels, LintReport};
+use remorph::sim::{apply_lint_fixes, lint_epochs, verify_epochs, Epoch};
+use remorph::verify::{has_errors, Diagnostic};
+
+const SCHEDULES: [&str; 5] = ["fft-16", "fft-64", "fft-1024", "jpeg", "jpeg-stream"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgra-lint [--schedule <name>]... [--all] [--level <lint>=<allow|warn|deny>]...\n\
+         \x20                [--deny-warnings] [--fix] [--json]\n\
+         \n\
+         schedules: {}",
+        SCHEDULES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn fft_input(n: usize) -> Vec<Cfx> {
+    (0..n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect()
+}
+
+fn build(name: &str) -> (Mesh, Vec<Epoch>) {
+    let fft = |n: usize, m: usize| {
+        let plan = FftPlan::new(n, m).expect("valid probe plan");
+        fft_column_schedule(&plan, &fft_input(n))
+    };
+    let qt = QuantTable::luma(75);
+    match name {
+        "fft-16" => fft(16, 4),
+        "fft-64" => fft(64, 16),
+        "fft-1024" => fft(1024, 128),
+        "jpeg" => jpeg_block_schedule(&jpeg_probe_blocks()[0], &qt),
+        "jpeg-stream" => jpeg_stream_schedule(&jpeg_probe_blocks(), &qt),
+        _ => usage(),
+    }
+}
+
+fn render(d: &Diagnostic) -> String {
+    let mut loc = String::new();
+    if let Some(t) = d.tile {
+        loc.push_str(&format!(" tile {t}"));
+    }
+    if let Some(e) = d.epoch {
+        loc.push_str(&format!(" epoch {e}"));
+    }
+    format!(
+        "{}[{} {}]{}: {}",
+        d.severity,
+        d.code.id(),
+        d.code.name(),
+        loc,
+        d.message
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn report_json(name: &str, fixed: bool, report: &LintReport) -> String {
+    let diags: Vec<String> = report
+        .diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"name\":\"{}\",\"message\":\"{}\"}}",
+                d.severity,
+                d.code.id(),
+                d.code.name(),
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schedule\":\"{}\",\"fixed\":{},\"removable_words\":{},\"saved_ns\":{:.3},\
+         \"denied\":{},\"diagnostics\":[{}]}}",
+        name,
+        fixed,
+        report.removals.len(),
+        report.saved_ns(),
+        report.denied(),
+        diags.join(",")
+    )
+}
+
+struct Options {
+    schedules: Vec<String>,
+    levels: LintLevels,
+    fix: bool,
+    json: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        schedules: Vec::new(),
+        levels: LintLevels::new(),
+        fix: false,
+        json: false,
+    };
+    let mut deny_warnings = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--schedule" => {
+                let Some(name) = args.next() else { usage() };
+                if !SCHEDULES.contains(&name.as_str()) {
+                    eprintln!("unknown schedule '{name}'");
+                    usage();
+                }
+                opts.schedules.push(name);
+            }
+            "--all" => opts
+                .schedules
+                .extend(SCHEDULES.iter().map(|s| s.to_string())),
+            "--level" => {
+                let Some(directive) = args.next() else {
+                    usage()
+                };
+                if let Err(e) = opts.levels.apply_directive(&directive) {
+                    eprintln!("--level {e}");
+                    usage();
+                }
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--fix" => opts.fix = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if deny_warnings {
+        opts.levels = opts.levels.deny_warnings();
+    }
+    if opts.schedules.is_empty() {
+        usage();
+    }
+    opts.schedules.dedup();
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let cost = CostModel::default();
+    let mut failed = false;
+
+    for name in &opts.schedules {
+        let (mesh, mut epochs) = build(name);
+        let verr = verify_epochs(mesh, &epochs);
+        if has_errors(&verr) {
+            for d in verr.iter().filter(|d| d.is_error()) {
+                eprintln!("{name}: {}", render(d));
+            }
+            failed = true;
+            continue;
+        }
+        let mut report = lint_epochs(mesh, &epochs, &opts.levels, &cost);
+        let mut fixed = false;
+        let (removed, saved_ns) = (report.removals.len(), report.saved_ns());
+        if opts.fix && !report.removals.is_empty() {
+            apply_lint_fixes(&mut epochs, &report);
+            fixed = true;
+            // The fixed schedule must still verify clean; then the gate
+            // applies to what would actually be streamed.
+            let reverr = verify_epochs(mesh, &epochs);
+            if has_errors(&reverr) {
+                for d in reverr.iter().filter(|d| d.is_error()) {
+                    eprintln!("{name} (post-fix): {}", render(d));
+                }
+                failed = true;
+                continue;
+            }
+            report = lint_epochs(mesh, &epochs, &opts.levels, &cost);
+        }
+        if opts.json {
+            println!("{}", report_json(name, fixed, &report));
+        } else {
+            for d in &report.diags {
+                println!("{name}: {}", render(d));
+            }
+            let verdict = if fixed {
+                format!(
+                    "fixed ({removed} redundant words removed, {saved_ns:.1} ns saved), now {}",
+                    if report.diags.is_empty() {
+                        "clean".to_string()
+                    } else {
+                        format!("{} findings", report.diags.len())
+                    }
+                )
+            } else if report.diags.is_empty() {
+                "clean".to_string()
+            } else {
+                format!(
+                    "{} findings, {} removable words ({:.1} ns)",
+                    report.diags.len(),
+                    report.removals.len(),
+                    report.saved_ns()
+                )
+            };
+            println!("{name}: {verdict}");
+        }
+        if report.denied() {
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -19,7 +19,10 @@
 //!   every table and figure of the paper,
 //! * [`verify`] — the static program / epoch-schedule verifier (CFG,
 //!   termination, dataflow and data-budget passes) the simulator and the
-//!   DSE pipelines run before anything executes.
+//!   DSE pipelines run before anything executes,
+//! * [`lint`] — the whole-schedule inter-epoch lifetime/redundancy
+//!   linter and reconfiguration-diff minimizer (`cgra-lint` driver
+//!   binary; `L00x` diagnostic codes).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use cgra_explore as explore;
 pub use cgra_fabric as fabric;
 pub use cgra_isa as isa;
 pub use cgra_kernels as kernels;
+pub use cgra_lint as lint;
 pub use cgra_map as map;
 pub use cgra_sim as sim;
 pub use cgra_verify as verify;

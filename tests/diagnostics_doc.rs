@@ -18,7 +18,10 @@ fn readme_table() -> BTreeMap<String, (String, String)> {
         }
         let strip = |s: &str| s.trim_matches('`').to_string();
         let id = strip(cells[1]);
-        if id.len() == 4 && id.starts_with('V') && id[1..].chars().all(|c| c.is_ascii_digit()) {
+        if id.len() == 4
+            && (id.starts_with('V') || id.starts_with('L'))
+            && id[1..].chars().all(|c| c.is_ascii_digit())
+        {
             let prev = rows.insert(id.clone(), (strip(cells[2]), strip(cells[3])));
             assert!(prev.is_none(), "duplicate README row for {id}");
         }
@@ -55,9 +58,33 @@ fn registry_ids_are_unique_and_well_formed() {
         let id = code.id();
         assert!(seen.insert(id), "duplicate diagnostic id {id}");
         assert!(
-            id.len() == 4 && id.starts_with('V'),
-            "id {id} must be V followed by three digits"
+            id.len() == 4
+                && (id.starts_with('V') || id.starts_with('L'))
+                && id[1..].chars().all(|c| c.is_ascii_digit()),
+            "id {id} must be V or L followed by three digits"
         );
         assert!(!code.name().is_empty() && !code.describe().is_empty());
+    }
+}
+
+#[test]
+fn lint_namespace_is_complete_and_leveled() {
+    // Every L-code is a lint (has a slot in the level table) and every
+    // lint is an L-code: the two registries cannot drift apart.
+    let l_codes: Vec<Code> = Code::ALL
+        .iter()
+        .copied()
+        .filter(|c| c.id().starts_with('L'))
+        .collect();
+    assert_eq!(l_codes, remorph::lint::LINT_CODES.to_vec());
+    // V-codes carry no lint level (they gate via the verifier).
+    for code in Code::ALL {
+        let is_lint = remorph::lint::LINT_CODES.contains(&code);
+        assert_eq!(
+            code.id().starts_with('L'),
+            is_lint,
+            "{} namespace",
+            code.id()
+        );
     }
 }

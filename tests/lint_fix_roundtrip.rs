@@ -1,0 +1,264 @@
+//! Lint → fix → re-verify → replay roundtrips.
+//!
+//! Three layers of evidence that the `cgra-lint` reconfiguration-diff
+//! minimizer is sound:
+//!
+//! 1. a seeded schedule with a fully redundant re-patch loses exactly
+//!    those words, re-verifies clean and replays bit-exact with a
+//!    strictly smaller Eq. 1 reconfiguration term,
+//! 2. a seeded live-word clobber is denied by the pass *and* rejected by
+//!    the `EpochRunner` strict gate before anything executes,
+//! 3. the paper's two evaluation schedules (FFT-1024 and the streaming
+//!    JPEG pipeline) survive the same roundtrip, and the PR 2 WCET
+//!    engine still bounds the minimized schedules.
+
+use remorph::explore::{
+    fft_column_schedule, jpeg_probe_blocks, jpeg_stream_schedule, minimize_schedule,
+};
+use remorph::fabric::{CostModel, DataPatch, LinkConfig, Mesh, Word, DATA_WORDS};
+use remorph::isa::ops::d;
+use remorph::isa::{Instr, ProgramBuilder};
+use remorph::kernels::fft::fixed::Cfx;
+use remorph::kernels::fft::partition::FftPlan;
+use remorph::kernels::jpeg::quant::QuantTable;
+use remorph::lint::LintLevels;
+use remorph::sim::{
+    apply_lint_fixes, bound_epochs, lint_epochs, verify_epochs, ArraySim, Epoch, EpochRunner,
+    TileSetup, VerifyMode,
+};
+use remorph::verify::{has_errors, Code};
+
+const TOL: f64 = 1e-6;
+
+/// Runs a schedule and returns `(Eq. 1 reconfig ns, compute ns, every
+/// tile's final data-memory image)`.
+fn simulate(mesh: Mesh, epochs: &[Epoch], cost: &CostModel) -> (f64, f64, Vec<Vec<i64>>) {
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+    let report = runner.run_schedule(epochs).expect("schedule runs clean");
+    let mems = (0..mesh.tiles())
+        .map(|t| {
+            (0..DATA_WORDS)
+                .map(|a| runner.sim.tiles[t].dmem.peek(a).expect("in range").value())
+                .collect()
+        })
+        .collect();
+    (report.total_reconfig_ns(), report.total_compute_ns(), mems)
+}
+
+/// The full roundtrip on one schedule: lint, fix, re-verify, replay,
+/// compare. Returns the number of removed words.
+fn roundtrip(label: &str, mesh: Mesh, epochs: &[Epoch], cost: &CostModel) -> usize {
+    assert!(
+        !has_errors(&verify_epochs(mesh, epochs)),
+        "{label}: baseline must verify clean"
+    );
+    let (pre_tau, pre_compute, pre_mem) = simulate(mesh, epochs, cost);
+
+    let mut fixed = epochs.to_vec();
+    let report = minimize_schedule(mesh, &mut fixed, cost);
+    assert!(
+        !report.removals.is_empty(),
+        "{label}: the seeded redundancy must be found"
+    );
+    assert!(report.saved_ns() > 0.0);
+    assert!(
+        !has_errors(&verify_epochs(mesh, &fixed)),
+        "{label}: fixed schedule must verify clean"
+    );
+
+    let (post_tau, post_compute, post_mem) = simulate(mesh, &fixed, cost);
+    assert_eq!(pre_mem, post_mem, "{label}: replay must be bit-exact");
+    assert!(
+        (pre_compute - post_compute).abs() < TOL,
+        "{label}: the fix must not change compute time"
+    );
+    assert!(
+        post_tau < pre_tau,
+        "{label}: reconfiguration time must strictly drop"
+    );
+    assert!(
+        (pre_tau - post_tau - report.saved_ns()).abs() < TOL,
+        "{label}: measured drop {} ns must match predicted {} ns",
+        pre_tau - post_tau,
+        report.saved_ns()
+    );
+
+    // A second lint of the fixed schedule claims nothing further.
+    let again = lint_epochs(mesh, &fixed, &LintLevels::new(), cost);
+    assert!(
+        again.removals.is_empty(),
+        "{label}: minimization must be idempotent"
+    );
+    report.removals.len()
+}
+
+/// Reads `d[base..base+n]` into scratch space and halts.
+fn reader(base: u16, n: u16) -> Vec<Instr> {
+    let mut p = ProgramBuilder::new();
+    for i in 0..n {
+        p.mov(d(100 + i), d(base + i));
+    }
+    p.halt();
+    p.build().expect("reader is valid")
+}
+
+fn patch(base: usize, vals: &[i64]) -> DataPatch {
+    DataPatch::new(base, vals.iter().map(|&v| Word::wrap(v)).collect())
+}
+
+fn one_tile_epoch(name: &str, links: &LinkConfig, setup: TileSetup) -> Epoch {
+    Epoch {
+        name: name.to_string(),
+        links: links.clone(),
+        setups: vec![(0, setup)],
+        budget: 256,
+    }
+}
+
+#[test]
+fn seeded_redundant_repatch_is_removed_and_replays_bit_exact() {
+    let mesh = Mesh::new(1, 1);
+    let links = mesh.disconnected();
+    let epochs = vec![
+        one_tile_epoch(
+            "load",
+            &links,
+            TileSetup {
+                program: Some(reader(0, 4)),
+                data_patches: vec![patch(0, &[11, 22, 33, 44])],
+            },
+        ),
+        // Re-sends the same four words the memory still provably holds,
+        // then reads them again: classic naive per-iteration table send.
+        one_tile_epoch(
+            "resend",
+            &links,
+            TileSetup {
+                program: Some(reader(0, 4)),
+                data_patches: vec![patch(0, &[11, 22, 33, 44])],
+            },
+        ),
+    ];
+
+    let cost = CostModel::default();
+    let report = lint_epochs(mesh, &epochs, &LintLevels::new(), &cost);
+    assert_eq!(report.count(Code::RedundantPatch), 1, "{:#?}", report.diags);
+    assert!(!report.denied());
+    assert_eq!(report.removals.len(), 4);
+
+    let removed = roundtrip("seeded-redundant", mesh, &epochs, &cost);
+    assert_eq!(removed, 4);
+
+    // The fixed second epoch carries no data patch at all any more.
+    let mut fixed = epochs.clone();
+    apply_lint_fixes(&mut fixed, &report);
+    assert!(fixed[1].setups[0].1.data_patches.is_empty());
+    assert_eq!(
+        fixed[0].setups[0].1.data_patches,
+        epochs[0].setups[0].1.data_patches
+    );
+}
+
+#[test]
+fn seeded_live_word_clobber_is_denied_and_gated() {
+    let mesh = Mesh::new(1, 1);
+    let links = mesh.disconnected();
+    let mut p = ProgramBuilder::new();
+    p.ldi(d(5), 7);
+    p.halt();
+    let writer = p.build().expect("writer is valid");
+    let epochs = vec![
+        one_tile_epoch(
+            "compute",
+            &links,
+            TileSetup {
+                program: Some(writer),
+                data_patches: vec![],
+            },
+        ),
+        // The switch patches over the freshly computed d[5] before any
+        // program consumed it: a live-word clobber, deny by default.
+        one_tile_epoch(
+            "switch",
+            &links,
+            TileSetup {
+                program: Some(vec![Instr::Halt]),
+                data_patches: vec![patch(5, &[9])],
+            },
+        ),
+    ];
+
+    let cost = CostModel::default();
+    let report = lint_epochs(mesh, &epochs, &LintLevels::new(), &cost);
+    assert!(report.denied(), "{:#?}", report.diags);
+    assert_eq!(report.count(Code::ClobberByPatch), 1);
+    let diag = report
+        .diags
+        .iter()
+        .find(|d| d.code == Code::ClobberByPatch)
+        .expect("clobber diagnostic present");
+    assert!(diag.message.contains("epoch 0"), "{}", diag.message);
+    assert!(report.removals.is_empty(), "a clobber is never auto-fixed");
+
+    // The strict EpochRunner gate refuses to execute it (forced on, so
+    // the check also holds under the release test profile).
+    let mut sim = ArraySim::new(mesh);
+    sim.verify = VerifyMode::Strict;
+    let mut runner = EpochRunner::new(sim, cost);
+    assert!(
+        runner.run_schedule(&epochs).is_err(),
+        "strict mode must reject a schedule with deny-level lint findings"
+    );
+}
+
+fn probe_input(n: usize) -> Vec<Cfx> {
+    (0..n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect()
+}
+
+/// WCET containment on a minimized schedule: the PR 2 static bound must
+/// still be error-free, finite, and contain the observed Eq. 1 runtime.
+fn assert_wcet_contains(label: &str, mesh: Mesh, epochs: &[Epoch], cost: &CostModel) {
+    let bound = bound_epochs(mesh, cost, epochs);
+    assert!(!has_errors(&bound.diags), "{label}: {:?}", bound.diags);
+    assert!(bound.is_bounded(), "{label}: minimized schedule must bound");
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+    let report = runner.run_schedule(epochs).expect("schedule runs clean");
+    assert!(
+        bound.total_ns().contains(report.total_ns(), TOL),
+        "{label}: observed {} ns outside static {:?}",
+        report.total_ns(),
+        bound.total_ns()
+    );
+}
+
+#[test]
+fn fft1024_fix_roundtrip_and_wcet_containment() {
+    let plan = FftPlan::new(1024, 128).expect("1024-point plan");
+    let (mesh, epochs) = fft_column_schedule(&plan, &probe_input(1024));
+    let cost = CostModel::default();
+    let removed = roundtrip("FFT-1024", mesh, &epochs, &cost);
+    assert!(removed > 0);
+
+    let mut fixed = epochs.clone();
+    minimize_schedule(mesh, &mut fixed, &cost);
+    assert_wcet_contains("FFT-1024", mesh, &fixed, &cost);
+}
+
+#[test]
+fn jpeg_stream_fix_roundtrip_and_wcet_containment() {
+    let (mesh, epochs) = jpeg_stream_schedule(&jpeg_probe_blocks(), &QuantTable::luma(75));
+    let cost = CostModel::default();
+    let removed = roundtrip("JPEG stream", mesh, &epochs, &cost);
+    // The naive block-0 table re-send after the warm-up epoch is fully
+    // provable: both constant tables plus the scale words.
+    assert!(
+        removed >= 64,
+        "expected the COS table at minimum, got {removed}"
+    );
+
+    let mut fixed = epochs.clone();
+    minimize_schedule(mesh, &mut fixed, &cost);
+    assert_wcet_contains("JPEG stream", mesh, &fixed, &cost);
+}
