@@ -1,0 +1,139 @@
+//! Runtime trajectory of the example schedules: total Eq. 1 runtime,
+//! reconfiguration overhead share and mean tile utilization for the
+//! FFT-64, FFT-1024, 1x3 JPEG and streaming-JPEG schedules, measured
+//! from the telemetry counter registry and cross-checked against the
+//! static WCET bounds. Emits `BENCH_runtime.json` at the repo root.
+
+use cgra_bench::{banner, check, f};
+use cgra_explore::build_example_schedule;
+use cgra_fabric::CostModel;
+use cgra_sim::{bound_epochs, ArraySim, EpochRunner, Recorder};
+use cgra_telemetry::{conservation_violations, Counters};
+
+struct Row {
+    name: &'static str,
+    epochs: u64,
+    runtime_ns: f64,
+    eq1_ns: f64,
+    reconfig_ns: f64,
+    overhead: f64,
+    utilization: f64,
+    words: u64,
+}
+
+fn measure(name: &'static str, cost: &CostModel) -> Row {
+    let (mesh, epochs) = build_example_schedule(name).expect("known example schedule");
+    let mut sim = ArraySim::new(mesh);
+    let recorder = Recorder::new();
+    sim.attach_sink(Box::new(recorder.clone()));
+    let mut runner = EpochRunner::new(sim, *cost);
+    let report = runner.run_schedule(&epochs).expect("schedule runs");
+    runner.sim.detach_sink();
+
+    let events = recorder.events();
+    let violations = conservation_violations(&events);
+    check(
+        &format!("{name}: event stream conserves (no violations)"),
+        violations.is_empty(),
+    );
+    let c = Counters::from_events(&events);
+    check(
+        &format!("{name}: every epoch observed"),
+        c.epochs == epochs.len() as u64,
+    );
+
+    // The Eq. 1 total the runner reports must sit inside the static
+    // WCET interval the timing engine derived without running a cycle.
+    let bound = bound_epochs(mesh, cost, &epochs);
+    let iv = bound.total_ns();
+    check(
+        &format!("{name}: measured Eq. 1 runtime sits inside the static WCET bound"),
+        iv.contains(report.total_ns(), 1e-9),
+    );
+
+    let m = Counters::from_events(&events);
+    Row {
+        name,
+        epochs: c.epochs,
+        runtime_ns: cost.exec_ns(m.epoch_cycles),
+        eq1_ns: report.total_ns(),
+        reconfig_ns: m.reconfig_ns,
+        overhead: m.reconfig_overhead(cost),
+        utilization: m.utilization(),
+        words: m.total_words_sent(),
+    }
+}
+
+fn main() {
+    banner(
+        "Runtime trajectory — Eq. 1 runtime, reconfig overhead and utilization per schedule",
+        "IPDPSW'13 Eq. 1, telemetry counter registry",
+    );
+    let cost = CostModel::default();
+    let rows: Vec<Row> = ["fft-64", "fft-1024", "jpeg", "jpeg-stream"]
+        .iter()
+        .map(|name| measure(name, &cost))
+        .collect();
+
+    println!();
+    println!(
+        "  {:<12} {:>6} {:>14} {:>14} {:>10} {:>8} {:>8}",
+        "schedule", "epochs", "runtime (ns)", "reconfig (ns)", "overhead", "util", "words"
+    );
+    for r in &rows {
+        println!(
+            "  {:<12} {:>6} {:>14} {:>14} {:>9.1}% {:>7.1}% {:>8}",
+            r.name,
+            r.epochs,
+            f(r.runtime_ns, 1),
+            f(r.reconfig_ns, 1),
+            r.overhead * 100.0,
+            r.utilization * 100.0,
+            r.words
+        );
+    }
+
+    // Qualitative invariants the trajectory must keep.
+    check(
+        "fft-1024 runs longer than fft-64",
+        rows[1].runtime_ns > rows[0].runtime_ns,
+    );
+    check(
+        "jpeg-stream moves twice the link words of the single-block schedule",
+        rows[3].words == 2 * rows[2].words,
+    );
+    check(
+        "reconfiguration dominates every quiescing schedule (the paper's motivation \
+         for overlapping it with computation)",
+        rows.iter().all(|r| r.overhead > 0.5),
+    );
+    for r in &rows {
+        check(
+            &format!("{}: utilization is a sane fraction", r.name),
+            r.utilization > 0.0 && r.utilization <= 1.0,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schedules\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(|r| format!(
+                "    {{\"name\": \"{}\", \"epochs\": {}, \"runtime_ns\": {:.3}, \
+                 \"eq1_ns\": {:.3}, \"reconfig_ns\": {:.3}, \"reconfig_overhead\": {:.6}, \
+                 \"mean_utilization\": {:.6}, \"words_moved\": {}}}",
+                r.name,
+                r.epochs,
+                r.runtime_ns,
+                r.eq1_ns,
+                r.reconfig_ns,
+                r.overhead,
+                r.utilization,
+                r.words
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, json).expect("BENCH_runtime.json is writable");
+    println!("\n  wrote {path}");
+}

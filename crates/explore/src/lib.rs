@@ -23,11 +23,12 @@ pub mod schedule;
 pub use fft_dse::{copy_optimization_table, sweep_columns, sweep_link_cost, TauModel};
 pub use jpeg_dse::{evaluate_manual, manual_implementations, rebalance_sweep, Algo};
 pub use rank::{
-    fft_partition_candidates, rank_fft_candidates, simulate_frontier, FrontierPoint,
-    RankedCandidate,
+    fft_partition_candidates, rank_fft_candidates, simulate_frontier, CandidateMetrics,
+    FrontierPoint, RankedCandidate,
 };
 pub use schedule::{
-    assignment_diagnostics, fft_column_schedule, fft_schedule_diagnostics, jpeg_block_schedule,
-    jpeg_probe_blocks, jpeg_schedule_diagnostics, jpeg_stream_diagnostics, jpeg_stream_schedule,
-    minimize_schedule, network_budget_diagnostics,
+    assignment_diagnostics, build_example_schedule, example_probe_input, fft_column_schedule,
+    fft_schedule_diagnostics, jpeg_block_schedule, jpeg_probe_blocks, jpeg_schedule_diagnostics,
+    jpeg_stream_diagnostics, jpeg_stream_schedule, minimize_schedule, network_budget_diagnostics,
+    EXAMPLE_SCHEDULES,
 };

@@ -10,20 +10,41 @@
 //! actually wants to report, trusting (and, in tests, checking) that
 //! the static order matches the simulated order.
 
-use crate::schedule::{fft_column_schedule, minimize_schedule};
+use crate::schedule::{example_probe_input, fft_column_schedule, minimize_schedule};
 use cgra_fabric::CostModel;
-use cgra_kernels::fft::fixed::Cfx;
 use cgra_kernels::fft::partition::FftPlan;
 use cgra_sim::{bound_epochs, ArraySim, EpochRunner, SimError};
+use cgra_telemetry::Counters;
 use cgra_verify::ScheduleBound;
 
-/// A deterministic input signal; the values are irrelevant to timing
-/// (the ISA has no data-dependent latencies) but make the schedule
-/// concrete.
-fn probe_input(n: usize) -> Vec<Cfx> {
-    (0..n)
-        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
-        .collect()
+/// Summary metrics for one design point — the telemetry-counter view
+/// every DSE candidate carries, so sweep reports can show utilization
+/// and reconfiguration overhead next to raw runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateMetrics {
+    /// Wall-clock runtime (epoch spans priced at the tile clock), ns.
+    pub runtime_ns: f64,
+    /// Total reconfiguration time, ns.
+    pub reconfig_ns: f64,
+    /// Reconfiguration share of the wall clock (0..).
+    pub reconfig_overhead: f64,
+    /// Mean tile utilization: busy tile-cycles over available (0..=1).
+    pub utilization: f64,
+    /// Remote words moved over the links.
+    pub words_moved: u64,
+}
+
+impl CandidateMetrics {
+    /// Derives the metrics from a folded [`Counters`] registry.
+    pub fn from_counters(c: &Counters, cost: &CostModel) -> CandidateMetrics {
+        CandidateMetrics {
+            runtime_ns: cost.exec_ns(c.epoch_cycles),
+            reconfig_ns: c.reconfig_ns,
+            reconfig_overhead: c.reconfig_overhead(cost),
+            utilization: c.utilization(),
+            words_moved: c.total_words_sent(),
+        }
+    }
 }
 
 /// Partition sizes worth considering for an `n`-point FFT: powers of
@@ -49,6 +70,32 @@ impl RankedCandidate {
     pub fn worst_ns(&self) -> f64 {
         self.bound.total_ns().worst.unwrap_or(f64::INFINITY)
     }
+
+    /// Static (un-simulated) metrics from the WCET bound: worst-case
+    /// runtime, reconfiguration totals, and worst-case words moved.
+    /// Utilization requires cycle-level observation, so it is 0 here —
+    /// [`simulate_frontier`] fills the measured version in.
+    pub fn static_metrics(&self) -> CandidateMetrics {
+        let reconfig_ns: f64 = self.bound.epochs.iter().map(|e| e.reconfig_ns).sum();
+        let runtime_ns = self.worst_ns();
+        let words_moved: u64 = self
+            .bound
+            .epochs
+            .iter()
+            .map(|e| e.copied_words.worst.unwrap_or(e.copied_words.best))
+            .sum();
+        CandidateMetrics {
+            runtime_ns,
+            reconfig_ns,
+            reconfig_overhead: if runtime_ns > 0.0 && runtime_ns.is_finite() {
+                reconfig_ns / runtime_ns
+            } else {
+                0.0
+            },
+            utilization: 0.0,
+            words_moved,
+        }
+    }
 }
 
 /// Prices every partition-size candidate for an `n`-point FFT with the
@@ -59,7 +106,7 @@ impl RankedCandidate {
 /// therefore the ranking — reflect the patches the runtime system would
 /// actually stream, not the generator's redundant ones.
 pub fn rank_fft_candidates(n: usize, cost: &CostModel) -> Vec<RankedCandidate> {
-    let input = probe_input(n);
+    let input = example_probe_input(n);
     let mut ranked: Vec<RankedCandidate> = fft_partition_candidates(n)
         .into_iter()
         .filter_map(|m| {
@@ -87,6 +134,9 @@ pub struct FrontierPoint {
     pub m: usize,
     /// Eq. 1 runtime the simulator reported, ns.
     pub simulated_ns: f64,
+    /// Measured telemetry metrics for the run (utilization,
+    /// reconfiguration overhead, traffic).
+    pub metrics: CandidateMetrics,
 }
 
 /// Simulates the top `k` statically-ranked candidates (in rank order)
@@ -98,7 +148,7 @@ pub fn simulate_frontier(
     cost: &CostModel,
     k: usize,
 ) -> Result<Vec<FrontierPoint>, SimError> {
-    let input = probe_input(n);
+    let input = example_probe_input(n);
     let mut out = Vec::new();
     for cand in ranked.iter().take(k) {
         // Ranked candidates came from valid plans; a stale entry for a
@@ -114,6 +164,7 @@ pub fn simulate_frontier(
         out.push(FrontierPoint {
             m: cand.m,
             simulated_ns: report.total_ns(),
+            metrics: CandidateMetrics::from_counters(&runner.counters(), cost),
         });
     }
     Ok(out)
@@ -166,6 +217,26 @@ mod tests {
                 p.simulated_ns,
                 b
             );
+        }
+        // Every point carries telemetry-backed metrics.
+        assert!(
+            sim.iter().any(|p| p.metrics.words_moved > 0),
+            "multi-tile FFT partitions move data over the links"
+        );
+        for (c, p) in ranked.iter().zip(&sim) {
+            assert!(p.metrics.runtime_ns > 0.0, "m={}", p.m);
+            assert!(p.metrics.utilization > 0.0 && p.metrics.utilization <= 1.0);
+            assert!(p.metrics.reconfig_ns > 0.0);
+            // The static view prices the same reconfiguration stream.
+            let s = c.static_metrics();
+            assert!(
+                (s.reconfig_ns - p.metrics.reconfig_ns).abs() < 1e-6,
+                "m={}: static reconfig {} vs measured {}",
+                c.m,
+                s.reconfig_ns,
+                p.metrics.reconfig_ns
+            );
+            assert!(s.runtime_ns.is_finite());
         }
     }
 }

@@ -604,6 +604,42 @@ pub fn jpeg_probe_blocks() -> [[u8; 64]; 2] {
 }
 
 // ---------------------------------------------------------------------------
+// The example-schedule catalog
+// ---------------------------------------------------------------------------
+
+/// Names of the toolkit's example schedules, in canonical order — the
+/// `--all` set shared by the `cgra-lint` and `cgra-trace` drivers, the
+/// telemetry conservation suite, and the runtime-trajectory benchmark.
+pub const EXAMPLE_SCHEDULES: [&str; 5] = ["fft-16", "fft-64", "fft-1024", "jpeg", "jpeg-stream"];
+
+/// A deterministic probe signal for the FFT schedules; the values are
+/// irrelevant to timing (the ISA has no data-dependent latencies) but
+/// make the schedules concrete and reproducible.
+pub fn example_probe_input(n: usize) -> Vec<Cfx> {
+    (0..n)
+        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
+        .collect()
+}
+
+/// Builds a named example schedule from [`EXAMPLE_SCHEDULES`];
+/// `None` for unknown names.
+pub fn build_example_schedule(name: &str) -> Option<(Mesh, Vec<Epoch>)> {
+    let fft = |n: usize, m: usize| {
+        let plan = FftPlan::new(n, m).ok()?;
+        Some(fft_column_schedule(&plan, &example_probe_input(n)))
+    };
+    let qt = QuantTable::luma(75);
+    match name {
+        "fft-16" => fft(16, 4),
+        "fft-64" => fft(64, 16),
+        "fft-1024" => fft(1024, 128),
+        "jpeg" => Some(jpeg_block_schedule(&jpeg_probe_blocks()[0], &qt)),
+        "jpeg-stream" => Some(jpeg_stream_schedule(&jpeg_probe_blocks(), &qt)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Lint-minimized schedules
 // ---------------------------------------------------------------------------
 

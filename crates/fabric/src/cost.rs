@@ -97,6 +97,16 @@ impl CostModel {
         let links = self.links_reconfig_ns(b.links);
         (data, instr, links, data + instr + links)
     }
+
+    /// Whole cycles a tile stalls while `ns` of reconfiguration streams
+    /// through the ICAP (the switch is rounded *up* to the clock — a
+    /// tile cannot resume mid-cycle). The single definition shared by
+    /// the simulator's epoch runner and the WCET timing engine, so the
+    /// two can never disagree by a cycle.
+    #[inline]
+    pub fn stall_cycles(&self, ns: f64) -> u64 {
+        (ns / self.cycle_ns()).ceil() as u64
+    }
 }
 
 /// What one epoch switch streams through the ICAP, split by kind — the
@@ -166,6 +176,17 @@ mod tests {
         // Table 1: BF0 is 101 instructions; 1068.8 cycles of work => the
         // model converts cycles to ns at 2.5ns.
         assert!((m.exec_ns(1000) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_rounds_up_to_the_clock() {
+        let m = CostModel::default(); // 2.5 ns/cycle
+        assert_eq!(m.stall_cycles(0.0), 0);
+        assert_eq!(m.stall_cycles(2.5), 1);
+        assert_eq!(m.stall_cycles(2.6), 2);
+        assert_eq!(m.stall_cycles(100.0), 40);
+        // One instruction word (50 ns) = 20 cycles exactly.
+        assert_eq!(m.stall_cycles(m.instr_word_reload_ns()), 20);
     }
 
     #[test]

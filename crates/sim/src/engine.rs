@@ -7,6 +7,7 @@
 
 use cgra_fabric::{FabricError, LinkConfig, Mesh, Tile, TileId, Word};
 use cgra_isa::{step, ExecError, PeState, StepEffect};
+use cgra_telemetry::{Coalescer, Event, EventSink, SegState};
 use cgra_verify::Diagnostic;
 
 /// Whether the simulator statically verifies programs and epochs before
@@ -102,6 +103,17 @@ pub struct TileStats {
     pub reconfig_cycles: u64,
     /// Remote words this tile sent.
     pub words_sent: u64,
+    /// Remote words that landed in this tile's data memory.
+    pub words_received: u64,
+}
+
+/// Fine-grained telemetry state, live only while a sink is attached.
+/// The coalescer turns the per-cycle tile states into maximal
+/// [`Event::Segment`]s so the sink sees runs, not cycles.
+#[derive(Debug)]
+struct TelemetryState {
+    sink: Box<dyn EventSink>,
+    coalesce: Coalescer,
 }
 
 /// The simulated array: mesh + per-tile hardware and PE state.
@@ -123,6 +135,9 @@ pub struct ArraySim {
     pub now: u64,
     /// Static-verification policy for program loads and epoch switches.
     pub verify: VerifyMode,
+    /// Fine-grained event telemetry; `None` (the default) costs one
+    /// branch per tile per cycle and nothing else.
+    telemetry: Option<TelemetryState>,
 }
 
 impl ArraySim {
@@ -144,6 +159,51 @@ impl ArraySim {
             stats: vec![TileStats::default(); n],
             now: 0,
             verify: VerifyMode::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches an event sink: from now on the engine emits coalesced
+    /// per-tile [`Event::Segment`]s and per-word [`Event::LinkTransfer`]s
+    /// into it. Replaces (and flushes) any previously attached sink.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.detach_sink();
+        let tiles = self.tiles.len();
+        self.telemetry = Some(TelemetryState {
+            sink,
+            coalesce: Coalescer::new(tiles),
+        });
+    }
+
+    /// Detaches the sink, closing any open segments at the current
+    /// cycle, and returns it. The engine reverts to zero-overhead mode.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        let now = self.now;
+        self.telemetry.take().map(|mut ts| {
+            ts.coalesce.flush(now, &mut *ts.sink);
+            ts.sink
+        })
+    }
+
+    /// True when a telemetry sink is attached.
+    pub fn sink_attached(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Closes open segments at the current cycle without detaching
+    /// (epoch boundaries call this so segments never straddle epochs).
+    pub fn flush_segments(&mut self) {
+        let now = self.now;
+        if let Some(ts) = self.telemetry.as_mut() {
+            ts.coalesce.flush(now, &mut *ts.sink);
+        }
+    }
+
+    /// Forwards a summary event to the attached sink, if any (the epoch
+    /// runner routes its always-on events through here).
+    pub fn emit(&mut self, ev: &Event) {
+        if let Some(ts) = self.telemetry.as_mut() {
+            ts.sink.record(ev);
         }
     }
 
@@ -210,36 +270,50 @@ impl ArraySim {
 
     /// Advances the whole array by one cycle.
     pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        let cyc = self.now;
         self.now += 1;
-        let mut writes: Vec<(TileId, usize, Word)> = Vec::new();
+        let mut writes: Vec<(TileId, TileId, usize, Word)> = Vec::new();
         for t in 0..self.tiles.len() {
-            if self.stall[t] > 0 {
+            let state = if self.stall[t] > 0 {
                 self.stall[t] -= 1;
                 self.stats[t].reconfig_cycles += 1;
-                continue;
-            }
-            if self.states[t].halted {
-                continue;
-            }
-            let effect = step(&mut self.tiles[t], &mut self.states[t])
-                .map_err(|err| SimError::Exec { tile: t, err })?;
-            self.stats[t].busy_cycles += 1;
-            if let StepEffect::RemoteWrite { addr, value } = effect {
-                let dir = self
-                    .links
-                    .get(t)
-                    .ok_or(SimError::UnroutedWrite { tile: t })?;
-                let dst = self
-                    .mesh
-                    .neighbour(t, dir)
-                    .ok_or(FabricError::NotNeighbours { from: t, to: t })?;
-                self.stats[t].words_sent += 1;
-                writes.push((dst, addr, value));
+                Some(SegState::Stall)
+            } else if self.states[t].halted {
+                None
+            } else {
+                let effect = step(&mut self.tiles[t], &mut self.states[t])
+                    .map_err(|err| SimError::Exec { tile: t, err })?;
+                self.stats[t].busy_cycles += 1;
+                if let StepEffect::RemoteWrite { addr, value } = effect {
+                    let dir = self
+                        .links
+                        .get(t)
+                        .ok_or(SimError::UnroutedWrite { tile: t })?;
+                    let dst = self
+                        .mesh
+                        .neighbour(t, dir)
+                        .ok_or(FabricError::NotNeighbours { from: t, to: t })?;
+                    self.stats[t].words_sent += 1;
+                    writes.push((t, dst, addr, value));
+                }
+                Some(SegState::Busy)
+            };
+            if let Some(ts) = self.telemetry.as_mut() {
+                ts.coalesce.observe(t, state, cyc, &mut *ts.sink);
             }
         }
         // Remote writes land at the end of the cycle.
-        for (dst, addr, value) in writes {
+        for (src, dst, addr, value) in writes {
             self.tiles[dst].dmem.poke(addr, value)?;
+            self.stats[dst].words_received += 1;
+            if let Some(ts) = self.telemetry.as_mut() {
+                ts.sink.record(&Event::LinkTransfer {
+                    from: src,
+                    to: dst,
+                    at: self.now,
+                    words: 1,
+                });
+            }
         }
         Ok(())
     }
@@ -299,8 +373,58 @@ mod tests {
             );
         }
         assert_eq!(sim.stats[0].words_sent, 8);
+        assert_eq!(sim.stats[1].words_received, 8);
         assert!(cycles > 8);
         assert_eq!(sim.stats[1].busy_cycles, 0);
+    }
+
+    #[test]
+    fn attached_sink_sees_segments_and_transfers() {
+        use cgra_telemetry::Recorder;
+        let mesh = Mesh::new(1, 2);
+        let mut sim = ArraySim::new(mesh);
+        sim.set_links(mesh.disconnected().with(0, Direction::East))
+            .unwrap();
+        for i in 0..4 {
+            sim.tiles[0].dmem.poke(i, Word::wrap(7 + i as i64)).unwrap();
+        }
+        sim.load_program(0, &copy_prog(0, 64, 4)).unwrap();
+        let rec = Recorder::new();
+        sim.attach_sink(Box::new(rec.clone()));
+        assert!(sim.sink_attached());
+        sim.run_until_quiesced(10_000).unwrap();
+        sim.detach_sink();
+        assert!(!sim.sink_attached());
+        let evs = rec.events();
+        // One maximal busy segment for tile 0, spanning the whole run.
+        let segs: Vec<_> = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Segment { tile: 0, .. }))
+            .collect();
+        assert_eq!(segs.len(), 1);
+        if let Event::Segment {
+            state, start, end, ..
+        } = segs[0]
+        {
+            assert_eq!(*state, SegState::Busy);
+            assert_eq!(*start, 0);
+            assert_eq!(*end, sim.now);
+        }
+        // Every shipped word shows up as a transfer.
+        let words: u64 = evs
+            .iter()
+            .filter_map(|e| match e {
+                Event::LinkTransfer {
+                    from: 0,
+                    to: 1,
+                    words,
+                    ..
+                } => Some(*words),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(words, 4);
+        assert_eq!(sim.stats[1].words_received, 4);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //!           (A: epochs)   (B: reconfig)    (C: data copies)
 //! ```
 
-use crate::engine::{ArraySim, SimError, VerifyMode};
-use crate::trace::{EpochTrace, TileActivity, Trace};
+use crate::engine::{ArraySim, SimError, TileStats, VerifyMode};
+use crate::trace::Trace;
 use cgra_fabric::bitstream::{self, ParsedBitstream};
 use cgra_fabric::{CostModel, DataPatch, LinkConfig, Mesh, ReconfigPlan, TileId, TileReconfig};
 use cgra_isa::encode_program;
 use cgra_isa::Instr;
+use cgra_telemetry::{Counters, Event};
 use cgra_verify::{Code, Diagnostic, EpochSpec, ScheduleChecker, TileSpec};
 
 /// Reconfiguration payload for one tile in an epoch.
@@ -167,11 +168,14 @@ pub struct EpochRunner {
     pub sim: ArraySim,
     /// The cost model used for reconfiguration stalls.
     pub cost: CostModel,
-    /// Per-tile activity trace, one entry per executed epoch.
-    pub trace: Trace,
     /// Every verifier finding gathered so far (warnings included; errors
     /// additionally abort the offending epoch as [`SimError::Verify`]).
     pub diagnostics: Vec<Diagnostic>,
+    /// Summary telemetry events, one small batch per executed epoch
+    /// (always on; the trace and counters views fold over these).
+    events: Vec<Event>,
+    /// Epochs executed so far (indexes the event stream).
+    epochs_run: usize,
     prev_links: LinkConfig,
     checker: ScheduleChecker,
 }
@@ -184,31 +188,77 @@ impl EpochRunner {
         EpochRunner {
             sim,
             cost,
-            trace: Trace::default(),
             diagnostics: Vec::new(),
+            events: Vec::new(),
+            epochs_run: 0,
             prev_links,
             checker,
         }
     }
 
-    /// Records one epoch's per-tile activity into the trace.
-    fn record(&mut self, name: &str, start: u64, before: &[crate::engine::TileStats]) {
-        let tiles = self
+    /// The summary event stream recorded so far (fine-grained engine
+    /// events go to the sim's attached sink instead; see
+    /// [`ArraySim::attach_sink`]).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Per-tile activity trace, rebuilt from the event stream.
+    pub fn trace(&self) -> Trace {
+        Trace::from_events(&self.events)
+    }
+
+    /// The metrics registry folded from the event stream.
+    pub fn counters(&self) -> Counters {
+        Counters::from_events(&self.events)
+    }
+
+    /// Records a summary event and forwards it to the sim's attached
+    /// sink (if any) so external consumers see one merged stream.
+    fn emit(&mut self, ev: Event) {
+        self.sim.emit(&ev);
+        self.events.push(ev);
+    }
+
+    /// Closes one executed epoch: flushes open engine segments and
+    /// emits the per-tile activity summaries and the end bracket.
+    fn finish_epoch(&mut self, epoch: usize, name: &str, before: &[TileStats]) {
+        self.sim.flush_segments();
+        let deltas: Vec<(TileId, TileStats)> = self
             .sim
             .stats
             .iter()
             .zip(before)
-            .map(|(now, then)| TileActivity {
-                busy: now.busy_cycles - then.busy_cycles,
-                stalled: now.reconfig_cycles - then.reconfig_cycles,
+            .enumerate()
+            .map(|(t, (now, then))| {
+                (
+                    t,
+                    TileStats {
+                        busy_cycles: now.busy_cycles - then.busy_cycles,
+                        reconfig_cycles: now.reconfig_cycles - then.reconfig_cycles,
+                        words_sent: now.words_sent - then.words_sent,
+                        words_received: now.words_received - then.words_received,
+                    },
+                )
             })
             .collect();
-        self.trace.epochs.push(EpochTrace {
+        for (t, d) in deltas {
+            self.emit(Event::TileEpoch {
+                epoch,
+                tile: t,
+                busy: d.busy_cycles,
+                stalled: d.reconfig_cycles,
+                words_sent: d.words_sent,
+                words_received: d.words_received,
+            });
+        }
+        let at = self.sim.now;
+        self.emit(Event::EpochEnd {
+            epoch,
             name: name.to_string(),
-            start,
-            end: self.sim.now,
-            tiles,
+            at,
         });
+        self.epochs_run += 1;
     }
 
     /// Applies an epoch's reconfiguration and runs it to quiescence.
@@ -238,7 +288,22 @@ impl EpochRunner {
             );
         }
         let reconfig_ns = plan.total_ns(&self.cost);
-        let stall_cycles = (reconfig_ns / self.cost.cycle_ns()).ceil() as u64;
+        let stall_cycles = self.cost.stall_cycles(reconfig_ns);
+        let epoch_idx = self.epochs_run;
+        let start = self.sim.now;
+        self.emit(Event::EpochBegin {
+            epoch: epoch_idx,
+            name: epoch.name.clone(),
+            at: start,
+        });
+        self.emit(Event::Reconfig {
+            epoch: epoch_idx,
+            at: start,
+            breakdown: plan.breakdown(),
+            reconfig_ns,
+            stall_cycles,
+            stalled_tiles: plan.stalled_tiles(),
+        });
 
         // Apply the rewrites, stalling only the touched tiles (overlap!).
         for (t, setup) in &epoch.setups {
@@ -255,12 +320,11 @@ impl EpochRunner {
         self.sim.set_links(epoch.links.clone())?;
         self.prev_links = epoch.links.clone();
 
-        let sent_before: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
         let stats_before = self.sim.stats.clone();
-        let start = self.sim.now;
         let cycles = self.sim.run_until_quiesced(epoch.budget)?;
-        self.record(&epoch.name, start, &stats_before);
+        self.finish_epoch(epoch_idx, &epoch.name, &stats_before);
         let sent_after: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        let sent_before: u64 = stats_before.iter().map(|s| s.words_sent).sum();
         Ok(EpochReport {
             name: epoch.name.clone(),
             compute_ns: self.cost.exec_ns(cycles.saturating_sub(stall_cycles)),
@@ -290,7 +354,22 @@ impl EpochRunner {
         let mut plan = parsed.plan.clone();
         plan.changed_links = self.prev_links.delta(&links);
         let reconfig_ns = plan.total_ns(&self.cost);
-        let stall_cycles = (reconfig_ns / self.cost.cycle_ns()).ceil() as u64;
+        let stall_cycles = self.cost.stall_cycles(reconfig_ns);
+        let epoch_idx = self.epochs_run;
+        let start = self.sim.now;
+        self.emit(Event::EpochBegin {
+            epoch: epoch_idx,
+            name: name.to_string(),
+            at: start,
+        });
+        self.emit(Event::Reconfig {
+            epoch: epoch_idx,
+            at: start,
+            breakdown: plan.breakdown(),
+            reconfig_ns,
+            stall_cycles,
+            stalled_tiles: plan.stalled_tiles(),
+        });
 
         bitstream::apply(&parsed, &mut self.sim.tiles, &mut self.sim.links)
             .map_err(SimError::Fabric)?;
@@ -306,12 +385,11 @@ impl EpochRunner {
         self.sim.set_links(links.clone())?;
         self.prev_links = links;
 
-        let sent_before: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
         let stats_before = self.sim.stats.clone();
-        let start = self.sim.now;
         let cycles = self.sim.run_until_quiesced(budget)?;
-        self.record(name, start, &stats_before);
+        self.finish_epoch(epoch_idx, name, &stats_before);
         let sent_after: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        let sent_before: u64 = stats_before.iter().map(|s| s.words_sent).sum();
         Ok(EpochReport {
             name: name.to_string(),
             compute_ns: self.cost.exec_ns(cycles.saturating_sub(stall_cycles)),

@@ -10,6 +10,12 @@
 //! * [`lint`] — whole-schedule `cgra-lint` integration: the inter-epoch
 //!   lifetime/redundancy pass over [`Epoch`] schedules and the auto-fix
 //!   that drops redundant ICAP patch words.
+//!
+//! The simulator is instrumented with `cgra-telemetry`: the epoch
+//! runner always records cheap per-epoch summary events (fold them
+//! with [`EpochRunner::trace`] / [`EpochRunner::counters`]), and
+//! attaching a sink ([`ArraySim::attach_sink`]) additionally streams
+//! per-tile busy/stall segments and per-word link transfers.
 
 #![warn(missing_docs)]
 
@@ -18,6 +24,7 @@ pub mod epoch;
 pub mod lint;
 pub mod trace;
 
+pub use cgra_telemetry::{Event, EventSink, Recorder};
 pub use engine::{ArraySim, SimError, TileStats, VerifyMode};
 pub use epoch::{
     bound_epochs, epoch_spec, verify_epochs, Epoch, EpochReport, EpochRunner, RunReport, TileSetup,

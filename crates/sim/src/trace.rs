@@ -5,6 +5,8 @@
 //! partial reconfiguration only the rewritten tiles stall (`R`), everyone
 //! else keeps computing (`#`).
 
+use cgra_telemetry::Event;
+
 /// Per-tile activity inside one epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TileActivity {
@@ -35,9 +37,66 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Rebuilds the trace from a telemetry event stream — the Gantt
+    /// view is one consumer of the same [`Event`] vocabulary the
+    /// exporters fold. Only completed epochs (begin *and* end seen)
+    /// appear; per-tile rows come from the [`Event::TileEpoch`]
+    /// summaries.
+    pub fn from_events(events: &[Event]) -> Trace {
+        let mut trace = Trace::default();
+        let mut open: Option<(usize, EpochTrace)> = None;
+        for ev in events {
+            match ev {
+                Event::EpochBegin { epoch, name, at } => {
+                    open = Some((
+                        *epoch,
+                        EpochTrace {
+                            name: name.clone(),
+                            start: *at,
+                            end: *at,
+                            tiles: Vec::new(),
+                        },
+                    ));
+                }
+                Event::TileEpoch {
+                    epoch,
+                    tile,
+                    busy,
+                    stalled,
+                    ..
+                } => {
+                    if let Some((i, e)) = open.as_mut() {
+                        if i == epoch {
+                            if e.tiles.len() <= *tile {
+                                e.tiles.resize(*tile + 1, TileActivity::default());
+                            }
+                            e.tiles[*tile] = TileActivity {
+                                busy: *busy,
+                                stalled: *stalled,
+                            };
+                        }
+                    }
+                }
+                Event::EpochEnd { epoch, at, .. } => {
+                    if let Some((i, mut e)) = open.take() {
+                        if i == *epoch {
+                            e.end = (*at).max(e.start);
+                            trace.epochs.push(e);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        trace
+    }
+
     /// Total traced cycles.
     pub fn total_cycles(&self) -> u64 {
-        self.epochs.last().map_or(0, |e| e.end) - self.epochs.first().map_or(0, |e| e.start)
+        self.epochs
+            .last()
+            .map_or(0, |e| e.end)
+            .saturating_sub(self.epochs.first().map_or(0, |e| e.start))
     }
 
     /// Renders an ASCII Gantt chart, one row per tile, `width` characters
@@ -48,6 +107,16 @@ impl Trace {
     /// * `.` — idle,
     /// * `|` — epoch boundary.
     pub fn gantt(&self, width: usize) -> String {
+        if width == 0 {
+            // Nothing to draw into; still one line per tile so callers
+            // can count rows.
+            let tiles = self.epochs.iter().map(|e| e.tiles.len()).max().unwrap_or(0);
+            let mut out = String::from("\n");
+            for t in 0..tiles {
+                out.push_str(&format!("tile {t:>2} \n"));
+            }
+            return out;
+        }
         let total = self.total_cycles().max(1);
         let tiles = self.epochs.iter().map(|e| e.tiles.len()).max().unwrap_or(0);
         let t0 = self.epochs.first().map_or(0, |e| e.start);
@@ -55,7 +124,7 @@ impl Trace {
         // Header: epoch boundaries.
         let mut header = vec![' '; width];
         for e in &self.epochs {
-            let pos = ((e.start - t0) as f64 / total as f64 * width as f64) as usize;
+            let pos = (e.start.saturating_sub(t0) as f64 / total as f64 * width as f64) as usize;
             if pos < width {
                 header[pos] = '|';
             }
@@ -67,9 +136,9 @@ impl Trace {
             let mut row = vec!['.'; width];
             for e in &self.epochs {
                 let a = e.tiles.get(t).copied().unwrap_or_default();
-                let span = (e.end - e.start).max(1);
-                let lo = ((e.start - t0) as f64 / total as f64 * width as f64) as usize;
-                let hi = (((e.end - t0) as f64 / total as f64) * width as f64) as usize;
+                let span = e.end.saturating_sub(e.start).max(1);
+                let lo = (e.start.saturating_sub(t0) as f64 / total as f64 * width as f64) as usize;
+                let hi = (e.end.saturating_sub(t0) as f64 / total as f64 * width as f64) as usize;
                 let fill = if a.stalled > a.busy {
                     'R'
                 } else if a.busy > 0 {
@@ -79,7 +148,8 @@ impl Trace {
                 };
                 // Scale the filled portion by the tile's active fraction.
                 let active = (a.busy + a.stalled).min(span);
-                let cells = ((active as f64 / span as f64) * (hi - lo) as f64).ceil() as usize;
+                let cells =
+                    ((active as f64 / span as f64) * hi.saturating_sub(lo) as f64).ceil() as usize;
                 for c in row.iter_mut().take((lo + cells).min(width)).skip(lo) {
                     *c = fill;
                 }
@@ -91,9 +161,13 @@ impl Trace {
         out
     }
 
-    /// Fraction of tile-cycles spent busy over the trace.
+    /// Fraction of tile-cycles spent busy over the trace. 0 for an
+    /// empty trace or a zero-tile array (never a division by zero).
     pub fn utilization(&self, tiles: usize) -> f64 {
-        let total = self.total_cycles().max(1) * tiles as u64;
+        let total = self.total_cycles().saturating_mul(tiles as u64);
+        if total == 0 {
+            return 0.0;
+        }
         let busy: u64 = self
             .epochs
             .iter()
@@ -169,5 +243,128 @@ mod tests {
         assert_eq!(t.total_cycles(), 0);
         let g = t.gantt(10);
         assert!(g.lines().count() >= 1);
+        assert_eq!(t.utilization(4), 0.0);
+    }
+
+    #[test]
+    fn zero_width_gantt_does_not_panic() {
+        let t = sample();
+        let g = t.gantt(0);
+        // One row per tile, no chart cells.
+        assert_eq!(g.lines().count(), 3);
+        let g_empty = Trace::default().gantt(0);
+        assert!(g_empty.lines().count() >= 1);
+    }
+
+    #[test]
+    fn zero_tiles_utilization_is_zero() {
+        let t = sample();
+        assert_eq!(t.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn differing_tile_counts_render() {
+        // Epoch "a" saw 2 tiles, epoch "b" saw 4: rows pad with idle.
+        let t = Trace {
+            epochs: vec![
+                EpochTrace {
+                    name: "a".into(),
+                    start: 0,
+                    end: 50,
+                    tiles: vec![
+                        TileActivity {
+                            busy: 50,
+                            stalled: 0
+                        };
+                        2
+                    ],
+                },
+                EpochTrace {
+                    name: "b".into(),
+                    start: 50,
+                    end: 100,
+                    tiles: vec![
+                        TileActivity {
+                            busy: 25,
+                            stalled: 0
+                        };
+                        4
+                    ],
+                },
+            ],
+        };
+        let g = t.gantt(20);
+        assert_eq!(g.lines().count(), 5); // header + 4 tiles
+        assert!((t.utilization(4) - (2.0 * 50.0 + 4.0 * 25.0) / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_epoch_spans_do_not_panic() {
+        // Zero-length epoch and an out-of-order start.
+        let t = Trace {
+            epochs: vec![
+                EpochTrace {
+                    name: "z".into(),
+                    start: 10,
+                    end: 10,
+                    tiles: vec![TileActivity::default()],
+                },
+                EpochTrace {
+                    name: "y".into(),
+                    start: 5,
+                    end: 8,
+                    tiles: vec![TileActivity {
+                        busy: 3,
+                        stalled: 0,
+                    }],
+                },
+            ],
+        };
+        let _ = t.gantt(16);
+        let _ = t.total_cycles();
+        let _ = t.utilization(1);
+    }
+
+    #[test]
+    fn from_events_rebuilds_epochs() {
+        let events = vec![
+            Event::EpochBegin {
+                epoch: 0,
+                name: "a".into(),
+                at: 0,
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 1,
+                busy: 30,
+                stalled: 10,
+                words_sent: 0,
+                words_received: 0,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                name: "a".into(),
+                at: 40,
+            },
+            // Unclosed epoch: dropped.
+            Event::EpochBegin {
+                epoch: 1,
+                name: "b".into(),
+                at: 40,
+            },
+        ];
+        let t = Trace::from_events(&events);
+        assert_eq!(t.epochs.len(), 1);
+        assert_eq!(t.epochs[0].name, "a");
+        assert_eq!(t.epochs[0].end, 40);
+        assert_eq!(t.epochs[0].tiles.len(), 2);
+        assert_eq!(
+            t.epochs[0].tiles[1],
+            TileActivity {
+                busy: 30,
+                stalled: 10
+            }
+        );
+        assert_eq!(t.epochs[0].tiles[0], TileActivity::default());
     }
 }

@@ -1,0 +1,431 @@
+//! Chrome trace-event export: the event stream as a JSON document
+//! loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! Layout: one thread ("track") per tile, plus an `epochs` track
+//! bracketing every epoch with matched `B`/`E` pairs. Tile tracks carry
+//! complete (`X`) slices — `compute` and `reconfig` with distinct
+//! colors — so a partial reconfiguration reads as red slices confined
+//! to the rewritten tiles while untouched tiles keep their green
+//! compute slices running straight through. WCET bounds ride along as
+//! counter (`C`) tracks next to the observed timeline. Timestamps are
+//! microseconds (the format's unit), converted from cycles with the
+//! run's [`CostModel`].
+
+use crate::event::{Event, SegState};
+use crate::json::{self, Json};
+use cgra_fabric::CostModel;
+
+/// Tid of the epoch-bracket track (tile tids are the tile ids, so the
+/// epochs track sits after the largest tile).
+fn epoch_tid(events: &[Event]) -> usize {
+    let mut max_tile = 0usize;
+    for ev in events {
+        let t = match ev {
+            Event::Segment { tile, .. } | Event::TileEpoch { tile, .. } => *tile,
+            Event::LinkTransfer { from, to, .. } => (*from).max(*to),
+            _ => 0,
+        };
+        max_tile = max_tile.max(t);
+    }
+    max_tile + 1
+}
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[Event], cost: &CostModel) -> String {
+    let us = |cycles: u64| cycles as f64 * cost.cycle_ns() / 1000.0;
+    let ep_tid = epoch_tid(events);
+    // (ts, order, line): sorted so timestamps are monotone in the output;
+    // `order` keeps metadata first and closes E before the next B at ties.
+    let mut out: Vec<(f64, u8, String)> = Vec::new();
+
+    out.push((
+        f64::MIN,
+        0,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"remorph fabric\"}}"
+            .into(),
+    ));
+    for t in 0..ep_tid {
+        out.push((
+            f64::MIN,
+            1,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+                 \"args\":{{\"name\":\"tile {t}\"}}}}"
+            ),
+        ));
+    }
+    out.push((
+        f64::MIN,
+        1,
+        format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{ep_tid},\
+             \"args\":{{\"name\":\"epochs\"}}}}"
+        ),
+    ));
+
+    // Cumulative WCET bounds keyed by epoch index, attached at the
+    // matching EpochEnd below.
+    let mut wcet: Vec<(usize, f64, Option<f64>)> = Vec::new();
+    for ev in events {
+        if let Event::WcetBound {
+            epoch,
+            best_ns,
+            worst_ns,
+            ..
+        } = ev
+        {
+            wcet.push((*epoch, *best_ns, *worst_ns));
+        }
+    }
+    wcet.sort_by_key(|(e, _, _)| *e);
+    let cum_wcet = |epoch: usize| -> Option<(f64, Option<f64>)> {
+        if wcet.is_empty() {
+            return None;
+        }
+        let mut best = 0.0;
+        let mut worst = Some(0.0);
+        let mut seen = false;
+        for (e, b, w) in &wcet {
+            if *e > epoch {
+                break;
+            }
+            seen = true;
+            best += b;
+            worst = match (worst, w) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+        seen.then_some((best, worst))
+    };
+
+    let mut words_cum = 0u64;
+    for ev in events {
+        match ev {
+            Event::EpochBegin { epoch, name, at } => {
+                out.push((
+                    us(*at),
+                    3,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":0,\"tid\":{ep_tid},\
+                         \"ts\":{:.4},\"args\":{{\"epoch\":{epoch}}}}}",
+                        json::esc(name),
+                        us(*at)
+                    ),
+                ));
+            }
+            Event::Reconfig {
+                epoch,
+                at,
+                breakdown,
+                reconfig_ns,
+                stall_cycles,
+                stalled_tiles,
+            } => {
+                out.push((
+                    us(*at),
+                    4,
+                    format!(
+                        "{{\"name\":\"reconfig\",\"ph\":\"i\",\"s\":\"p\",\"pid\":0,\
+                         \"tid\":{ep_tid},\"ts\":{:.4},\"args\":{{\"epoch\":{epoch},\
+                         \"data_words\":{},\"instr_words\":{},\"links\":{},\
+                         \"reconfig_ns\":{:.4},\"stall_cycles\":{},\"stalled_tiles\":{}}}}}",
+                        us(*at),
+                        breakdown.data_words,
+                        breakdown.instr_words,
+                        breakdown.links,
+                        reconfig_ns,
+                        stall_cycles,
+                        stalled_tiles.len()
+                    ),
+                ));
+            }
+            Event::Segment {
+                tile,
+                state,
+                start,
+                end,
+            } => {
+                let cname = match state {
+                    SegState::Busy => "good",
+                    SegState::Stall => "terrible",
+                };
+                out.push((
+                    us(*start),
+                    5,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tile},\
+                         \"ts\":{:.4},\"dur\":{:.4},\"cname\":\"{cname}\",\
+                         \"args\":{{\"cycles\":{}}}}}",
+                        state.name(),
+                        us(*start),
+                        us(*end) - us(*start),
+                        end - start
+                    ),
+                ));
+            }
+            Event::LinkTransfer { words, .. } => {
+                words_cum += words;
+            }
+            Event::EpochEnd { epoch, name, at } => {
+                out.push((
+                    us(*at),
+                    2,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"E\",\"pid\":0,\"tid\":{ep_tid},\
+                         \"ts\":{:.4},\"args\":{{\"epoch\":{epoch}}}}}",
+                        json::esc(name),
+                        us(*at)
+                    ),
+                ));
+                out.push((
+                    us(*at),
+                    6,
+                    format!(
+                        "{{\"name\":\"link words\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                         \"ts\":{:.4},\"args\":{{\"words\":{words_cum}}}}}",
+                        us(*at)
+                    ),
+                ));
+                if let Some((best, worst)) = cum_wcet(*epoch) {
+                    let worst_s = worst.map_or("null".to_string(), |w| format!("{w:.4}"));
+                    out.push((
+                        us(*at),
+                        6,
+                        format!(
+                            "{{\"name\":\"wcet_bound_ns\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                             \"ts\":{:.4},\"args\":{{\"best\":{best:.4},\"worst\":{worst_s},\
+                             \"observed\":{:.4}}}}}",
+                            us(*at),
+                            us(*at) * 1000.0
+                        ),
+                    ));
+                }
+            }
+            Event::TileEpoch { .. } | Event::WcetBound { .. } => {}
+        }
+    }
+
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let body: Vec<String> = out.into_iter().map(|(_, _, l)| format!("  {l}")).collect();
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
+        body.join(",\n")
+    )
+}
+
+/// Summary statistics [`validate_chrome`] gathers while checking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total trace events.
+    pub events: usize,
+    /// Complete (`X`) slices.
+    pub slices: usize,
+    /// Matched `B`/`E` pairs.
+    pub spans: usize,
+    /// Counter samples.
+    pub counters: usize,
+}
+
+/// Validates a Chrome trace-event document: well-formed JSON, the
+/// fields the format requires, monotone non-decreasing timestamps, and
+/// strictly matched `B`/`E` pairs per `(pid, tid)` track.
+pub fn validate_chrome(doc: &str) -> Result<ChromeSummary, String> {
+    let root = json::parse(doc)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..ChromeSummary::default()
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    // Open B spans per (pid, tid), as a stack of names.
+    let mut open: Vec<((i64, i64), Vec<String>)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| ev.get(k).ok_or(format!("event {i}: missing \"{k}\""));
+        let ph = field("ph")?
+            .as_str()
+            .ok_or(format!("event {i}: ph not a string"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("event {i}: name not a string"))?
+            .to_string();
+        let pid = field("pid")?
+            .as_f64()
+            .ok_or(format!("event {i}: pid not a number"))? as i64;
+        let tid = field("tid")?
+            .as_f64()
+            .ok_or(format!("event {i}: tid not a number"))? as i64;
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let ts = field("ts")?
+            .as_f64()
+            .ok_or(format!("event {i}: ts not a number"))?;
+        if !ts.is_finite() {
+            return Err(format!("event {i}: non-finite ts"));
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event {i} ('{name}'): ts {ts} goes backwards (previous {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        let track = (pid, tid);
+        match ph {
+            "X" => {
+                let dur = field("dur")?
+                    .as_f64()
+                    .ok_or(format!("event {i}: dur not a number"))?;
+                if !(dur.is_finite() && dur >= 0.0) {
+                    return Err(format!("event {i} ('{name}'): bad dur {dur}"));
+                }
+                summary.slices += 1;
+            }
+            "B" => match open.iter_mut().find(|(t, _)| *t == track) {
+                Some((_, stack)) => stack.push(name),
+                None => open.push((track, vec![name])),
+            },
+            "E" => {
+                let stack = open
+                    .iter_mut()
+                    .find(|(t, _)| *t == track)
+                    .map(|(_, s)| s)
+                    .ok_or(format!(
+                        "event {i} ('{name}'): E with no open B on tid {tid}"
+                    ))?;
+                let opened = stack.pop().ok_or(format!(
+                    "event {i} ('{name}'): E with no open B on tid {tid}"
+                ))?;
+                if opened != name {
+                    return Err(format!(
+                        "event {i}: E '{name}' closes B '{opened}' on tid {tid}"
+                    ));
+                }
+                summary.spans += 1;
+            }
+            "C" => summary.counters += 1,
+            "i" | "I" => {}
+            other => return Err(format!("event {i} ('{name}'): unknown ph '{other}'")),
+        }
+    }
+    for ((_, tid), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("unclosed B '{name}' on tid {tid}"));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_fabric::cost::TransitionBreakdown;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::EpochBegin {
+                epoch: 0,
+                name: "e\"0".into(),
+                at: 0,
+            },
+            Event::Reconfig {
+                epoch: 0,
+                at: 0,
+                breakdown: TransitionBreakdown {
+                    data_words: 2,
+                    instr_words: 1,
+                    links: 1,
+                },
+                reconfig_ns: 116.67,
+                stall_cycles: 47,
+                stalled_tiles: vec![0],
+            },
+            Event::Segment {
+                tile: 0,
+                state: SegState::Stall,
+                start: 0,
+                end: 47,
+            },
+            Event::Segment {
+                tile: 1,
+                state: SegState::Busy,
+                start: 0,
+                end: 80,
+            },
+            Event::Segment {
+                tile: 0,
+                state: SegState::Busy,
+                start: 47,
+                end: 90,
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 0,
+                busy: 43,
+                stalled: 47,
+                words_sent: 4,
+                words_received: 0,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                name: "e\"0".into(),
+                at: 90,
+            },
+            Event::WcetBound {
+                epoch: 0,
+                name: "e\"0".into(),
+                best_ns: 225.0,
+                worst_ns: Some(225.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn export_validates() {
+        let doc = chrome_trace(&sample(), &CostModel::default());
+        let s = validate_chrome(&doc).expect("emitted trace is valid");
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.slices, 3);
+        assert!(s.counters >= 1);
+        // Distinct colors for compute vs reconfig stalls.
+        assert!(doc.contains("\"cname\":\"good\""));
+        assert!(doc.contains("\"cname\":\"terrible\""));
+    }
+
+    #[test]
+    fn validator_rejects_unmatched_pairs() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":9,"ts":1.0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn validator_rejects_backwards_time() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":5.0,"dur":1.0},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":4.0,"dur":1.0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_names() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":0,"ts":1.0},
+            {"name":"z","ph":"E","pid":0,"tid":0,"ts":2.0}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("closes"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome("not json").is_err());
+        assert!(validate_chrome("{}").is_err());
+    }
+}

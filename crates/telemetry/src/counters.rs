@@ -1,0 +1,498 @@
+//! The metrics registry: counters folded from the event stream, plus
+//! the conservation invariants that keep producers honest.
+
+use crate::event::{Event, SegState};
+use cgra_fabric::cost::TransitionBreakdown;
+use cgra_fabric::{CostModel, TileId};
+use std::collections::BTreeMap;
+
+/// Per-tile cycle and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileCounters {
+    /// Cycles spent executing instructions.
+    pub busy: u64,
+    /// Cycles stalled for partial reconfiguration.
+    pub stalled: u64,
+    /// Cycles idle inside epochs (epoch span minus busy minus stalled).
+    pub idle: u64,
+    /// Remote words sent.
+    pub words_sent: u64,
+    /// Remote words received.
+    pub words_received: u64,
+}
+
+/// Whole-run counters, folded from a telemetry event stream with
+/// [`Counters::from_events`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Per-tile counters, indexed by [`TileId`].
+    pub tiles: Vec<TileCounters>,
+    /// Words moved per directed link `(from, to)`.
+    pub links: BTreeMap<(TileId, TileId), u64>,
+    /// Accumulated reconfiguration traffic (Eq. 1 `tau` decomposition
+    /// summed over every switch).
+    pub reconfig: TransitionBreakdown,
+    /// Total reconfiguration time, ns.
+    pub reconfig_ns: f64,
+    /// Total cycles rewritten tiles spent stalled (per-switch stall
+    /// times number of stalled tiles).
+    pub reconfig_stall_cycles: u64,
+    /// Epochs that completed (saw their [`Event::EpochEnd`]).
+    pub epochs: u64,
+    /// Cycles covered by completed epochs (sum of epoch spans).
+    pub epoch_cycles: u64,
+}
+
+impl Counters {
+    /// Folds an event stream into counters. Only completed epochs
+    /// (begin *and* end seen) contribute to cycle accounting; link
+    /// traffic and reconfiguration totals accumulate regardless.
+    pub fn from_events(events: &[Event]) -> Counters {
+        // Pass 1: spans of completed epochs, keyed by epoch index.
+        let mut begin: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut span: BTreeMap<usize, u64> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                Event::EpochBegin { epoch, at, .. } => {
+                    begin.insert(*epoch, *at);
+                }
+                Event::EpochEnd { epoch, at, .. } => {
+                    if let Some(b) = begin.get(epoch) {
+                        span.insert(*epoch, at.saturating_sub(*b));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Pass 2: fold.
+        let mut c = Counters::default();
+        for ev in events {
+            match ev {
+                Event::TileEpoch {
+                    epoch,
+                    tile,
+                    busy,
+                    stalled,
+                    words_sent,
+                    words_received,
+                } => {
+                    let Some(&sp) = span.get(epoch) else { continue };
+                    if c.tiles.len() <= *tile {
+                        c.tiles.resize(*tile + 1, TileCounters::default());
+                    }
+                    let t = &mut c.tiles[*tile];
+                    t.busy += busy;
+                    t.stalled += stalled;
+                    t.idle += sp.saturating_sub(busy + stalled);
+                    t.words_sent += words_sent;
+                    t.words_received += words_received;
+                }
+                Event::LinkTransfer {
+                    from, to, words, ..
+                } => {
+                    *c.links.entry((*from, *to)).or_insert(0) += words;
+                }
+                Event::Reconfig {
+                    breakdown,
+                    reconfig_ns,
+                    stall_cycles,
+                    stalled_tiles,
+                    ..
+                } => {
+                    c.reconfig.data_words += breakdown.data_words;
+                    c.reconfig.instr_words += breakdown.instr_words;
+                    c.reconfig.links += breakdown.links;
+                    c.reconfig_ns += reconfig_ns;
+                    c.reconfig_stall_cycles += stall_cycles * stalled_tiles.len() as u64;
+                }
+                Event::EpochEnd { epoch, .. } => {
+                    if let Some(&sp) = span.get(epoch) {
+                        c.epochs += 1;
+                        c.epoch_cycles += sp;
+                    }
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Total remote words sent, over all tiles.
+    pub fn total_words_sent(&self) -> u64 {
+        self.tiles.iter().map(|t| t.words_sent).sum()
+    }
+
+    /// Total remote words received, over all tiles.
+    pub fn total_words_received(&self) -> u64 {
+        self.tiles.iter().map(|t| t.words_received).sum()
+    }
+
+    /// Total busy cycles, over all tiles.
+    pub fn total_busy(&self) -> u64 {
+        self.tiles.iter().map(|t| t.busy).sum()
+    }
+
+    /// Mean tile utilization: busy tile-cycles over available
+    /// tile-cycles (epoch span x tiles). 0 when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        let avail = self.epoch_cycles.saturating_mul(self.tiles.len() as u64);
+        if avail == 0 {
+            return 0.0;
+        }
+        self.total_busy() as f64 / avail as f64
+    }
+
+    /// Reconfiguration share of the wall clock: `reconfig_ns` over the
+    /// epoch span priced at `cost`. 0 when nothing ran.
+    pub fn reconfig_overhead(&self, cost: &CostModel) -> f64 {
+        let wall = cost.exec_ns(self.epoch_cycles);
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.reconfig_ns / wall
+    }
+}
+
+/// Checks the stream's conservation invariants and returns every
+/// violation as a human-readable string (empty = all held):
+///
+/// * epochs are properly bracketed: `EpochBegin i` then `EpochEnd i`,
+///   with non-decreasing, non-overlapping spans,
+/// * per epoch, each tile's `busy + stalled` cycles fit in the epoch
+///   span,
+/// * fine [`Event::Segment`]s (when present) agree with the per-epoch
+///   [`Event::TileEpoch`] summaries, state by state, and never overlap,
+/// * words are conserved: every [`Event::LinkTransfer`] word shows up
+///   in the sender's `words_sent` and the receiver's `words_received`,
+///   and globally `sent == received`.
+pub fn conservation_violations(events: &[Event]) -> Vec<String> {
+    let mut bad = Vec::new();
+
+    // --- epoch bracketing ------------------------------------------------
+    let mut open: Option<(usize, u64)> = None;
+    let mut last_end = 0u64;
+    let mut spans: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            Event::EpochBegin { epoch, at, .. } => {
+                if let Some((prev, _)) = open {
+                    bad.push(format!("epoch {epoch} begins while epoch {prev} is open"));
+                }
+                if *at < last_end {
+                    bad.push(format!(
+                        "epoch {epoch} begins at cycle {at}, before the previous end {last_end}"
+                    ));
+                }
+                open = Some((*epoch, *at));
+            }
+            Event::EpochEnd { epoch, at, .. } => match open.take() {
+                Some((b_epoch, b_at)) if b_epoch == *epoch => {
+                    if *at < b_at {
+                        bad.push(format!(
+                            "epoch {epoch} ends at {at} before it began at {b_at}"
+                        ));
+                    }
+                    spans.insert(*epoch, (b_at, *at));
+                    last_end = *at;
+                }
+                other => {
+                    bad.push(format!("epoch {epoch} ends but open epoch is {other:?}"));
+                }
+            },
+            _ => {}
+        }
+    }
+
+    // --- per-epoch tile cycles fit the span ------------------------------
+    for ev in events {
+        if let Event::TileEpoch {
+            epoch,
+            tile,
+            busy,
+            stalled,
+            ..
+        } = ev
+        {
+            let Some((b, e)) = spans.get(epoch) else {
+                bad.push(format!(
+                    "tile {tile} reports activity for unclosed epoch {epoch}"
+                ));
+                continue;
+            };
+            let span = e - b;
+            if busy + stalled > span {
+                bad.push(format!(
+                    "epoch {epoch} tile {tile}: busy {busy} + stalled {stalled} exceeds the \
+                     {span}-cycle epoch span"
+                ));
+            }
+        }
+    }
+
+    // --- fine segments agree with the summaries --------------------------
+    let have_segments = events.iter().any(|e| matches!(e, Event::Segment { .. }));
+    if have_segments {
+        // Per (epoch, tile, state) cycle totals from segments.
+        let mut fine: BTreeMap<(usize, TileId, bool), u64> = BTreeMap::new();
+        let mut last_per_tile: BTreeMap<TileId, u64> = BTreeMap::new();
+        for ev in events {
+            let Event::Segment {
+                tile,
+                state,
+                start,
+                end,
+            } = ev
+            else {
+                continue;
+            };
+            if end < start {
+                bad.push(format!(
+                    "tile {tile}: segment [{start}, {end}) runs backwards"
+                ));
+                continue;
+            }
+            if let Some(prev_end) = last_per_tile.get(tile) {
+                if start < prev_end {
+                    bad.push(format!(
+                        "tile {tile}: segment starting at {start} overlaps the previous one \
+                         ending at {prev_end}"
+                    ));
+                }
+            }
+            last_per_tile.insert(*tile, *end);
+            // Attribute the run to the epoch containing it.
+            let ep = spans
+                .iter()
+                .find(|(_, (b, e))| start >= b && end <= e)
+                .map(|(i, _)| *i);
+            if let Some(i) = ep {
+                *fine
+                    .entry((i, *tile, *state == SegState::Busy))
+                    .or_insert(0) += end - start;
+            }
+        }
+        for ev in events {
+            let Event::TileEpoch {
+                epoch,
+                tile,
+                busy,
+                stalled,
+                ..
+            } = ev
+            else {
+                continue;
+            };
+            if !spans.contains_key(epoch) {
+                continue;
+            }
+            let f_busy = fine.get(&(*epoch, *tile, true)).copied().unwrap_or(0);
+            let f_stall = fine.get(&(*epoch, *tile, false)).copied().unwrap_or(0);
+            if f_busy != *busy {
+                bad.push(format!(
+                    "epoch {epoch} tile {tile}: segments total {f_busy} busy cycles but the \
+                     summary says {busy}"
+                ));
+            }
+            if f_stall != *stalled {
+                bad.push(format!(
+                    "epoch {epoch} tile {tile}: segments total {f_stall} stall cycles but the \
+                     summary says {stalled}"
+                ));
+            }
+        }
+    }
+
+    // --- word conservation ------------------------------------------------
+    let c = Counters::from_events(events);
+    let sent = c.total_words_sent();
+    let received = c.total_words_received();
+    if sent != received {
+        bad.push(format!(
+            "words are not conserved: {sent} sent != {received} received"
+        ));
+    }
+    let have_transfers = events
+        .iter()
+        .any(|e| matches!(e, Event::LinkTransfer { .. }));
+    if have_transfers {
+        let mut by_sender: BTreeMap<TileId, u64> = BTreeMap::new();
+        let mut by_receiver: BTreeMap<TileId, u64> = BTreeMap::new();
+        for ((f, t), w) in &c.links {
+            *by_sender.entry(*f).or_insert(0) += w;
+            *by_receiver.entry(*t).or_insert(0) += w;
+        }
+        for (t, tc) in c.tiles.iter().enumerate() {
+            let link_out = by_sender.get(&t).copied().unwrap_or(0);
+            let link_in = by_receiver.get(&t).copied().unwrap_or(0);
+            if link_out != tc.words_sent {
+                bad.push(format!(
+                    "tile {t}: link transfers carry {link_out} words out but the tile counted \
+                     {} sent",
+                    tc.words_sent
+                ));
+            }
+            if link_in != tc.words_received {
+                bad.push(format!(
+                    "tile {t}: link transfers carry {link_in} words in but the tile counted \
+                     {} received",
+                    tc.words_received
+                ));
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::EpochBegin {
+                epoch: 0,
+                name: "a".into(),
+                at: 0,
+            },
+            Event::Reconfig {
+                epoch: 0,
+                at: 0,
+                breakdown: TransitionBreakdown {
+                    data_words: 4,
+                    instr_words: 2,
+                    links: 1,
+                },
+                reconfig_ns: 250.0,
+                stall_cycles: 100,
+                stalled_tiles: vec![0],
+            },
+            Event::Segment {
+                tile: 0,
+                state: SegState::Stall,
+                start: 0,
+                end: 100,
+            },
+            Event::Segment {
+                tile: 0,
+                state: SegState::Busy,
+                start: 100,
+                end: 150,
+            },
+            Event::Segment {
+                tile: 1,
+                state: SegState::Busy,
+                start: 0,
+                end: 120,
+            },
+            Event::LinkTransfer {
+                from: 0,
+                to: 1,
+                at: 120,
+                words: 8,
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 0,
+                busy: 50,
+                stalled: 100,
+                words_sent: 8,
+                words_received: 0,
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 1,
+                busy: 120,
+                stalled: 0,
+                words_sent: 0,
+                words_received: 8,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                name: "a".into(),
+                at: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn counters_fold() {
+        let c = Counters::from_events(&sample());
+        assert_eq!(c.epochs, 1);
+        assert_eq!(c.epoch_cycles, 200);
+        assert_eq!(c.tiles.len(), 2);
+        assert_eq!(c.tiles[0].busy, 50);
+        assert_eq!(c.tiles[0].stalled, 100);
+        assert_eq!(c.tiles[0].idle, 50);
+        assert_eq!(c.tiles[1].idle, 80);
+        assert_eq!(c.links.get(&(0, 1)), Some(&8));
+        assert_eq!(c.total_words_sent(), 8);
+        assert_eq!(c.total_words_received(), 8);
+        assert_eq!(c.reconfig.data_words, 4);
+        assert_eq!(c.reconfig_stall_cycles, 100);
+        // 170 busy tile-cycles over 400 available.
+        assert!((c.utilization() - 170.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        assert_eq!(conservation_violations(&sample()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lost_word_detected() {
+        let mut evs = sample();
+        // The receiver claims one word fewer than the sender shipped.
+        for ev in &mut evs {
+            if let Event::TileEpoch {
+                tile: 1,
+                words_received,
+                ..
+            } = ev
+            {
+                *words_received = 7;
+            }
+        }
+        let bad = conservation_violations(&evs);
+        assert!(bad.iter().any(|m| m.contains("not conserved")), "{bad:?}");
+    }
+
+    #[test]
+    fn over_span_activity_detected() {
+        let mut evs = sample();
+        for ev in &mut evs {
+            if let Event::TileEpoch { tile: 1, busy, .. } = ev {
+                *busy = 500; // > 200-cycle span
+            }
+        }
+        let bad = conservation_violations(&evs);
+        assert!(bad.iter().any(|m| m.contains("exceeds")), "{bad:?}");
+    }
+
+    #[test]
+    fn segment_summary_mismatch_detected() {
+        let mut evs = sample();
+        for ev in &mut evs {
+            if let Event::Segment {
+                tile: 1,
+                end: e @ 120,
+                ..
+            } = ev
+            {
+                *e = 110;
+            }
+        }
+        let bad = conservation_violations(&evs);
+        assert!(bad.iter().any(|m| m.contains("segments total")), "{bad:?}");
+    }
+
+    #[test]
+    fn unbalanced_epochs_detected() {
+        let evs = vec![Event::EpochEnd {
+            epoch: 3,
+            name: "x".into(),
+            at: 10,
+        }];
+        let bad = conservation_violations(&evs);
+        assert!(!bad.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # cgra-telemetry
+//!
+//! Structured observability for the remorph stack: one event
+//! vocabulary spoken by every producer (the cycle engine, the epoch
+//! runner, the WCET annotator) and folded by every consumer (counters,
+//! the Gantt trace, the Chrome-trace and metrics exporters).
+//!
+//! The paper's Eq. 1 splits runtime into computation, reconfiguration
+//! and copy time; this crate makes each term *observable* on real runs:
+//!
+//! * [`Event`] — epoch brackets, per-tile busy/stall segments, link
+//!   transfers with word counts, reconfiguration transitions carrying
+//!   the exact [`cgra_fabric::cost::TransitionBreakdown`], and static
+//!   WCET bounds riding along the stream.
+//! * [`EventSink`] / [`Recorder`] — the consumer interface and the
+//!   standard in-memory sink. **Zero cost when disabled**: with no sink
+//!   installed the simulator pays one branch per cycle (held to < 2%
+//!   overhead by the WCET-conformance gate).
+//! * [`Counters`] — the metrics registry folded from the stream, with
+//!   [`conservation_violations`] checking the invariants that keep
+//!   producers honest (words sent == words received, activity fits
+//!   epoch spans, fine segments agree with summaries).
+//! * [`chrome_trace`] / [`metrics_json`] — exporters: a Chrome
+//!   trace-event document loadable in Perfetto (compute and reconfig
+//!   stalls as separately-colored slices per tile, WCET bounds as
+//!   counter tracks) and a flat JSON metrics dump. [`validate_chrome`]
+//!   and [`json::parse`] close the loop in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod counters;
+pub mod event;
+pub mod json;
+pub mod metrics;
+
+pub use chrome::{chrome_trace, validate_chrome, ChromeSummary};
+pub use counters::{conservation_violations, Counters, TileCounters};
+pub use event::{Coalescer, Event, EventSink, NullSink, Recorder, SegState};
+pub use metrics::metrics_json;

@@ -1,0 +1,193 @@
+//! Flat JSON metrics export: the [`Counters`] registry plus WCET
+//! totals and the conservation verdict, as one machine-readable
+//! document (the `cgra-trace --format json` output and the shape the
+//! runtime-trajectory benchmark records).
+
+use crate::counters::{conservation_violations, Counters};
+use crate::event::Event;
+use crate::json::esc;
+use cgra_fabric::CostModel;
+
+/// Renders the event stream as a flat JSON metrics document.
+///
+/// `label` names the run (schedule name, benchmark id); it is embedded
+/// verbatim (escaped) so downstream tooling can aggregate documents.
+pub fn metrics_json(label: &str, events: &[Event], cost: &CostModel) -> String {
+    let c = Counters::from_events(events);
+    let violations = conservation_violations(events);
+
+    let mut wcet_best = 0.0f64;
+    let mut wcet_worst: Option<f64> = Some(0.0);
+    let mut have_wcet = false;
+    for ev in events {
+        if let Event::WcetBound {
+            best_ns, worst_ns, ..
+        } = ev
+        {
+            have_wcet = true;
+            wcet_best += best_ns;
+            wcet_worst = match (wcet_worst, worst_ns) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schedule\": \"{}\",\n", esc(label)));
+    out.push_str(&format!("  \"epochs\": {},\n", c.epochs));
+    out.push_str(&format!("  \"cycles\": {},\n", c.epoch_cycles));
+    out.push_str(&format!(
+        "  \"runtime_ns\": {:.4},\n",
+        cost.exec_ns(c.epoch_cycles)
+    ));
+    out.push_str(&format!("  \"utilization\": {:.6},\n", c.utilization()));
+    out.push_str(&format!(
+        "  \"reconfig\": {{\"data_words\": {}, \"instr_words\": {}, \"links\": {}, \
+         \"ns\": {:.4}, \"stall_tile_cycles\": {}, \"overhead\": {:.6}}},\n",
+        c.reconfig.data_words,
+        c.reconfig.instr_words,
+        c.reconfig.links,
+        c.reconfig_ns,
+        c.reconfig_stall_cycles,
+        c.reconfig_overhead(cost)
+    ));
+    out.push_str(&format!(
+        "  \"words\": {{\"sent\": {}, \"received\": {}}},\n",
+        c.total_words_sent(),
+        c.total_words_received()
+    ));
+    if have_wcet {
+        let worst = wcet_worst.map_or("null".to_string(), |w| format!("{w:.4}"));
+        out.push_str(&format!(
+            "  \"wcet_ns\": {{\"best\": {wcet_best:.4}, \"worst\": {worst}}},\n"
+        ));
+    } else {
+        out.push_str("  \"wcet_ns\": null,\n");
+    }
+
+    out.push_str("  \"tiles\": [\n");
+    let tile_lines: Vec<String> = c
+        .tiles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            format!(
+                "    {{\"tile\": {i}, \"busy\": {}, \"stalled\": {}, \"idle\": {}, \
+                 \"words_sent\": {}, \"words_received\": {}}}",
+                t.busy, t.stalled, t.idle, t.words_sent, t.words_received
+            )
+        })
+        .collect();
+    out.push_str(&tile_lines.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"links\": [\n");
+    let link_lines: Vec<String> = c
+        .links
+        .iter()
+        .map(|((f, t), w)| format!("    {{\"from\": {f}, \"to\": {t}, \"words\": {w}}}"))
+        .collect();
+    out.push_str(&link_lines.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str(&format!(
+        "  \"conservation\": {{\"ok\": {}, \"violations\": [{}]}}\n",
+        violations.is_empty(),
+        violations
+            .iter()
+            .map(|v| format!("\"{}\"", esc(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use cgra_fabric::cost::TransitionBreakdown;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::EpochBegin {
+                epoch: 0,
+                name: "a".into(),
+                at: 0,
+            },
+            Event::Reconfig {
+                epoch: 0,
+                at: 0,
+                breakdown: TransitionBreakdown {
+                    data_words: 4,
+                    instr_words: 2,
+                    links: 1,
+                },
+                reconfig_ns: 250.0,
+                stall_cycles: 100,
+                stalled_tiles: vec![0],
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 0,
+                busy: 50,
+                stalled: 100,
+                words_sent: 8,
+                words_received: 0,
+            },
+            Event::TileEpoch {
+                epoch: 0,
+                tile: 1,
+                busy: 120,
+                stalled: 0,
+                words_sent: 0,
+                words_received: 8,
+            },
+            Event::EpochEnd {
+                epoch: 0,
+                name: "a".into(),
+                at: 200,
+            },
+            Event::WcetBound {
+                epoch: 0,
+                name: "a".into(),
+                best_ns: 500.0,
+                worst_ns: Some(750.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn metrics_parse_back() {
+        let cost = CostModel::default();
+        let doc = metrics_json("fft-64", &sample(), &cost);
+        let v = json::parse(&doc).expect("metrics JSON parses");
+        assert_eq!(v.get("schedule").and_then(Json::as_str), Some("fft-64"));
+        assert_eq!(v.get("epochs").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("cycles").and_then(Json::as_f64), Some(200.0));
+        let words = v.get("words").expect("words");
+        assert_eq!(words.get("sent").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(words.get("received").and_then(Json::as_f64), Some(8.0));
+        let wcet = v.get("wcet_ns").expect("wcet");
+        assert_eq!(wcet.get("best").and_then(Json::as_f64), Some(500.0));
+        assert_eq!(wcet.get("worst").and_then(Json::as_f64), Some(750.0));
+        let cons = v.get("conservation").expect("conservation");
+        assert_eq!(cons.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            v.get("tiles").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_valid_json() {
+        let doc = metrics_json("empty", &[], &CostModel::default());
+        let v = json::parse(&doc).expect("parses");
+        assert_eq!(v.get("epochs").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(v.get("utilization").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(v.get("wcet_ns"), Some(&Json::Null));
+    }
+}

@@ -1133,7 +1133,7 @@ pub fn bound_schedule(mesh: Mesh, cost: &CostModel, epochs: &[EpochSpec]) -> Sch
             );
         }
         let reconfig_ns = plan.total_ns(cost);
-        let stall_cycles = (reconfig_ns / cost.cycle_ns()).ceil() as u64;
+        let stall_cycles = cost.stall_cycles(reconfig_ns);
         prev_links = e.links.clone();
 
         let mut compute = CycleInterval::exact(0);

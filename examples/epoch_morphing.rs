@@ -3,13 +3,31 @@
 //!
 //! ```sh
 //! cargo run --release --example epoch_morphing
+//! cargo run --release --example epoch_morphing -- --trace-out morph.trace.json
 //! ```
+//!
+//! With `--trace-out FILE` a Chrome trace-event document of the run is
+//! written to FILE — open it at <https://ui.perfetto.dev> to see tile 2
+//! compute straight through both reconfigurations.
 
 use remorph::fabric::{CostModel, DataPatch, Direction, Mesh, Word};
 use remorph::isa::assemble;
-use remorph::sim::{ArraySim, Epoch, EpochRunner, TileSetup};
+use remorph::sim::{ArraySim, Epoch, EpochRunner, Recorder, TileSetup};
+use remorph::telemetry::chrome_trace;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --trace-out FILE)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // A 2x2 array: tiles 0,1 form a producer/consumer pair we keep
     // reconfiguring; tile 2 crunches a long-running loop that must not
     // notice any of it (the overlap the paper exploits).
@@ -62,6 +80,10 @@ fn main() {
     let idle = assemble("halt").unwrap();
 
     let cost = CostModel::with_link_cost(500.0);
+    let recorder = Recorder::new();
+    if trace_out.is_some() {
+        sim.attach_sink(Box::new(recorder.clone()));
+    }
     let mut runner = EpochRunner::new(sim, cost);
     let epochs = vec![
         Epoch {
@@ -137,5 +159,12 @@ fn main() {
     );
 
     println!("\nper-tile activity ('#' compute, 'R' reconfig stall, '.' idle):\n");
-    print!("{}", runner.trace.gantt(64));
+    print!("{}", runner.trace().gantt(64));
+
+    if let Some(path) = trace_out {
+        runner.sim.detach_sink();
+        let doc = chrome_trace(&recorder.events(), &cost);
+        std::fs::write(&path, &doc).expect("write trace file");
+        println!("\nChrome trace written to {path} (open in https://ui.perfetto.dev)");
+    }
 }

@@ -10,18 +10,11 @@
 //! levels (after fixing, when `--fix` is given), 1 when any deny-level
 //! finding survives, 2 on usage errors.
 
-use remorph::explore::{
-    fft_column_schedule, jpeg_block_schedule, jpeg_probe_blocks, jpeg_stream_schedule,
-};
+use remorph::explore::{build_example_schedule, EXAMPLE_SCHEDULES};
 use remorph::fabric::{CostModel, Mesh};
-use remorph::kernels::fft::fixed::Cfx;
-use remorph::kernels::fft::partition::FftPlan;
-use remorph::kernels::jpeg::quant::QuantTable;
 use remorph::lint::{LintLevels, LintReport};
 use remorph::sim::{apply_lint_fixes, lint_epochs, verify_epochs, Epoch};
 use remorph::verify::{has_errors, Diagnostic};
-
-const SCHEDULES: [&str; 5] = ["fft-16", "fft-64", "fft-1024", "jpeg", "jpeg-stream"];
 
 fn usage() -> ! {
     eprintln!(
@@ -29,30 +22,15 @@ fn usage() -> ! {
          \x20                [--deny-warnings] [--fix] [--json]\n\
          \n\
          schedules: {}",
-        SCHEDULES.join(", ")
+        EXAMPLE_SCHEDULES.join(", ")
     );
     std::process::exit(2)
 }
 
-fn fft_input(n: usize) -> Vec<Cfx> {
-    (0..n)
-        .map(|i| Cfx::from_f64((i as f64 * 0.13).sin() * 0.5, (i as f64 * 0.71).cos() * 0.5))
-        .collect()
-}
-
 fn build(name: &str) -> (Mesh, Vec<Epoch>) {
-    let fft = |n: usize, m: usize| {
-        let plan = FftPlan::new(n, m).expect("valid probe plan");
-        fft_column_schedule(&plan, &fft_input(n))
-    };
-    let qt = QuantTable::luma(75);
-    match name {
-        "fft-16" => fft(16, 4),
-        "fft-64" => fft(64, 16),
-        "fft-1024" => fft(1024, 128),
-        "jpeg" => jpeg_block_schedule(&jpeg_probe_blocks()[0], &qt),
-        "jpeg-stream" => jpeg_stream_schedule(&jpeg_probe_blocks(), &qt),
-        _ => usage(),
+    match build_example_schedule(name) {
+        Some(s) => s,
+        None => usage(),
     }
 }
 
@@ -124,7 +102,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--schedule" => {
                 let Some(name) = args.next() else { usage() };
-                if !SCHEDULES.contains(&name.as_str()) {
+                if !EXAMPLE_SCHEDULES.contains(&name.as_str()) {
                     eprintln!("unknown schedule '{name}'");
                     usage();
                 }
@@ -132,7 +110,7 @@ fn parse_args() -> Options {
             }
             "--all" => opts
                 .schedules
-                .extend(SCHEDULES.iter().map(|s| s.to_string())),
+                .extend(EXAMPLE_SCHEDULES.iter().map(|s| s.to_string())),
             "--level" => {
                 let Some(directive) = args.next() else {
                     usage()

@@ -1,0 +1,235 @@
+//! The `cgra-trace` driver: runs example epoch schedules on the array
+//! simulator with telemetry attached and exports the event stream as a
+//! Chrome trace-event document (Perfetto / `chrome://tracing`), a flat
+//! JSON metrics dump, or an ASCII Gantt chart.
+//!
+//! ```console
+//! $ cargo run --release --bin cgra-trace -- --schedule fft-64 --format chrome --out fft64.trace.json
+//! $ cargo run --release --bin cgra-trace -- --all --format json
+//! ```
+//!
+//! Every run is checked before anything is emitted: the stream's
+//! conservation invariants must hold (words sent == words received,
+//! per-tile activity fits epoch spans) and the Chrome export must
+//! validate (well-formed JSON, monotone timestamps, matched B/E
+//! pairs). Static WCET bounds from the `cgra-verify` timing engine are
+//! attached to the stream so the exporters can draw them next to the
+//! observed timeline.
+//!
+//! Exit status 0 when every selected schedule ran, conserved, and
+//! exported cleanly; 1 on any simulation/validation failure; 2 on
+//! usage errors.
+
+use remorph::explore::{build_example_schedule, EXAMPLE_SCHEDULES};
+use remorph::fabric::CostModel;
+use remorph::sim::{bound_epochs, ArraySim, EpochRunner, Recorder, Trace};
+use remorph::telemetry::{
+    chrome_trace, conservation_violations, metrics_json, validate_chrome, Counters, Event,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Chrome,
+    Json,
+    Gantt,
+}
+
+impl Format {
+    fn ext(self) -> &'static str {
+        match self {
+            Format::Chrome => "trace.json",
+            Format::Json => "metrics.json",
+            Format::Gantt => "gantt.txt",
+        }
+    }
+}
+
+struct Options {
+    schedules: Vec<String>,
+    format: Format,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgra-trace [--schedule <name>]... [--all] [--format chrome|json|gantt]\n\
+         \x20                 [--out <path>]\n\
+         \n\
+         With one schedule, --out names the output file; with several, it names a\n\
+         directory that receives one <schedule>.<ext> file each. Without --out,\n\
+         everything goes to stdout.\n\
+         \n\
+         schedules: {}",
+        EXAMPLE_SCHEDULES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        schedules: Vec::new(),
+        format: Format::Chrome,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--schedule" => {
+                let Some(name) = args.next() else { usage() };
+                if !EXAMPLE_SCHEDULES.contains(&name.as_str()) {
+                    eprintln!("unknown schedule '{name}'");
+                    usage();
+                }
+                opts.schedules.push(name);
+            }
+            "--all" => opts
+                .schedules
+                .extend(EXAMPLE_SCHEDULES.iter().map(|s| s.to_string())),
+            "--format" => match args.next().as_deref() {
+                Some("chrome") => opts.format = Format::Chrome,
+                Some("json") => opts.format = Format::Json,
+                Some("gantt") => opts.format = Format::Gantt,
+                _ => usage(),
+            },
+            "--out" => {
+                let Some(path) = args.next() else { usage() };
+                opts.out = Some(path);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if opts.schedules.is_empty() {
+        usage();
+    }
+    opts.schedules.dedup();
+    opts
+}
+
+/// Runs one schedule with a recorder attached and returns the merged
+/// event stream (summary + fine events + WCET annotations).
+fn run_with_telemetry(name: &str, cost: &CostModel) -> Result<Vec<Event>, String> {
+    let (mesh, epochs) =
+        build_example_schedule(name).ok_or_else(|| format!("unknown schedule '{name}'"))?;
+    let mut sim = ArraySim::new(mesh);
+    let recorder = Recorder::new();
+    sim.attach_sink(Box::new(recorder.clone()));
+    let mut runner = EpochRunner::new(sim, *cost);
+    runner
+        .run_schedule(&epochs)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    runner.sim.detach_sink();
+    // Attach the static WCET bounds so exporters can draw them next to
+    // the observed timeline.
+    let bound = bound_epochs(mesh, cost, &epochs);
+    recorder.append(bound.epochs.iter().enumerate().map(|(i, eb)| {
+        let iv = eb.total_ns(cost);
+        Event::WcetBound {
+            epoch: i,
+            name: eb.name.clone(),
+            best_ns: iv.best,
+            worst_ns: iv.worst,
+        }
+    }));
+    Ok(recorder.events())
+}
+
+fn render(
+    name: &str,
+    events: &[Event],
+    cost: &CostModel,
+    format: Format,
+) -> Result<String, String> {
+    match format {
+        Format::Chrome => {
+            let doc = chrome_trace(events, cost);
+            let summary = validate_chrome(&doc)
+                .map_err(|e| format!("emitted Chrome trace failed validation: {e}"))?;
+            eprintln!(
+                "{name}: {} events ({} slices, {} epoch spans, {} counter samples)",
+                summary.events, summary.slices, summary.spans, summary.counters
+            );
+            Ok(doc)
+        }
+        Format::Json => Ok(metrics_json(name, events, cost)),
+        Format::Gantt => {
+            let trace = Trace::from_events(events);
+            let c = Counters::from_events(events);
+            Ok(format!(
+                "{name}: {} epochs, {} cycles, utilization {:.1}%, reconfig overhead {:.1}%\n\
+                 ('#' compute, 'R' reconfig stall, '.' idle)\n{}",
+                c.epochs,
+                c.epoch_cycles,
+                c.utilization() * 100.0,
+                c.reconfig_overhead(cost) * 100.0,
+                trace.gantt(96)
+            ))
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let cost = CostModel::default();
+    let multi = opts.schedules.len() > 1;
+    if let (Some(dir), true) = (&opts.out, multi) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create output directory '{dir}': {e}");
+            std::process::exit(1);
+        }
+    }
+    let mut failed = false;
+
+    for name in &opts.schedules {
+        let events = match run_with_telemetry(name, &cost) {
+            Ok(evs) => evs,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let violations = conservation_violations(&events);
+        if !violations.is_empty() {
+            eprintln!("{name}: conservation violations:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            failed = true;
+            continue;
+        }
+        let doc = match render(name, &events, &cost, opts.format) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match &opts.out {
+            None => {
+                if multi {
+                    println!("==> {name} <==");
+                }
+                print!("{doc}");
+            }
+            Some(path) => {
+                let file = if multi {
+                    format!("{path}/{name}.{}", opts.format.ext())
+                } else {
+                    path.clone()
+                };
+                if let Err(e) = std::fs::write(&file, &doc) {
+                    eprintln!("{name}: cannot write '{file}': {e}");
+                    failed = true;
+                    continue;
+                }
+                eprintln!("{name}: wrote {file}");
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

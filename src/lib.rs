@@ -22,7 +22,10 @@
 //!   DSE pipelines run before anything executes,
 //! * [`lint`] — the whole-schedule inter-epoch lifetime/redundancy
 //!   linter and reconfiguration-diff minimizer (`cgra-lint` driver
-//!   binary; `L00x` diagnostic codes).
+//!   binary; `L00x` diagnostic codes),
+//! * [`telemetry`] — the structured event stream, metrics registry and
+//!   Chrome-trace/Perfetto + JSON exporters behind the `cgra-trace`
+//!   driver binary (zero cost when no sink is attached).
 //!
 //! ## Quickstart
 //!
@@ -52,4 +55,5 @@ pub use cgra_kernels as kernels;
 pub use cgra_lint as lint;
 pub use cgra_map as map;
 pub use cgra_sim as sim;
+pub use cgra_telemetry as telemetry;
 pub use cgra_verify as verify;

@@ -1,8 +1,9 @@
-//! Source-level hygiene gate: the verifier, the linter and the simulator
-//! are the components that *reject other code*, so they must not panic on
-//! bad input themselves. Non-test code in `cgra-verify`, `cgra-lint` and
-//! `cgra-sim` reports failures through structured `Result`/`Diagnostic`
-//! values — this scan keeps `.unwrap()` / `.expect(` from creeping back in.
+//! Source-level hygiene gate: the verifier, the linter, the simulator
+//! and the telemetry pipeline are the components that *reject or observe
+//! other code*, so they must not panic on bad input themselves. Non-test
+//! code in `cgra-verify`, `cgra-lint`, `cgra-sim` and `cgra-telemetry`
+//! reports failures through structured `Result`/`Diagnostic` values —
+//! this scan keeps `.unwrap()` / `.expect(` from creeping back in.
 
 use std::fs;
 use std::path::Path;
@@ -48,7 +49,12 @@ fn scan_dir(dir: &Path, offenders: &mut Vec<String>) {
 fn verify_and_sim_use_structured_errors() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();
-    for crate_dir in ["crates/verify/src", "crates/lint/src", "crates/sim/src"] {
+    for crate_dir in [
+        "crates/verify/src",
+        "crates/lint/src",
+        "crates/sim/src",
+        "crates/telemetry/src",
+    ] {
         scan_dir(&root.join(crate_dir), &mut offenders);
     }
     assert!(

@@ -1,0 +1,190 @@
+//! Trace-export gate: the Chrome trace-event documents `cgra-trace`
+//! emits must validate for every example schedule, reconfiguration
+//! stalls must be confined to the tiles each `Reconfig` event names, and
+//! a tile whose region is untouched must be able to compute straight
+//! through another tile's reconfiguration stall — the overlap the paper
+//! builds its Eq. 1 argument on — visibly, as overlapping segments in
+//! the exported stream.
+
+use remorph::explore::{build_example_schedule, EXAMPLE_SCHEDULES};
+use remorph::fabric::{CostModel, Direction, Mesh, Word};
+use remorph::isa::{assemble, encode_program};
+use remorph::sim::{ArraySim, Epoch, EpochRunner, Recorder, TileSetup};
+use remorph::telemetry::{chrome_trace, validate_chrome, Event, SegState};
+
+fn run_recorded(name: &str, cost: &CostModel) -> Vec<Event> {
+    let (mesh, epochs) = build_example_schedule(name).expect("known example schedule");
+    let mut sim = ArraySim::new(mesh);
+    let recorder = Recorder::new();
+    sim.attach_sink(Box::new(recorder.clone()));
+    let mut runner = EpochRunner::new(sim, *cost);
+    runner.run_schedule(&epochs).expect("schedule runs");
+    runner.sim.detach_sink();
+    recorder.events()
+}
+
+#[test]
+fn chrome_export_validates_for_every_example_schedule() {
+    let cost = CostModel::default();
+    for name in EXAMPLE_SCHEDULES {
+        let events = run_recorded(name, &cost);
+        let doc = chrome_trace(&events, &cost);
+        let summary = validate_chrome(&doc)
+            .unwrap_or_else(|e| panic!("{name}: emitted Chrome trace fails validation: {e}"));
+        assert!(summary.slices > 0, "{name}: trace has activity slices");
+        assert!(summary.spans > 0, "{name}: trace has epoch spans");
+    }
+}
+
+/// Every stall segment must lie inside the stall window of a `Reconfig`
+/// event that names its tile: nothing stalls except the tiles whose
+/// regions the ICAP is actually rewriting.
+#[test]
+fn fft1024_stalls_are_confined_to_rewritten_tiles() {
+    let cost = CostModel::default();
+    let events = run_recorded("fft-1024", &cost);
+    let reconfigs: Vec<(u64, u64, &Vec<usize>)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Reconfig {
+                at,
+                stall_cycles,
+                stalled_tiles,
+                ..
+            } => Some((*at, at + stall_cycles, stalled_tiles)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !reconfigs.is_empty(),
+        "fft-1024 reconfigures between epochs"
+    );
+    let mut stall_segments = 0;
+    for e in &events {
+        if let Event::Segment {
+            tile,
+            state: SegState::Stall,
+            start,
+            end,
+        } = e
+        {
+            stall_segments += 1;
+            let covered = reconfigs
+                .iter()
+                .any(|(s, t, tiles)| s <= start && end <= t && tiles.contains(tile));
+            assert!(
+                covered,
+                "tile {tile} stalls [{start}, {end}) outside every reconfiguration window \
+                 that names it"
+            );
+        }
+    }
+    assert!(
+        stall_segments > 0,
+        "reconfigurations produce stall segments"
+    );
+}
+
+/// The paper's overlap, observed in the event stream: a tile pre-loaded
+/// with a long-running kernel (outside the epoch schedule) keeps
+/// computing while another tile's region is rewritten — its busy
+/// segment overlaps the rewritten tile's stall segment in time.
+#[test]
+fn untouched_tile_computes_through_a_reconfiguration_stall() {
+    let mesh = Mesh::new(2, 2);
+    let mut sim = ArraySim::new(mesh);
+    for i in 0..16 {
+        sim.tiles[0]
+            .dmem
+            .poke(i, Word::wrap(100 + i as i64))
+            .expect("address in range");
+    }
+    let cruncher = assemble(
+        "
+            ldi  d[0], 4000
+    spin:   add  d[1], d[1], #1
+            djnz d[0], spin
+            halt
+    ",
+    )
+    .expect("cruncher assembles");
+    sim.load_program(2, &encode_program(&cruncher))
+        .expect("tile 2 loads");
+
+    let copy_east = assemble(
+        "
+            ldar a0, 0
+            ldar a1, 64
+            ldi  d[500], 16
+    l:      mov  r@a1, @a0
+            adar a0, 1
+            adar a1, 1
+            djnz d[500], l
+            halt
+    ",
+    )
+    .expect("copy kernel assembles");
+
+    let recorder = Recorder::new();
+    sim.attach_sink(Box::new(recorder.clone()));
+    let mut runner = EpochRunner::new(sim, CostModel::default());
+    let epochs = vec![Epoch {
+        name: "rewrite tile 0 while tile 2 crunches".into(),
+        links: mesh.disconnected().with(0, Direction::East),
+        setups: vec![(
+            0,
+            TileSetup {
+                program: Some(copy_east),
+                data_patches: vec![],
+            },
+        )],
+        budget: 100_000,
+    }];
+    runner.run_schedule(&epochs).expect("schedule runs");
+    runner.sim.detach_sink();
+
+    // Tile 2 never stalled; tile 0 did.
+    assert_eq!(runner.sim.stats[2].reconfig_cycles, 0);
+    assert!(runner.sim.stats[0].reconfig_cycles > 0);
+
+    let events = recorder.events();
+    let stall = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Segment {
+                tile: 0,
+                state: SegState::Stall,
+                start,
+                end,
+            } => Some((*start, *end)),
+            _ => None,
+        })
+        .expect("tile 0 has a reconfiguration stall segment");
+    let overlapping_busy = events.iter().any(|e| {
+        matches!(e, Event::Segment {
+            tile: 2,
+            state: SegState::Busy,
+            start,
+            end,
+        } if *start < stall.1 && stall.0 < *end)
+    });
+    assert!(
+        overlapping_busy,
+        "tile 2 must have a busy segment overlapping tile 0's stall [{}, {})",
+        stall.0, stall.1
+    );
+    // Tile 2 never emits a stall segment at all.
+    assert!(!events.iter().any(|e| matches!(
+        e,
+        Event::Segment {
+            tile: 2,
+            state: SegState::Stall,
+            ..
+        }
+    )));
+
+    // And the exported trace of the overlap validates.
+    let cost = CostModel::default();
+    let doc = chrome_trace(&events, &cost);
+    validate_chrome(&doc).expect("overlap trace validates");
+}
