@@ -1,0 +1,162 @@
+//! DSE engine scaling: wall-time of the full FFT-1024 and JPEG sweeps
+//! through the naive serial path (build + minimize + bound + simulate
+//! every candidate independently — the pre-engine behavior) vs. the
+//! parallel cached engine, cold and warm. Asserts the engine's two
+//! contracts — byte-identical frontiers and a real speedup — and emits
+//! `BENCH_dse.json` at the repo root.
+
+use cgra_bench::{banner, check, f};
+use cgra_explore::{run_sweep, run_sweep_naive, EngineConfig, SimCache, SweepSpec};
+use std::time::Instant;
+
+struct Row {
+    sweep: &'static str,
+    candidates: usize,
+    shapes: u64,
+    pruned: u64,
+    simulated_cold: u64,
+    serial_ms: f64,
+    engine_cold_ms: f64,
+    engine_warm_ms: f64,
+    speedup_cold: f64,
+    speedup_warm: f64,
+    hit_rate_warm: f64,
+    frontier_identical: bool,
+}
+
+fn measure(sweep: &'static str, jobs: usize, frontier: usize) -> Row {
+    let spec = SweepSpec::named(sweep).expect("known sweep");
+    let cfg = EngineConfig {
+        jobs,
+        frontier,
+        prune: true,
+    };
+    let dir =
+        std::env::temp_dir().join(format!("remorph-bench-dse-{sweep}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let t = Instant::now();
+    let naive = run_sweep_naive(&spec, frontier).expect("naive sweep");
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let cold_cache = SimCache::at_dir(&dir).expect("cache dir");
+    let t = Instant::now();
+    let cold = run_sweep(&spec, &cfg, &cold_cache).expect("cold engine sweep");
+    let engine_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Fresh instance over the same directory: warm hits come from disk.
+    let warm_cache = SimCache::at_dir(&dir).expect("cache dir");
+    let t = Instant::now();
+    let warm = run_sweep(&spec, &cfg, &warm_cache).expect("warm engine sweep");
+    let engine_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let frontier_identical = cold.render_frontier() == naive.render_frontier()
+        && warm.render_frontier() == cold.render_frontier();
+    check(
+        &format!("{sweep}: engine frontier is byte-identical to the serial reference"),
+        frontier_identical,
+    );
+    check(
+        &format!("{sweep}: sweep counters conserve"),
+        cold.conservation_violations().is_empty() && warm.conservation_violations().is_empty(),
+    );
+    check(
+        &format!("{sweep}: warm cache serves the whole frontier (>90% hit rate)"),
+        warm.stats.hit_rate() > 0.9 && warm.stats.total.simulated == 0,
+    );
+
+    Row {
+        sweep,
+        candidates: cold.rows.len(),
+        shapes: cold.stats.total.prepared,
+        pruned: cold.stats.total.pruned,
+        simulated_cold: cold.stats.total.simulated,
+        serial_ms,
+        engine_cold_ms,
+        engine_warm_ms,
+        speedup_cold: serial_ms / engine_cold_ms,
+        speedup_warm: serial_ms / engine_warm_ms,
+        hit_rate_warm: warm.stats.hit_rate(),
+        frontier_identical,
+    }
+}
+
+fn main() {
+    banner(
+        "DSE engine scaling — naive serial sweep vs. parallel cached engine",
+        "IPDPSW'13 Sec. 3-4 design-space sweeps (Figures 10-12, Tables 4-5)",
+    );
+    let jobs = 4;
+    println!("  --jobs {jobs}, default link-cost grid, default frontier\n");
+
+    let rows = [measure("fft-1024", jobs, 6), measure("jpeg", jobs, 6)];
+
+    println!();
+    println!(
+        "  {:<10} {:>5} {:>7} {:>11} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "sweep",
+        "cand",
+        "shapes",
+        "serial/ms",
+        "cold/ms",
+        "warm/ms",
+        "spd-cold",
+        "spd-warm",
+        "hit-warm"
+    );
+    for r in &rows {
+        println!(
+            "  {:<10} {:>5} {:>7} {:>11} {:>11} {:>11} {:>8}x {:>8}x {:>8.0}%",
+            r.sweep,
+            r.candidates,
+            r.shapes,
+            f(r.serial_ms, 1),
+            f(r.engine_cold_ms, 1),
+            f(r.engine_warm_ms, 1),
+            f(r.speedup_cold, 2),
+            f(r.speedup_warm, 2),
+            r.hit_rate_warm * 100.0
+        );
+    }
+
+    let fft = &rows[0];
+    check(
+        "fft-1024: cold engine beats the serial sweep by >= 2x",
+        fft.speedup_cold >= 2.0,
+    );
+    for r in &rows {
+        check(
+            &format!("{}: warm engine beats cold (cache does real work)", r.sweep),
+            r.speedup_warm > r.speedup_cold,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"jobs\": {jobs},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(|r| format!(
+                "    {{\"sweep\": \"{}\", \"candidates\": {}, \"shapes\": {}, \"pruned\": {}, \
+                 \"simulated_cold\": {}, \"serial_ms\": {:.3}, \"engine_cold_ms\": {:.3}, \
+                 \"engine_warm_ms\": {:.3}, \"speedup_cold\": {:.3}, \"speedup_warm\": {:.3}, \
+                 \"cache_hit_rate_warm\": {:.4}, \"frontier_identical\": {}}}",
+                r.sweep,
+                r.candidates,
+                r.shapes,
+                r.pruned,
+                r.simulated_cold,
+                r.serial_ms,
+                r.engine_cold_ms,
+                r.engine_warm_ms,
+                r.speedup_cold,
+                r.speedup_warm,
+                r.hit_rate_warm,
+                r.frontier_identical
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json");
+    std::fs::write(path, json).expect("BENCH_dse.json is writable");
+    println!("\n  wrote {path}");
+}

@@ -1,0 +1,437 @@
+//! Content-addressed memoization of simulation results.
+//!
+//! Simulating a candidate schedule is the expensive tail of a DSE
+//! sweep, and sweeps repeat themselves: re-runs with a tweaked grid,
+//! lint-minimized variants that collapse to the same stream, FFT/JPEG
+//! configurations shared between sweeps. [`SimCache`] memoizes each
+//! simulation under a **content address**: a stable 64-bit FNV-1a
+//! fingerprint of the verified schedule ([`schedule_fingerprint`] —
+//! mesh shape, link configurations, encoded programs, data patches,
+//! budgets) paired with a fingerprint of the cost model it ran under
+//! ([`cost_fingerprint`]). Identical content hits; anything else — a
+//! different minimization, a different patch stream, a different link
+//! price — misses and re-simulates.
+//!
+//! The cache is two-level: a thread-safe in-memory map (always on) and
+//! an optional persistent directory (`--cache DIR` on the drivers).
+//! Persistent entries are one tiny JSON file each, named by both
+//! fingerprints, and **self-describing**: the file re-states the
+//! fingerprints it was stored under, and [`SimCache::lookup`] rejects
+//! any entry whose recorded hashes do not match the key it was found
+//! under ([`CacheLookup::Poisoned`]) — a stale or hand-edited entry is
+//! detected and re-simulated, never silently trusted.
+//!
+//! ```
+//! use cgra_explore::cache::{CacheLookup, SimCache, SimResult};
+//! use cgra_explore::CandidateMetrics;
+//!
+//! let cache = SimCache::in_memory();
+//! assert_eq!(cache.lookup(0xfeed, 0xbeef), CacheLookup::Miss);
+//! let result = SimResult {
+//!     simulated_ns: 125.0,
+//!     metrics: CandidateMetrics {
+//!         runtime_ns: 125.0,
+//!         reconfig_ns: 50.0,
+//!         reconfig_overhead: 0.4,
+//!         utilization: 0.8,
+//!         words_moved: 16,
+//!     },
+//! };
+//! cache.insert(0xfeed, 0xbeef, &result).unwrap();
+//! assert_eq!(cache.lookup(0xfeed, 0xbeef), CacheLookup::Hit(result));
+//! assert_eq!(cache.lookup(0xfeed, 0xffff), CacheLookup::Miss); // other cost model
+//! ```
+
+use crate::rank::CandidateMetrics;
+use cgra_fabric::{CostModel, Mesh};
+use cgra_isa::encode_program;
+use cgra_sim::Epoch;
+use cgra_telemetry::json::{self, Json};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a, the same dependency-free hash the `cgra-verify` batch
+/// pricing memo uses.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable fingerprint of a schedule's full observable content: mesh
+/// dimensions, per-epoch name, budget, link configuration, and every
+/// tile setup (encoded program image and data patches, in order). Two
+/// schedules with equal fingerprints stream the same bits onto the
+/// fabric and therefore simulate identically.
+pub fn schedule_fingerprint(mesh: Mesh, epochs: &[Epoch]) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(mesh.rows() as u64);
+    h.write_u64(mesh.cols() as u64);
+    h.write_u64(epochs.len() as u64);
+    for e in epochs {
+        h.write(e.name.as_bytes());
+        h.write_u64(e.budget);
+        h.write_u64(e.links.len() as u64);
+        for t in 0..e.links.len() {
+            h.write(&[match e.links.get(t) {
+                None => 0u8,
+                Some(d) => 1 + d as u8,
+            }]);
+        }
+        h.write_u64(e.setups.len() as u64);
+        for (tile, setup) in &e.setups {
+            h.write_u64(*tile as u64);
+            match &setup.program {
+                None => h.write(&[0]),
+                Some(prog) => {
+                    h.write(&[1]);
+                    let image = encode_program(prog);
+                    h.write_u64(image.len() as u64);
+                    for w in image {
+                        h.write_u64(w as u64);
+                        h.write_u64((w >> 64) as u64);
+                    }
+                }
+            }
+            h.write_u64(setup.data_patches.len() as u64);
+            for p in &setup.data_patches {
+                h.write_u64(p.base as u64);
+                h.write_u64(p.words.len() as u64);
+                for w in &p.words {
+                    h.write_u64(w.value() as u64);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Stable fingerprint of a cost model (bit-exact on all three
+/// constants), so results priced under different clocks, ICAP
+/// bandwidths or link costs never alias.
+pub fn cost_fingerprint(cost: &CostModel) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(cost.clock_mhz.to_bits());
+    h.write_u64(cost.icap_mb_per_s.to_bits());
+    h.write_u64(cost.link_reconfig_ns.to_bits());
+    h.finish()
+}
+
+/// One memoized simulation: the Eq. 1 runtime the simulator reported
+/// and the telemetry-backed metrics of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Simulated Eq. 1 runtime, ns.
+    pub simulated_ns: f64,
+    /// Measured metrics (utilization, reconfiguration overhead,
+    /// traffic) from the run's counters.
+    pub metrics: CandidateMetrics,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheLookup {
+    /// Entry found and its content hashes match the key.
+    Hit(SimResult),
+    /// No entry under this key.
+    Miss,
+    /// An entry existed but failed validation (recorded hashes did not
+    /// match the key, or the file was malformed) — treat as a miss and
+    /// overwrite with the re-simulated result.
+    Poisoned,
+}
+
+/// The two-level simulation cache (in-memory map + optional
+/// persistent directory). Thread-safe: workers of one pool share a
+/// single instance.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    mem: Mutex<HashMap<(u64, u64), SimResult>>,
+    dir: Option<PathBuf>,
+}
+
+impl SimCache {
+    /// A cache that lives only as long as the process.
+    pub fn in_memory() -> SimCache {
+        SimCache::default()
+    }
+
+    /// A cache backed by `dir` (created, with parents, if missing).
+    /// Entries persist across runs — the warm re-sweep path.
+    pub fn at_dir(dir: impl Into<PathBuf>) -> std::io::Result<SimCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SimCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: Some(dir),
+        })
+    }
+
+    /// The persistent directory, when one is attached.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Path of the persistent entry for a key, when a directory is
+    /// attached. Exposed so tests can poison entries deliberately.
+    pub fn entry_path(&self, schedule_hash: u64, cost_hash: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("dse-{schedule_hash:016x}-{cost_hash:016x}.json")))
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock poisoned").len()
+    }
+
+    /// True when the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes the cache: memory first, then the persistent directory.
+    /// Disk entries are validated against the key before being
+    /// trusted; validated entries are promoted into memory.
+    pub fn lookup(&self, schedule_hash: u64, cost_hash: u64) -> CacheLookup {
+        if let Some(r) = self
+            .mem
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&(schedule_hash, cost_hash))
+        {
+            return CacheLookup::Hit(*r);
+        }
+        let Some(path) = self.entry_path(schedule_hash, cost_hash) else {
+            return CacheLookup::Miss;
+        };
+        let Ok(doc) = std::fs::read_to_string(&path) else {
+            return CacheLookup::Miss;
+        };
+        match parse_entry(&doc, schedule_hash, cost_hash) {
+            Some(r) => {
+                self.mem
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert((schedule_hash, cost_hash), r);
+                CacheLookup::Hit(r)
+            }
+            None => CacheLookup::Poisoned,
+        }
+    }
+
+    /// Stores a result under its content address: into memory always,
+    /// and onto disk when a directory is attached. The disk write is
+    /// best-effort — an I/O failure downgrades the cache, it never
+    /// fails the sweep — and reports whether it happened.
+    pub fn insert(&self, schedule_hash: u64, cost_hash: u64, r: &SimResult) -> std::io::Result<()> {
+        self.mem
+            .lock()
+            .expect("cache lock poisoned")
+            .insert((schedule_hash, cost_hash), *r);
+        if let Some(path) = self.entry_path(schedule_hash, cost_hash) {
+            std::fs::write(&path, render_entry(schedule_hash, cost_hash, r))?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes one persistent entry. Floats use Rust's shortest
+/// round-trip formatting, so a warm lookup returns bit-identical
+/// values — the property the byte-identical-frontier guarantee rests
+/// on.
+fn render_entry(schedule_hash: u64, cost_hash: u64, r: &SimResult) -> String {
+    format!(
+        "{{\n  \"schedule_hash\": \"{schedule_hash:016x}\",\n  \"cost_hash\": \"{cost_hash:016x}\",\n  \
+         \"simulated_ns\": {:?},\n  \"runtime_ns\": {:?},\n  \"reconfig_ns\": {:?},\n  \
+         \"reconfig_overhead\": {:?},\n  \"utilization\": {:?},\n  \"words_moved\": {}\n}}\n",
+        r.simulated_ns,
+        r.metrics.runtime_ns,
+        r.metrics.reconfig_ns,
+        r.metrics.reconfig_overhead,
+        r.metrics.utilization,
+        r.metrics.words_moved,
+    )
+}
+
+/// Parses and validates one persistent entry; `None` means poisoned.
+fn parse_entry(doc: &str, schedule_hash: u64, cost_hash: u64) -> Option<SimResult> {
+    let v = json::parse(doc).ok()?;
+    let hex = |key: &str| -> Option<u64> { u64::from_str_radix(v.get(key)?.as_str()?, 16).ok() };
+    if hex("schedule_hash")? != schedule_hash || hex("cost_hash")? != cost_hash {
+        return None;
+    }
+    let num = |key: &str| v.get(key).and_then(Json::as_f64);
+    Some(SimResult {
+        simulated_ns: num("simulated_ns")?,
+        metrics: CandidateMetrics {
+            runtime_ns: num("runtime_ns")?,
+            reconfig_ns: num("reconfig_ns")?,
+            reconfig_overhead: num("reconfig_overhead")?,
+            utilization: num("utilization")?,
+            words_moved: num("words_moved")? as u64,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "remorph-cache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn result(ns: f64) -> SimResult {
+        SimResult {
+            simulated_ns: ns,
+            metrics: CandidateMetrics {
+                runtime_ns: ns,
+                reconfig_ns: ns / 3.0,
+                reconfig_overhead: 1.0 / 3.0,
+                utilization: 0.625,
+                words_moved: 4242,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let c = SimCache::in_memory();
+        assert_eq!(c.lookup(1, 2), CacheLookup::Miss);
+        c.insert(1, 2, &result(10.5)).unwrap();
+        assert_eq!(c.lookup(1, 2), CacheLookup::Hit(result(10.5)));
+        assert_eq!(c.lookup(1, 3), CacheLookup::Miss);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // awkward mantissas are the point
+    fn disk_round_trip_is_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let r = SimResult {
+            simulated_ns: 123456.78900000001,
+            metrics: CandidateMetrics {
+                runtime_ns: 0.1 + 0.2, // deliberately not exactly 0.3
+                reconfig_ns: 1e-9,
+                reconfig_overhead: 2.0 / 3.0,
+                utilization: 0.9999999999999999,
+                words_moved: u64::from(u32::MAX),
+            },
+        };
+        {
+            let c = SimCache::at_dir(&dir).unwrap();
+            c.insert(7, 9, &r).unwrap();
+        }
+        // A fresh cache instance must reload the exact bits from disk.
+        let c = SimCache::at_dir(&dir).unwrap();
+        match c.lookup(7, 9) {
+            CacheLookup::Hit(got) => {
+                assert_eq!(got.simulated_ns.to_bits(), r.simulated_ns.to_bits());
+                assert_eq!(
+                    got.metrics.runtime_ns.to_bits(),
+                    r.metrics.runtime_ns.to_bits()
+                );
+                assert_eq!(
+                    got.metrics.utilization.to_bits(),
+                    r.metrics.utilization.to_bits()
+                );
+                assert_eq!(got.metrics.words_moved, r.metrics.words_moved);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_entry_is_poisoned_not_trusted() {
+        let dir = tmp_dir("poison");
+        let c = SimCache::at_dir(&dir).unwrap();
+        c.insert(11, 13, &result(50.0)).unwrap();
+        let path = c.entry_path(11, 13).unwrap();
+        // Forge the entry: valid JSON, wrong recorded schedule hash —
+        // what a stale file from an older schedule build looks like.
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            doc.replace(&format!("{:016x}", 11), &format!("{:016x}", 999)),
+        )
+        .unwrap();
+        let fresh = SimCache::at_dir(&dir).unwrap();
+        assert_eq!(fresh.lookup(11, 13), CacheLookup::Poisoned);
+        // Garbage is poisoned too.
+        std::fs::write(&path, "{not json").unwrap();
+        assert_eq!(fresh.lookup(11, 13), CacheLookup::Poisoned);
+        // Re-inserting repairs the entry.
+        fresh.insert(11, 13, &result(51.0)).unwrap();
+        let again = SimCache::at_dir(&dir).unwrap();
+        assert_eq!(again.lookup(11, 13), CacheLookup::Hit(result(51.0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_cost_models() {
+        let a = cost_fingerprint(&CostModel::with_link_cost(0.0));
+        let b = cost_fingerprint(&CostModel::with_link_cost(100.0));
+        let c = cost_fingerprint(&CostModel::with_link_cost(100.0));
+        assert_ne!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn schedule_fingerprint_sees_content_changes() {
+        use crate::schedule::{example_probe_input, fft_column_schedule};
+        use cgra_kernels::fft::partition::FftPlan;
+        let input = example_probe_input(16);
+        let plan = FftPlan::new(16, 4).unwrap();
+        let (mesh, mut epochs) = fft_column_schedule(&plan, &input);
+        let base = schedule_fingerprint(mesh, &epochs);
+        // Rebuilding identically reproduces the fingerprint.
+        let (mesh2, epochs2) = fft_column_schedule(&plan, &input);
+        assert_eq!(schedule_fingerprint(mesh2, &epochs2), base);
+        // Touching one budget changes it.
+        epochs[0].budget += 1;
+        assert_ne!(schedule_fingerprint(mesh, &epochs), base);
+        epochs[0].budget -= 1;
+        assert_eq!(schedule_fingerprint(mesh, &epochs), base);
+        // Dropping a patch changes it.
+        let dropped = epochs
+            .iter_mut()
+            .find_map(|e| {
+                e.setups
+                    .iter_mut()
+                    .find(|(_, s)| !s.data_patches.is_empty())
+                    .map(|(_, s)| s.data_patches.remove(0))
+            })
+            .expect("an FFT schedule patches data");
+        drop(dropped);
+        assert_ne!(schedule_fingerprint(mesh, &epochs), base);
+    }
+}

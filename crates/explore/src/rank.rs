@@ -63,38 +63,47 @@ pub struct RankedCandidate {
     pub bound: ScheduleBound,
 }
 
+/// The ranking key of a static bound: worst-case runtime in ns
+/// (`+inf` when the bound is open, pushing the candidate behind every
+/// bounded one).
+pub fn static_worst_ns(bound: &ScheduleBound) -> f64 {
+    bound.total_ns().worst.unwrap_or(f64::INFINITY)
+}
+
+/// Static (un-simulated) metrics from a WCET bound: worst-case
+/// runtime, reconfiguration totals, and worst-case words moved.
+/// Utilization requires cycle-level observation, so it is 0 here —
+/// simulation fills the measured version in.
+pub fn static_metrics(bound: &ScheduleBound) -> CandidateMetrics {
+    let reconfig_ns: f64 = bound.epochs.iter().map(|e| e.reconfig_ns).sum();
+    let runtime_ns = static_worst_ns(bound);
+    let words_moved: u64 = bound
+        .epochs
+        .iter()
+        .map(|e| e.copied_words.worst.unwrap_or(e.copied_words.best))
+        .sum();
+    CandidateMetrics {
+        runtime_ns,
+        reconfig_ns,
+        reconfig_overhead: if runtime_ns > 0.0 && runtime_ns.is_finite() {
+            reconfig_ns / runtime_ns
+        } else {
+            0.0
+        },
+        utilization: 0.0,
+        words_moved,
+    }
+}
+
 impl RankedCandidate {
-    /// The ranking key: static worst-case runtime in ns (`+inf` when
-    /// the bound is open, pushing the candidate behind every bounded
-    /// one).
+    /// The ranking key: [`static_worst_ns`] of this candidate's bound.
     pub fn worst_ns(&self) -> f64 {
-        self.bound.total_ns().worst.unwrap_or(f64::INFINITY)
+        static_worst_ns(&self.bound)
     }
 
-    /// Static (un-simulated) metrics from the WCET bound: worst-case
-    /// runtime, reconfiguration totals, and worst-case words moved.
-    /// Utilization requires cycle-level observation, so it is 0 here —
-    /// [`simulate_frontier`] fills the measured version in.
+    /// [`static_metrics`] of this candidate's bound.
     pub fn static_metrics(&self) -> CandidateMetrics {
-        let reconfig_ns: f64 = self.bound.epochs.iter().map(|e| e.reconfig_ns).sum();
-        let runtime_ns = self.worst_ns();
-        let words_moved: u64 = self
-            .bound
-            .epochs
-            .iter()
-            .map(|e| e.copied_words.worst.unwrap_or(e.copied_words.best))
-            .sum();
-        CandidateMetrics {
-            runtime_ns,
-            reconfig_ns,
-            reconfig_overhead: if runtime_ns > 0.0 && runtime_ns.is_finite() {
-                reconfig_ns / runtime_ns
-            } else {
-                0.0
-            },
-            utilization: 0.0,
-            words_moved,
-        }
+        static_metrics(&self.bound)
     }
 }
 

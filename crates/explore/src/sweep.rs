@@ -1,0 +1,841 @@
+//! The parallel, cached DSE sweep engine behind `cgra-explore`.
+//!
+//! A sweep enumerates candidate design points — a schedule *shape*
+//! (FFT partition size, JPEG mapping) crossed with a cost-model axis
+//! (the paper's link reconfiguration price `L`) — and must report a
+//! ranked frontier with measured numbers. Simulating every candidate
+//! is the naive path ([`run_sweep_naive`], kept as the reference
+//! baseline); the engine ([`run_sweep`]) gets the same answer with a
+//! fraction of the work:
+//!
+//! 1. **Prepare** (sharded): each distinct schedule shape is built,
+//!    lint-minimized and WCET-bounded exactly once, with the
+//!    `cgra-verify` batch pricing memo ([`cgra_verify::BoundCache`])
+//!    threaded through the analysis. Cycle intervals are
+//!    cost-independent, so one bound serves the whole cost axis.
+//! 2. **Price** (sharded): every candidate is priced by *repricing*
+//!    its shape's bound under the candidate's cost model
+//!    ([`cgra_verify::ScheduleBound::at_cost`]) — no re-analysis.
+//! 3. **Rank** (barrier): candidates sort by static worst-case ns,
+//!    ties broken by candidate index, so the ranking is a total order
+//!    independent of thread count.
+//! 4. **Evaluate** (sharded): only the top-`frontier` candidates are
+//!    simulated; the rest are pruned on their static price. Frontier
+//!    simulations go through the content-addressed [`SimCache`], so
+//!    warm re-sweeps hit instead of re-simulating, and poisoned
+//!    entries are detected and repaired.
+//!
+//! Workers carry [`cgra_telemetry::SweepCounters`]; the merged
+//! [`SweepStats`] are conservation-checked
+//! ([`SweepOutcome::conservation_violations`]) so a dropped or
+//! double-counted candidate is an error, not a silent gap.
+//!
+//! Determinism: results, ranking and rendered frontier are
+//! byte-identical across `--jobs` widths and across cold/warm caches
+//! (`tests/dse_determinism.rs` holds the engine to this).
+
+use crate::cache::{cost_fingerprint, schedule_fingerprint, CacheLookup, SimCache, SimResult};
+use crate::pool::{effective_jobs, run_sharded};
+use crate::rank::{fft_partition_candidates, static_metrics, static_worst_ns, CandidateMetrics};
+use crate::schedule::{
+    build_example_schedule, example_probe_input, fft_column_schedule, minimize_schedule,
+};
+use cgra_fabric::{CostModel, Mesh};
+use cgra_kernels::fft::partition::FftPlan;
+use cgra_sim::{epoch_spec, ArraySim, Epoch, EpochRunner, SimError};
+use cgra_telemetry::json::esc;
+use cgra_telemetry::{sweep_conservation_violations, SweepStats};
+use cgra_verify::{bound_schedule_with, has_errors, BoundCache, EpochSpec, ScheduleBound};
+
+/// The candidate families a sweep can enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 64-point FFT, every feasible partition size (m = 4..64).
+    Fft64,
+    /// 1024-point FFT, the feasible partition range (m = 16..128 —
+    /// smaller partitions put 128+ rows in one column and their
+    /// schedules explode past any practical budget; see
+    /// [`SweepSpec::named`]).
+    Fft1024,
+    /// The JPEG encoder: single-block mapping and the streamed
+    /// two-block pipeline.
+    Jpeg,
+}
+
+impl Workload {
+    /// Stable sweep name used by `--sweep` and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Fft64 => "fft-64",
+            Workload::Fft1024 => "fft-1024",
+            Workload::Jpeg => "jpeg",
+        }
+    }
+}
+
+/// One schedule *shape* — the cost-model-independent identity of a
+/// candidate. All candidates sharing a scheme share one prepared
+/// (built + minimized + bounded) schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Column-partitioned `n`-point FFT with `m` points per tile.
+    Fft {
+        /// FFT size.
+        n: usize,
+        /// Partition size (points per tile).
+        m: usize,
+    },
+    /// Single-block JPEG encoder mapping.
+    JpegBlock,
+    /// Streamed multi-block JPEG pipeline.
+    JpegStream,
+}
+
+impl Scheme {
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Fft { n, m } => format!("fft{n}-m{m}"),
+            Scheme::JpegBlock => "jpeg".to_string(),
+            Scheme::JpegStream => "jpeg-stream".to_string(),
+        }
+    }
+
+    /// Builds the concrete (un-minimized) schedule.
+    fn build(&self) -> Option<(Mesh, Vec<Epoch>)> {
+        match self {
+            Scheme::Fft { n, m } => {
+                let plan = FftPlan::new(*n, *m).ok()?;
+                Some(fft_column_schedule(&plan, &example_probe_input(*n)))
+            }
+            Scheme::JpegBlock => build_example_schedule("jpeg"),
+            Scheme::JpegStream => build_example_schedule("jpeg-stream"),
+        }
+    }
+}
+
+/// One design point: a scheme priced under one link cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Position in the sweep's enumeration order (the deterministic
+    /// tie-breaker).
+    pub index: usize,
+    /// The schedule shape.
+    pub scheme: Scheme,
+    /// Link reconfiguration price `L` for this point, ns.
+    pub link_ns: f64,
+}
+
+impl Candidate {
+    /// Stable label: scheme plus the swept link cost.
+    pub fn label(&self) -> String {
+        format!("{} L={}", self.scheme.label(), self.link_ns)
+    }
+
+    /// The candidate's full cost model.
+    pub fn cost(&self) -> CostModel {
+        CostModel::with_link_cost(self.link_ns)
+    }
+}
+
+/// What a sweep enumerates: a workload crossed with a link-cost grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The candidate family.
+    pub workload: Workload,
+    /// Link reconfiguration prices to sweep (the paper's Figures 10-12
+    /// axis), ns per re-routed link.
+    pub link_costs_ns: Vec<f64>,
+}
+
+/// The default link-cost grid: the paper's swept range, endpoints plus
+/// two interior points.
+pub const DEFAULT_LINK_COSTS: [f64; 4] = [0.0, 100.0, 400.0, 700.0];
+
+impl SweepSpec {
+    /// The sweeps the drivers know by name.
+    pub const NAMES: [&'static str; 3] = ["fft-64", "fft-1024", "jpeg"];
+
+    /// Looks a sweep up by name with the default link-cost grid.
+    ///
+    /// The FFT-1024 family deliberately starts at m = 16: m = 4 and
+    /// m = 8 are *constructible* but put 256/128 rows in one column —
+    /// 131k/33k epochs whose preparation alone dwarfs every other
+    /// candidate combined, for design points the m = 16 price already
+    /// dominates. The cap is reported, not silent: they are absent
+    /// from the enumeration, never pruned quietly.
+    pub fn named(name: &str) -> Option<SweepSpec> {
+        let workload = match name {
+            "fft-64" => Workload::Fft64,
+            "fft-1024" => Workload::Fft1024,
+            "jpeg" => Workload::Jpeg,
+            _ => return None,
+        };
+        Some(SweepSpec {
+            workload,
+            link_costs_ns: DEFAULT_LINK_COSTS.to_vec(),
+        })
+    }
+
+    /// The distinct schedule shapes, in enumeration order.
+    pub fn schemes(&self) -> Vec<Scheme> {
+        match self.workload {
+            Workload::Fft64 => fft_partition_candidates(64)
+                .into_iter()
+                .map(|m| Scheme::Fft { n: 64, m })
+                .collect(),
+            Workload::Fft1024 => fft_partition_candidates(1024)
+                .into_iter()
+                .filter(|&m| m >= 16)
+                .map(|m| Scheme::Fft { n: 1024, m })
+                .collect(),
+            Workload::Jpeg => vec![Scheme::JpegBlock, Scheme::JpegStream],
+        }
+    }
+
+    /// The full candidate enumeration: schemes crossed with the
+    /// link-cost grid, scheme-major, in deterministic order.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for scheme in self.schemes() {
+            for &link_ns in &self.link_costs_ns {
+                out.push(Candidate {
+                    index: out.len(),
+                    scheme,
+                    link_ns,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Engine knobs, mirroring the `cgra-explore` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (`0` = one per available core) — `--jobs`.
+    pub jobs: usize,
+    /// How many top-ranked candidates to simulate — `--frontier`.
+    pub frontier: usize,
+    /// When false, simulate every candidate instead of pruning on the
+    /// static price — `--no-prune` (the determinism tests use this to
+    /// check the pruned frontier against the exhaustive one).
+    pub prune: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            jobs: 0,
+            frontier: 6,
+            prune: true,
+        }
+    }
+}
+
+/// Why a sweep could not complete.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A scheme failed to build a schedule.
+    Build(String),
+    /// A scheme's schedule failed static verification — the sweep
+    /// refuses to price or simulate invalid candidates.
+    Invalid {
+        /// The scheme's label.
+        scheme: String,
+        /// Rendered error diagnostics.
+        diags: Vec<String>,
+    },
+    /// A frontier simulation failed.
+    Sim {
+        /// The candidate's label.
+        candidate: String,
+        /// The simulator's error.
+        err: SimError,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Build(s) => write!(f, "cannot build schedule for {s}"),
+            SweepError::Invalid { scheme, diags } => {
+                write!(
+                    f,
+                    "{scheme}: schedule fails verification: {}",
+                    diags.join("; ")
+                )
+            }
+            SweepError::Sim { candidate, err } => {
+                write!(f, "{candidate}: simulation failed: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// How a ranked candidate was resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowOutcome {
+    /// Discarded on its static WCET price; never simulated.
+    Pruned,
+    /// Served from the memoized simulation cache.
+    FromCache(SimResult),
+    /// Simulated this run (and inserted into the cache).
+    Simulated(SimResult),
+}
+
+/// One ranked design point in a sweep report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Rank in the static ordering (0 = fastest static bound).
+    pub rank: usize,
+    /// The design point.
+    pub candidate: Candidate,
+    /// Content address of the prepared schedule behind it.
+    pub schedule_hash: u64,
+    /// Static Eq. 1 best-case, ns.
+    pub static_best_ns: f64,
+    /// Static Eq. 1 worst-case, ns (`+inf` when unbounded).
+    pub static_worst_ns: f64,
+    /// Static metrics (utilization 0 — that needs cycles).
+    pub static_metrics: CandidateMetrics,
+    /// Pruned / cached / simulated.
+    pub outcome: RowOutcome,
+}
+
+impl SweepRow {
+    /// The measured result, when the row was evaluated.
+    pub fn simulated(&self) -> Option<&SimResult> {
+        match &self.outcome {
+            RowOutcome::Pruned => None,
+            RowOutcome::FromCache(r) | RowOutcome::Simulated(r) => Some(r),
+        }
+    }
+}
+
+/// A completed sweep: ranked rows plus merged, per-worker telemetry.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Sweep name (the workload's).
+    pub sweep: String,
+    /// Effective worker count the pool ran with.
+    pub jobs: usize,
+    /// Frontier size the engine was asked for.
+    pub frontier_k: usize,
+    /// Whether static pruning was enabled.
+    pub prune: bool,
+    /// Every candidate, in rank order.
+    pub rows: Vec<SweepRow>,
+    /// Merged per-worker counters.
+    pub stats: SweepStats,
+}
+
+impl SweepOutcome {
+    /// The simulated frontier rows, best static rank first.
+    pub fn frontier_rows(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows
+            .iter()
+            .take(self.frontier_k)
+            .filter(|r| r.simulated().is_some())
+    }
+
+    /// Conservation check over the merged counters (empty = sound).
+    pub fn conservation_violations(&self) -> Vec<String> {
+        sweep_conservation_violations(&self.stats)
+    }
+
+    /// Renders the ranked frontier — the part of the report that is
+    /// guaranteed **byte-identical** across `--jobs` widths and
+    /// cold/warm caches (it deliberately excludes worker counts and
+    /// hit rates, which legitimately differ).
+    pub fn render_frontier(&self) -> String {
+        let mut out = format!(
+            "frontier of {} (top {} of {} candidates, ranked by static Eq. 1 worst case):\n\
+             {:>4}  {:<22} {:>14} {:>14} {:>7} {:>8} {:>9}  {}\n",
+            self.sweep,
+            self.frontier_rows().count(),
+            self.rows.len(),
+            "rank",
+            "candidate",
+            "static/ns",
+            "simulated/ns",
+            "util%",
+            "reconf%",
+            "words",
+            "schedule"
+        );
+        for r in self.frontier_rows() {
+            let Some(sim) = r.simulated() else { continue };
+            out.push_str(&format!(
+                "{:>4}  {:<22} {:>14.3} {:>14.3} {:>7.1} {:>8.1} {:>9}  {:016x}\n",
+                r.rank + 1,
+                r.candidate.label(),
+                r.static_worst_ns,
+                sim.simulated_ns,
+                sim.metrics.utilization * 100.0,
+                sim.metrics.reconfig_overhead * 100.0,
+                sim.metrics.words_moved,
+                r.schedule_hash,
+            ));
+        }
+        out
+    }
+
+    /// Renders the full human-readable report: frontier, the complete
+    /// static ranking, and the pool/cache statistics.
+    pub fn render_text(&self) -> String {
+        let mut out = self.render_frontier();
+        out.push_str(&format!(
+            "\nstatic ranking ({} candidates, {} pruned):\n",
+            self.rows.len(),
+            self.stats.total.pruned
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>4}  {:<22} {:>14.3}  {}\n",
+                r.rank + 1,
+                r.candidate.label(),
+                r.static_worst_ns,
+                match &r.outcome {
+                    RowOutcome::Pruned => "pruned",
+                    RowOutcome::FromCache(_) => "cache",
+                    RowOutcome::Simulated(_) => "simulated",
+                }
+            ));
+        }
+        let t = &self.stats.total;
+        out.push_str(&format!(
+            "\njobs {}  prepared {}  priced {}  pruned {}  cache hits {}  misses {}  \
+             simulated {}  poisoned {}  hit rate {:.1}%\n",
+            self.jobs,
+            t.prepared,
+            t.priced,
+            t.pruned,
+            t.cache_hits,
+            t.cache_misses,
+            t.simulated,
+            t.poisoned,
+            self.stats.hit_rate() * 100.0
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (validated by
+    /// `cgra_telemetry::json::parse` in tests and CI).
+    pub fn render_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            let worst = if r.static_worst_ns.is_finite() {
+                format!("{:?}", r.static_worst_ns)
+            } else {
+                "null".to_string()
+            };
+            rows.push_str(&format!(
+                "    {{\"rank\": {}, \"candidate\": \"{}\", \"scheme\": \"{}\", \
+                 \"link_ns\": {:?}, \"schedule_hash\": \"{:016x}\", \
+                 \"static_best_ns\": {:?}, \"static_worst_ns\": {worst}, \
+                 \"static_reconfig_ns\": {:?}, \"outcome\": \"{}\"{}}}",
+                r.rank + 1,
+                esc(&r.candidate.label()),
+                esc(&r.candidate.scheme.label()),
+                r.candidate.link_ns,
+                r.schedule_hash,
+                r.static_best_ns,
+                r.static_metrics.reconfig_ns,
+                match &r.outcome {
+                    RowOutcome::Pruned => "pruned",
+                    RowOutcome::FromCache(_) => "cache",
+                    RowOutcome::Simulated(_) => "simulated",
+                },
+                match r.simulated() {
+                    None => String::new(),
+                    Some(s) => format!(
+                        ", \"simulated_ns\": {:?}, \"utilization\": {:?}, \
+                         \"reconfig_overhead\": {:?}, \"words_moved\": {}",
+                        s.simulated_ns,
+                        s.metrics.utilization,
+                        s.metrics.reconfig_overhead,
+                        s.metrics.words_moved
+                    ),
+                }
+            ));
+        }
+        let mut workers = String::new();
+        for (i, w) in self.stats.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push_str(", ");
+            }
+            workers.push_str(&format!(
+                "{{\"prepared\": {}, \"priced\": {}, \"candidates\": {}, \"pruned\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"simulated\": {}, \"poisoned\": {}}}",
+                w.prepared,
+                w.priced,
+                w.candidates,
+                w.pruned,
+                w.cache_hits,
+                w.cache_misses,
+                w.simulated,
+                w.poisoned
+            ));
+        }
+        let t = &self.stats.total;
+        format!(
+            "{{\n  \"sweep\": \"{}\",\n  \"jobs\": {},\n  \"frontier_k\": {},\n  \
+             \"prune\": {},\n  \"candidates\": {},\n  \"rows\": [\n{rows}\n  ],\n  \
+             \"stats\": {{\"prepared\": {}, \"priced\": {}, \"evaluated\": {}, \"pruned\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"simulated\": {}, \"poisoned\": {}, \
+             \"hit_rate\": {:?}, \"workers\": [{workers}]}}\n}}\n",
+            esc(&self.sweep),
+            self.jobs,
+            self.frontier_k,
+            self.prune,
+            self.rows.len(),
+            t.prepared,
+            t.priced,
+            t.candidates,
+            t.pruned,
+            t.cache_hits,
+            t.cache_misses,
+            t.simulated,
+            t.poisoned,
+            self.stats.hit_rate(),
+        )
+    }
+}
+
+/// The cost model schedules are prepared (minimized + bounded) under.
+/// Lint removals and cycle bounds are cost-independent; pricing is
+/// swept afterwards via [`ScheduleBound::at_cost`], so any fixed model
+/// works — the zero-link-cost paper default keeps it canonical.
+fn prep_cost() -> CostModel {
+    CostModel::with_link_cost(0.0)
+}
+
+/// One prepared schedule shape, shared by every candidate on its cost
+/// axis.
+#[derive(Debug)]
+struct Prepared {
+    scheme: Scheme,
+    mesh: Mesh,
+    epochs: Vec<Epoch>,
+    schedule_hash: u64,
+    bound: ScheduleBound,
+}
+
+fn prepare(scheme: Scheme) -> Result<Prepared, SweepError> {
+    let (mesh, mut epochs) = scheme
+        .build()
+        .ok_or_else(|| SweepError::Build(scheme.label()))?;
+    let cost = prep_cost();
+    minimize_schedule(mesh, &mut epochs, &cost);
+    let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+    let mut memo = BoundCache::new();
+    let bound = bound_schedule_with(mesh, &cost, &specs, &mut memo);
+    if has_errors(&bound.diags) {
+        return Err(SweepError::Invalid {
+            scheme: scheme.label(),
+            diags: cgra_verify::errors(&bound.diags)
+                .map(|d| d.to_string())
+                .collect(),
+        });
+    }
+    Ok(Prepared {
+        scheme,
+        mesh,
+        schedule_hash: schedule_fingerprint(mesh, &epochs),
+        epochs,
+        bound,
+    })
+}
+
+fn simulate(p: &Prepared, cost: &CostModel, label: &str) -> Result<SimResult, SweepError> {
+    let mut runner = EpochRunner::new(ArraySim::new(p.mesh), *cost);
+    let report = runner
+        .run_schedule(&p.epochs)
+        .map_err(|err| SweepError::Sim {
+            candidate: label.to_string(),
+            err,
+        })?;
+    Ok(SimResult {
+        simulated_ns: report.total_ns(),
+        metrics: CandidateMetrics::from_counters(&runner.counters(), cost),
+    })
+}
+
+/// Runs a sweep through the engine: sharded prepare/price/evaluate,
+/// static pruning, memoized simulation. See the module docs for the
+/// pipeline and its guarantees.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    cfg: &EngineConfig,
+    cache: &SimCache,
+) -> Result<SweepOutcome, SweepError> {
+    let candidates = spec.candidates();
+    let schemes = spec.schemes();
+    let mut stats = SweepStats::default();
+
+    // Phase A: prepare each distinct schedule shape once.
+    let prep = run_sharded(cfg.jobs, schemes, |ctx, scheme| {
+        let p = prepare(scheme)?;
+        ctx.counters.prepared += 1;
+        Ok::<Prepared, SweepError>(p)
+    });
+    stats.absorb_phase(&prep.workers);
+    let prepared = prep.results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let scheme_of = |c: &Candidate| -> usize {
+        prepared
+            .iter()
+            .position(|p| p.scheme == c.scheme)
+            .expect("every candidate's scheme was prepared")
+    };
+
+    // Phase B: price every candidate by repricing its shape's bound.
+    let priced = run_sharded(cfg.jobs, candidates.clone(), |ctx, cand| {
+        let p = &prepared[scheme_of(&cand)];
+        let bound = p.bound.at_cost(&cand.cost());
+        ctx.counters.priced += 1;
+        (
+            static_worst_ns(&bound),
+            bound.total_ns().best,
+            static_metrics(&bound),
+        )
+    });
+    stats.absorb_phase(&priced.workers);
+    let priced = priced.results;
+
+    // Rank (barrier): total order — static worst case, then index.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        priced[a]
+            .0
+            .partial_cmp(&priced[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let frontier_k = cfg.frontier.min(candidates.len());
+    let mut in_frontier = vec![!cfg.prune; candidates.len()];
+    for &i in order.iter().take(frontier_k) {
+        in_frontier[i] = true;
+    }
+
+    // Phase C: evaluate in rank order — prune, hit the cache, or
+    // simulate.
+    let work: Vec<(usize, usize)> = order.iter().enumerate().map(|(r, &i)| (r, i)).collect();
+    let eval = run_sharded(cfg.jobs, work, |ctx, (rank, i)| {
+        let cand = candidates[i];
+        let p = &prepared[scheme_of(&cand)];
+        ctx.counters.candidates += 1;
+        let (best, worst, statics) = (priced[i].1, priced[i].0, priced[i].2);
+        let outcome = if !in_frontier[i] {
+            ctx.counters.pruned += 1;
+            RowOutcome::Pruned
+        } else {
+            let cost = cand.cost();
+            let ch = cost_fingerprint(&cost);
+            match cache.lookup(p.schedule_hash, ch) {
+                CacheLookup::Hit(r) => {
+                    ctx.counters.cache_hits += 1;
+                    RowOutcome::FromCache(r)
+                }
+                probe => {
+                    if probe == CacheLookup::Poisoned {
+                        ctx.counters.poisoned += 1;
+                    }
+                    ctx.counters.cache_misses += 1;
+                    let r = simulate(p, &cost, &cand.label())?;
+                    ctx.counters.simulated += 1;
+                    // Best-effort persistence; a failed write only
+                    // means the next sweep re-simulates.
+                    let _ = cache.insert(p.schedule_hash, ch, &r);
+                    RowOutcome::Simulated(r)
+                }
+            }
+        };
+        Ok::<SweepRow, SweepError>(SweepRow {
+            rank,
+            candidate: cand,
+            schedule_hash: p.schedule_hash,
+            static_best_ns: best,
+            static_worst_ns: worst,
+            static_metrics: statics,
+            outcome,
+        })
+    });
+    stats.absorb_phase(&eval.workers);
+    let rows = eval.results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    Ok(SweepOutcome {
+        sweep: spec.workload.name().to_string(),
+        jobs: effective_jobs(cfg.jobs),
+        frontier_k,
+        prune: cfg.prune,
+        rows,
+        stats,
+    })
+}
+
+/// The pre-engine reference path: one thread, no sharing, no pruning,
+/// no cache — every candidate is built, minimized, bounded and
+/// simulated independently, exactly what the sweeps did before the
+/// engine existed. Kept for the scaling bench (the honest serial
+/// baseline) and for cross-checking: its top-`frontier_k` rows render
+/// byte-identically to the engine's frontier.
+pub fn run_sweep_naive(spec: &SweepSpec, frontier_k: usize) -> Result<SweepOutcome, SweepError> {
+    let candidates = spec.candidates();
+    let mut stats = SweepStats::merge(vec![Default::default()]);
+    let mut evaluated = Vec::with_capacity(candidates.len());
+    for cand in &candidates {
+        let p = prepare(cand.scheme)?;
+        let cost = cand.cost();
+        let bound = p.bound.at_cost(&cost);
+        let r = simulate(&p, &cost, &cand.label())?;
+        let w = &mut stats.workers[0];
+        w.prepared += 1;
+        w.priced += 1;
+        w.candidates += 1;
+        w.cache_misses += 1;
+        w.simulated += 1;
+        evaluated.push((
+            static_worst_ns(&bound),
+            bound.total_ns().best,
+            static_metrics(&bound),
+            p.schedule_hash,
+            r,
+        ));
+    }
+    stats = SweepStats::merge(stats.workers);
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        evaluated[a]
+            .0
+            .partial_cmp(&evaluated[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let rows = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| {
+            let (worst, best, statics, hash, r) = evaluated[i];
+            SweepRow {
+                rank,
+                candidate: candidates[i],
+                schedule_hash: hash,
+                static_best_ns: best,
+                static_worst_ns: worst,
+                static_metrics: statics,
+                outcome: RowOutcome::Simulated(r),
+            }
+        })
+        .collect();
+    Ok(SweepOutcome {
+        sweep: spec.workload.name().to_string(),
+        jobs: 1,
+        frontier_k: frontier_k.min(candidates.len()),
+        prune: false,
+        rows,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            workload: Workload::Fft64,
+            link_costs_ns: vec![0.0, 400.0],
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_scheme_major() {
+        let spec = small_spec();
+        let cands = spec.candidates();
+        assert_eq!(cands.len(), 5 * 2);
+        assert_eq!(cands[0].scheme, Scheme::Fft { n: 64, m: 4 });
+        assert_eq!(cands[0].link_ns, 0.0);
+        assert_eq!(cands[1].link_ns, 400.0);
+        for (i, c) in cands.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        assert_eq!(spec.candidates(), cands);
+    }
+
+    #[test]
+    fn fft1024_family_caps_small_partitions() {
+        let spec = SweepSpec::named("fft-1024").unwrap();
+        let ms: Vec<usize> = spec
+            .schemes()
+            .iter()
+            .map(|s| match s {
+                Scheme::Fft { m, .. } => *m,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ms, vec![16, 32, 64, 128]);
+        assert!(SweepSpec::named("nope").is_none());
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_reference() {
+        let spec = SweepSpec {
+            workload: Workload::Jpeg,
+            link_costs_ns: vec![0.0, 250.0],
+        };
+        let k = 2;
+        let cache = SimCache::in_memory();
+        let engine = run_sweep(
+            &spec,
+            &EngineConfig {
+                jobs: 2,
+                frontier: k,
+                prune: true,
+            },
+            &cache,
+        )
+        .expect("engine sweep runs");
+        let naive = run_sweep_naive(&spec, k).expect("naive sweep runs");
+        assert_eq!(engine.render_frontier(), naive.render_frontier());
+        assert!(engine.conservation_violations().is_empty());
+        assert!(naive.conservation_violations().is_empty());
+        // Pruning did real work: 4 candidates, k simulated.
+        assert_eq!(engine.stats.total.pruned, 2);
+        assert_eq!(engine.stats.total.simulated, 2);
+        assert_eq!(naive.stats.total.simulated, 4);
+        // JSON is well-formed and carries the rows.
+        let doc = engine.render_json();
+        let v = cgra_telemetry::json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("rows").and_then(|r| r.as_arr()).map(|r| r.len()),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn warm_cache_serves_the_frontier() {
+        let spec = SweepSpec {
+            workload: Workload::Jpeg,
+            link_costs_ns: vec![0.0],
+        };
+        let cfg = EngineConfig {
+            jobs: 1,
+            frontier: 2,
+            prune: true,
+        };
+        let cache = SimCache::in_memory();
+        let cold = run_sweep(&spec, &cfg, &cache).expect("cold sweep");
+        let warm = run_sweep(&spec, &cfg, &cache).expect("warm sweep");
+        assert_eq!(cold.stats.total.cache_hits, 0);
+        assert_eq!(warm.stats.total.cache_hits, 2);
+        assert_eq!(warm.stats.total.simulated, 0);
+        assert!(warm.stats.hit_rate() > 0.99);
+        assert_eq!(cold.render_frontier(), warm.render_frontier());
+    }
+}

@@ -20,11 +20,29 @@
 //!   [`conservation_violations`] checking the invariants that keep
 //!   producers honest (words sent == words received, activity fits
 //!   epoch spans, fine segments agree with summaries).
+//! * [`SweepCounters`] / [`SweepStats`] — per-worker counters threaded
+//!   through the `cgra-explore` parallel sweep pool (candidates
+//!   evaluated / pruned-by-WCET / cache hits), merged and
+//!   conservation-checked by [`sweep_conservation_violations`] so the
+//!   DSE engine cannot silently drop a design point.
 //! * [`chrome_trace`] / [`metrics_json`] — exporters: a Chrome
 //!   trace-event document loadable in Perfetto (compute and reconfig
 //!   stalls as separately-colored slices per tile, WCET bounds as
 //!   counter tracks) and a flat JSON metrics dump. [`validate_chrome`]
 //!   and [`json::parse`] close the loop in CI.
+//!
+//! The dependency-free [`json`] module validates everything the crate
+//! (and the `cgra-explore` sweep reports) emit:
+//!
+//! ```
+//! use cgra_telemetry::json;
+//!
+//! let doc = r#"{"sweep": "fft-64", "hit_rate": 0.75, "rows": [1, 2, 3]}"#;
+//! let v = json::parse(doc).expect("well-formed");
+//! assert_eq!(v.get("sweep").and_then(|s| s.as_str()), Some("fft-64"));
+//! assert_eq!(v.get("hit_rate").and_then(|h| h.as_f64()), Some(0.75));
+//! assert_eq!(v.get("rows").and_then(|r| r.as_arr()).map(|r| r.len()), Some(3));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +52,10 @@ pub mod counters;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod sweep;
 
 pub use chrome::{chrome_trace, validate_chrome, ChromeSummary};
 pub use counters::{conservation_violations, Counters, TileCounters};
 pub use event::{Coalescer, Event, EventSink, NullSink, Recorder, SegState};
 pub use metrics::metrics_json;
+pub use sweep::{sweep_conservation_violations, SweepCounters, SweepStats};

@@ -1,0 +1,238 @@
+//! Per-worker counters for the parallel DSE sweep engine.
+//!
+//! The `cgra-explore` worker pool shards candidate schedules across
+//! threads; each worker carries one [`SweepCounters`] block and bumps
+//! it as candidates flow through the prepare / price / evaluate
+//! pipeline. After the pool drains, the per-worker blocks are merged
+//! into a [`SweepStats`] and checked by
+//! [`sweep_conservation_violations`] — the same keep-the-producers-
+//! honest discipline [`crate::conservation_violations`] applies to the
+//! simulator's event stream: every candidate that enters the sweep
+//! must leave it exactly once (pruned, served from cache, or
+//! simulated), and every cache miss must correspond to exactly one
+//! simulation.
+//!
+//! ```
+//! use cgra_telemetry::sweep::{sweep_conservation_violations, SweepCounters, SweepStats};
+//!
+//! let mut a = SweepCounters::default();
+//! a.priced = 3;
+//! a.candidates = 3;
+//! a.pruned = 2;
+//! a.simulated = 1;
+//! a.cache_misses = 1;
+//! let mut b = SweepCounters::default();
+//! b.priced = 1;
+//! b.candidates = 1;
+//! b.cache_hits = 1;
+//! let stats = SweepStats::merge(vec![a, b]);
+//! assert_eq!(stats.total.candidates, 4);
+//! assert!(sweep_conservation_violations(&stats).is_empty());
+//! ```
+
+/// One worker's view of a sweep: how many candidates it touched and
+/// what happened to each. All counts are monotone; workers only add.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Distinct schedules built, lint-minimized and WCET-bounded
+    /// (phase A work units — one per schedule *shape*, shared by every
+    /// candidate that reuses it).
+    pub prepared: u64,
+    /// Candidates statically priced by repricing a prepared bound
+    /// under the candidate's cost model (phase B work units).
+    pub priced: u64,
+    /// Candidates that entered the evaluation phase (phase C work
+    /// units; every priced candidate enters exactly once).
+    pub candidates: u64,
+    /// Candidates discarded on their static WCET price alone — never
+    /// simulated.
+    pub pruned: u64,
+    /// Frontier candidates served from the memoized simulation cache.
+    pub cache_hits: u64,
+    /// Frontier candidates the cache could not serve (each one is
+    /// simulated and the result inserted).
+    pub cache_misses: u64,
+    /// Candidates actually simulated cycle-by-cycle.
+    pub simulated: u64,
+    /// Stale cache entries rejected by content-hash mismatch (each one
+    /// also counts as a miss and forces a re-simulation).
+    pub poisoned: u64,
+}
+
+impl SweepCounters {
+    /// Adds another block into this one, field by field.
+    pub fn absorb(&mut self, other: &SweepCounters) {
+        self.prepared += other.prepared;
+        self.priced += other.priced;
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.simulated += other.simulated;
+        self.poisoned += other.poisoned;
+    }
+}
+
+/// Merged counters for a whole sweep: the per-worker blocks (in worker
+/// order) and their fold. Per-worker *distribution* depends on thread
+/// scheduling; the totals never do.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Fold of every worker block.
+    pub total: SweepCounters,
+    /// The individual worker blocks, in worker-index order.
+    pub workers: Vec<SweepCounters>,
+}
+
+impl SweepStats {
+    /// Merges per-worker blocks into totals.
+    pub fn merge(workers: Vec<SweepCounters>) -> SweepStats {
+        let mut total = SweepCounters::default();
+        for w in &workers {
+            total.absorb(w);
+        }
+        SweepStats { total, workers }
+    }
+
+    /// Folds another phase's worker blocks into this one,
+    /// position-by-position (worker `i` of the new phase is credited
+    /// to worker `i` of the merged view).
+    pub fn absorb_phase(&mut self, workers: &[SweepCounters]) {
+        if self.workers.len() < workers.len() {
+            self.workers.resize(workers.len(), SweepCounters::default());
+        }
+        for (slot, w) in self.workers.iter_mut().zip(workers) {
+            slot.absorb(w);
+        }
+        for w in workers {
+            self.total.absorb(w);
+        }
+    }
+
+    /// Cache hit rate over the frontier lookups (0..=1); 0 when the
+    /// frontier was empty.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.total.cache_hits + self.total.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.total.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Checks the sweep's conservation invariants. Returns one
+/// human-readable line per violation; an empty vector means the
+/// pipeline accounted for every candidate exactly once.
+pub fn sweep_conservation_violations(stats: &SweepStats) -> Vec<String> {
+    let mut out = Vec::new();
+    let t = &stats.total;
+
+    let mut fold = SweepCounters::default();
+    for w in &stats.workers {
+        fold.absorb(w);
+    }
+    if fold != *t {
+        out.push(format!(
+            "worker blocks do not fold to the total: {fold:?} != {t:?}"
+        ));
+    }
+    if t.candidates != t.pruned + t.cache_hits + t.simulated {
+        out.push(format!(
+            "candidate leak: {} entered but {} pruned + {} cache hits + {} simulated",
+            t.candidates, t.pruned, t.cache_hits, t.simulated
+        ));
+    }
+    if t.cache_misses != t.simulated {
+        out.push(format!(
+            "every cache miss must simulate exactly once: {} misses vs {} simulated",
+            t.cache_misses, t.simulated
+        ));
+    }
+    if t.poisoned > t.cache_misses {
+        out.push(format!(
+            "poisoned entries ({}) exceed cache misses ({}): a rejected entry must re-simulate",
+            t.poisoned, t.cache_misses
+        ));
+    }
+    if t.candidates != t.priced {
+        out.push(format!(
+            "every priced candidate must be evaluated exactly once: {} priced vs {} evaluated",
+            t.priced, t.candidates
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> SweepCounters {
+        SweepCounters {
+            prepared: 2,
+            priced: 6,
+            candidates: 6,
+            pruned: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            simulated: 2,
+            poisoned: 1,
+        }
+    }
+
+    #[test]
+    fn merge_folds_totals() {
+        let stats = SweepStats::merge(vec![balanced(), balanced(), SweepCounters::default()]);
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(stats.total.candidates, 12);
+        assert_eq!(stats.total.simulated, 4);
+        assert!(sweep_conservation_violations(&stats).is_empty());
+    }
+
+    #[test]
+    fn absorb_phase_is_positional() {
+        let mut stats = SweepStats::merge(vec![balanced()]);
+        stats.absorb_phase(&[SweepCounters::default(), balanced()]);
+        assert_eq!(stats.workers.len(), 2);
+        assert_eq!(stats.workers[1], balanced());
+        assert_eq!(stats.total.candidates, 12);
+    }
+
+    #[test]
+    fn detects_candidate_leak() {
+        let mut c = balanced();
+        c.pruned -= 1; // one candidate vanished
+        let stats = SweepStats::merge(vec![c]);
+        let v = sweep_conservation_violations(&stats);
+        assert!(v.iter().any(|m| m.contains("candidate leak")), "got {v:?}");
+    }
+
+    #[test]
+    fn detects_miss_without_simulation() {
+        let mut c = balanced();
+        c.simulated -= 1;
+        c.cache_hits += 1; // keep the candidate balance intact
+        let stats = SweepStats::merge(vec![c]);
+        let v = sweep_conservation_violations(&stats);
+        assert!(
+            v.iter().any(|m| m.contains("miss must simulate")),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_tampered_total() {
+        let mut stats = SweepStats::merge(vec![balanced()]);
+        stats.total.simulated += 1;
+        let v = sweep_conservation_violations(&stats);
+        assert!(v.iter().any(|m| m.contains("do not fold")), "got {v:?}");
+    }
+
+    #[test]
+    fn hit_rate_counts_frontier_lookups_only() {
+        let stats = SweepStats::merge(vec![balanced()]);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SweepStats::default().hit_rate(), 0.0);
+    }
+}

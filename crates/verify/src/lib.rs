@@ -75,6 +75,6 @@ pub use schedule::{
     verify_schedule, EpochAnalysis, EpochSpec, ScheduleChecker, TileAnalysis, TileSpec,
 };
 pub use timing::{
-    bound_program, bound_schedule, CycleInterval, EpochBound, LoopBound, NsInterval, ProgramBound,
-    ScheduleBound,
+    bound_program, bound_schedule, bound_schedule_with, BoundCache, CycleInterval, EpochBound,
+    LoopBound, NsInterval, ProgramBound, ScheduleBound,
 };

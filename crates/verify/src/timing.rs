@@ -38,10 +38,12 @@ use crate::cfg::Cfg;
 use crate::diag::{Code, Diagnostic};
 use crate::dmem::{self, AbsState, DmemSummary};
 use crate::effects;
-use crate::program::VerifyOptions;
+use crate::program::{DmemInit, VerifyOptions};
 use crate::schedule::{EpochSpec, ScheduleChecker};
-use cgra_fabric::{CostModel, Mesh, ReconfigPlan, TileReconfig, Word, DATA_WORDS};
+use cgra_fabric::cost::TransitionBreakdown;
+use cgra_fabric::{CostModel, Mesh, RawInstr, ReconfigPlan, TileReconfig, Word, DATA_WORDS};
 use cgra_isa::{encode_program, Instr, Operand, NUM_AR};
+use std::collections::HashMap;
 
 /// Abstract-executor step budget; far above any real kernel (FFT-1024
 /// epochs run under 10^5 cycles) but bounds analysis time on
@@ -1041,6 +1043,11 @@ pub struct EpochBound {
     pub stall_cycles: u64,
     /// Links rewired entering this epoch.
     pub links_changed: usize,
+    /// Per-kind decomposition of the switch (data words, instruction
+    /// words, links) — the cost-model-*independent* identity of the
+    /// transition, kept so a priced bound can be repriced under a
+    /// different [`CostModel`] without re-analysis ([`Self::at_cost`]).
+    pub breakdown: TransitionBreakdown,
     /// Compute cycles: parallel max over the epoch's programmed tiles.
     pub compute: CycleInterval,
     /// Words pushed through the links: sum over programmed tiles.
@@ -1059,6 +1066,24 @@ impl EpochBound {
     /// The epoch's total contribution to Eq. 1: `T_i + tau_i`.
     pub fn total_ns(&self, cost: &CostModel) -> NsInterval {
         self.compute_ns(cost) + NsInterval::exact(self.reconfig_ns)
+    }
+
+    /// Reprices the epoch under a different cost model. Cycle and word
+    /// intervals are cost-independent and carry over unchanged;
+    /// `reconfig_ns` / `stall_cycles` are re-derived from the stored
+    /// [`TransitionBreakdown`] (equal to the original plan pricing up
+    /// to float rounding, `< 1e-9` relative).
+    pub fn at_cost(&self, cost: &CostModel) -> EpochBound {
+        let reconfig_ns = self.breakdown.total_ns(cost);
+        EpochBound {
+            name: self.name.clone(),
+            reconfig_ns,
+            stall_cycles: cost.stall_cycles(reconfig_ns),
+            links_changed: self.links_changed,
+            breakdown: self.breakdown,
+            compute: self.compute,
+            copied_words: self.copied_words,
+        }
     }
 }
 
@@ -1097,6 +1122,131 @@ impl ScheduleBound {
     pub fn is_bounded(&self) -> bool {
         self.epochs.iter().all(|e| e.compute.worst.is_some())
     }
+
+    /// Reprices the whole bound under a different cost model — the
+    /// batch-pricing half of the DSE sweep: analyze a schedule once
+    /// (the expensive part) and sweep the cost axis (e.g. the paper's
+    /// link cost `L`) by repricing each epoch's stored
+    /// [`TransitionBreakdown`]. Diagnostics carry over verbatim; they
+    /// describe the schedule, not the pricing.
+    pub fn at_cost(&self, cost: &CostModel) -> ScheduleBound {
+        ScheduleBound {
+            epochs: self.epochs.iter().map(|e| e.at_cost(cost)).collect(),
+            diags: self.diags.clone(),
+            cost: *cost,
+        }
+    }
+}
+
+/// FNV-1a over a byte stream — the stable, dependency-free hash behind
+/// the batch-pricing memo keys.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable fingerprint of the preconditions a program is bounded under:
+/// the init-set shape, every known word constant (address and value —
+/// trip counts and copy variables come from these), and AR
+/// inheritance. Two option sets with the same fingerprint yield the
+/// same [`ProgramBound`] for the same program (64-bit FNV collisions
+/// are negligible at sweep scale and only ever affect a memo lookup).
+fn opts_fingerprint(opts: &VerifyOptions) -> u64 {
+    let mut h = Fnv::new();
+    match &opts.dmem_init {
+        DmemInit::Nothing => h.write(&[0]),
+        DmemInit::Everything => h.write(&[1]),
+        DmemInit::Words(set) => {
+            h.write(&[2]);
+            for addr in set.iter() {
+                h.write_u64(addr as u64);
+            }
+        }
+    }
+    h.write(&[3]);
+    for addr in 0..DATA_WORDS {
+        if let Some(v) = opts.dmem_consts.get(addr) {
+            h.write_u64(addr as u64);
+            h.write_u64(v as u64);
+        }
+    }
+    h.write(&[opts.ars_preloaded as u8]);
+    h.finish()
+}
+
+/// Memoizes [`bound_program`] across a batch of schedules.
+///
+/// The WCET engine re-analyzes every `(program, preconditions)` pair
+/// it meets; across a DSE sweep the same kernel programs recur under
+/// the same accumulated constants (identical route hops, repeated
+/// stage programs), and this cache collapses those repeats into one
+/// analysis each. Keys are exact on the encoded program and hashed
+/// (FNV-1a) on the preconditions. [`Self::hits`] /
+/// [`Self::misses`] expose the effectiveness so sweeps can report it.
+#[derive(Debug, Default)]
+pub struct BoundCache {
+    map: HashMap<(Vec<RawInstr>, u64), ProgramBound>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BoundCache {
+    /// An empty cache.
+    pub fn new() -> BoundCache {
+        BoundCache::default()
+    }
+
+    /// [`bound_program`], memoized.
+    pub fn bound(&mut self, prog: &[Instr], opts: &VerifyOptions) -> ProgramBound {
+        let key = (encode_program(prog), opts_fingerprint(opts));
+        if let Some(b) = self.map.get(&key) {
+            self.hits += 1;
+            return b.clone();
+        }
+        let b = bound_program(prog, opts);
+        self.misses += 1;
+        self.map.insert(key, b.clone());
+        b
+    }
+
+    /// Lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the full analysis.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct `(program, preconditions)` pairs analyzed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Bounds a whole schedule statically, mirroring the simulator's
@@ -1108,6 +1258,20 @@ impl ScheduleBound {
 /// cycles always fall inside `compute` and the simulator's reported
 /// reconfiguration time equals `reconfig_ns`.
 pub fn bound_schedule(mesh: Mesh, cost: &CostModel, epochs: &[EpochSpec]) -> ScheduleBound {
+    bound_schedule_with(mesh, cost, epochs, &mut BoundCache::new())
+}
+
+/// [`bound_schedule`] with an explicit program-bound memo — the batch
+/// entry point: one [`BoundCache`] threaded across every schedule of a
+/// sweep amortizes the per-program WCET analysis, and the returned
+/// [`ScheduleBound`] can then be swept across cost models with
+/// [`ScheduleBound::at_cost`] without touching the analyzer again.
+pub fn bound_schedule_with(
+    mesh: Mesh,
+    cost: &CostModel,
+    epochs: &[EpochSpec],
+    cache: &mut BoundCache,
+) -> ScheduleBound {
     let mut checker = ScheduleChecker::new(mesh);
     let mut prev_links = mesh.disconnected();
     let mut out = ScheduleBound {
@@ -1139,7 +1303,7 @@ pub fn bound_schedule(mesh: Mesh, cost: &CostModel, epochs: &[EpochSpec]) -> Sch
         let mut compute = CycleInterval::exact(0);
         let mut copied = CycleInterval::exact(0);
         for ta in &analysis.tiles {
-            let pb = bound_program(ta.prog, &ta.opts);
+            let pb = cache.bound(ta.prog, &ta.opts);
             out.diags.extend(
                 pb.diags
                     .into_iter()
@@ -1153,6 +1317,7 @@ pub fn bound_schedule(mesh: Mesh, cost: &CostModel, epochs: &[EpochSpec]) -> Sch
             reconfig_ns,
             stall_cycles,
             links_changed: plan.changed_links,
+            breakdown: plan.breakdown(),
             compute,
             copied_words: copied,
         });
@@ -1438,5 +1603,142 @@ mod tests {
         let expect = cost.exec_ns(18) + e.reconfig_ns;
         assert!(total.contains(expect, 1e-12), "{total:?} vs {expect}");
         assert!(sb.is_bounded());
+    }
+
+    #[test]
+    fn bound_cache_memoizes_and_agrees() {
+        let prog = vec![
+            Instr::Ldi { dst: d(0), imm: 5 },
+            Instr::Add {
+                dst: d(1),
+                a: d(1),
+                b: imm(2),
+            },
+            Instr::Djnz {
+                dst: d(0),
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        let opts = VerifyOptions::default();
+        let mut cache = BoundCache::new();
+        assert!(cache.is_empty());
+        let first = cache.bound(&prog, &opts);
+        let second = cache.bound(&prog, &opts);
+        assert_eq!(first, second);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        // The memo must be invisible: same result as the direct path.
+        assert_eq!(first, bound_program(&prog, &opts));
+        // Different preconditions are a different entry — a preloaded
+        // AR set changes what the analyses may assume.
+        let warm = VerifyOptions {
+            ars_preloaded: true,
+            ..VerifyOptions::default()
+        };
+        cache.bound(&prog, &warm);
+        assert_eq!((cache.misses(), cache.len()), (2, 2));
+        // ... and so is a different constant value behind a counter.
+        let mut consts = crate::dmem::ConstMap::empty();
+        consts.set(7, 3);
+        let with_const = VerifyOptions {
+            dmem_consts: consts,
+            ..VerifyOptions::default()
+        };
+        cache.bound(&prog, &with_const);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn schedule_bound_reprices_across_cost_models() {
+        use cgra_fabric::Direction;
+        let mesh = Mesh::new(1, 2);
+        let links = mesh.disconnected().with(0, Direction::East);
+        let prog = vec![
+            Instr::Ldi { dst: d(0), imm: 4 },
+            Instr::Nop,
+            Instr::Djnz {
+                dst: d(0),
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        let epochs = [EpochSpec {
+            name: "e0",
+            links: &links,
+            tiles: vec![TileSpec {
+                tile: 0,
+                program: Some(&prog),
+                data_patches: &[],
+            }],
+        }];
+        let base = CostModel::with_link_cost(0.0);
+        let sb = bound_schedule(mesh, &base, &epochs);
+        for link_ns in [0.0, 100.0, 400.0, 700.0] {
+            let cost = CostModel::with_link_cost(link_ns);
+            let repriced = sb.at_cost(&cost);
+            let fresh = bound_schedule(mesh, &cost, &epochs);
+            assert_eq!(repriced.epochs.len(), fresh.epochs.len());
+            for (r, f) in repriced.epochs.iter().zip(&fresh.epochs) {
+                // Cycle intervals are cost-independent.
+                assert_eq!(r.compute, f.compute);
+                assert_eq!(r.copied_words, f.copied_words);
+                assert_eq!(r.breakdown, f.breakdown);
+                // Prices agree up to float rounding (breakdown vs plan).
+                let rel = (r.reconfig_ns - f.reconfig_ns).abs() / f.reconfig_ns.max(1.0);
+                assert!(
+                    rel < 1e-9,
+                    "L={link_ns}: {} vs {}",
+                    r.reconfig_ns,
+                    f.reconfig_ns
+                );
+                assert_eq!(r.stall_cycles, f.stall_cycles);
+            }
+            assert_eq!(repriced.cost, cost);
+            // Link cost must actually show up in the price.
+            if link_ns > 0.0 {
+                assert!(repriced.total_reconfig_ns() > sb.total_reconfig_ns());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bound_matches_unbatched() {
+        let mesh = Mesh::new(1, 1);
+        let links = mesh.disconnected();
+        let prog = vec![
+            Instr::Ldi { dst: d(0), imm: 8 },
+            Instr::Nop,
+            Instr::Djnz {
+                dst: d(0),
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        let spec = |name| EpochSpec {
+            name,
+            links: &links,
+            tiles: vec![TileSpec {
+                tile: 0,
+                program: Some(&prog),
+                data_patches: &[],
+            }],
+        };
+        let cost = CostModel::default();
+        let mut cache = BoundCache::new();
+        let a = bound_schedule_with(mesh, &cost, &[spec("a")], &mut cache);
+        let b = bound_schedule_with(mesh, &cost, &[spec("b")], &mut cache);
+        assert_eq!(a.epochs[0].compute, b.epochs[0].compute);
+        // The second schedule's identical (program, preconditions)
+        // pair was served from the memo.
+        assert!(
+            cache.hits() >= 1,
+            "hits {} misses {}",
+            cache.hits(),
+            cache.misses()
+        );
+        assert_eq!(
+            a.epochs[0],
+            bound_schedule(mesh, &cost, &[spec("a")]).epochs[0]
+        );
     }
 }

@@ -1,0 +1,207 @@
+//! The `cgra-explore` driver: runs the parallel, cached DSE sweep
+//! engine over a named candidate family and prints the ranked
+//! frontier.
+//!
+//! ```console
+//! $ cargo run --release --bin cgra-explore -- --sweep fft-64 --jobs 2
+//! $ cargo run --release --bin cgra-explore -- --sweep jpeg --cache .dse-cache --format json
+//! ```
+//!
+//! The engine prepares each distinct schedule shape once (build →
+//! lint-minimize → WCET-bound), prices every candidate by repricing
+//! the shared bound under its cost model, prunes everything outside
+//! the static frontier, and simulates the rest through the
+//! content-addressed cache named by `--cache` (warm re-sweeps hit
+//! instead of re-simulating; stale entries are detected by hash and
+//! repaired). The ranked frontier is byte-identical for any `--jobs`
+//! width and for cold vs. warm caches.
+//!
+//! Every run is conservation-checked: the per-worker telemetry
+//! counters must account for every candidate exactly once (pruned,
+//! cache hit, or simulated) or the run fails.
+//!
+//! Exit status 0 on a clean sweep, 1 on sweep/conservation/IO
+//! failures, 2 on usage errors.
+
+use remorph::explore::{run_sweep, EngineConfig, SimCache, SweepSpec};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    sweep: String,
+    cfg: EngineConfig,
+    cache_dir: Option<String>,
+    link_costs: Option<Vec<f64>>,
+    format: Format,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgra-explore --sweep <name> [--jobs N] [--cache DIR] [--frontier K]\n\
+         \x20                  [--no-prune] [--link-costs a,b,c] [--format text|json]\n\
+         \x20                  [--out <path>]\n\
+         \n\
+         --jobs 0 (default) uses one worker per available core. --cache names a\n\
+         directory for the persistent simulation cache; without it the cache\n\
+         lives only for this run. --link-costs overrides the default link\n\
+         reconfiguration price grid (ns). --out writes the report to a file,\n\
+         creating missing parent directories.\n\
+         \n\
+         sweeps: {}",
+        SweepSpec::NAMES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        sweep: String::new(),
+        cfg: EngineConfig::default(),
+        cache_dir: None,
+        link_costs: None,
+        format: Format::Text,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sweep" => {
+                let Some(name) = args.next() else { usage() };
+                if !SweepSpec::NAMES.contains(&name.as_str()) {
+                    eprintln!("unknown sweep '{name}'");
+                    usage();
+                }
+                opts.sweep = name;
+            }
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.cfg.jobs = n,
+                None => usage(),
+            },
+            "--frontier" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k > 0 => opts.cfg.frontier = k,
+                _ => usage(),
+            },
+            "--no-prune" => opts.cfg.prune = false,
+            "--cache" => {
+                let Some(dir) = args.next() else { usage() };
+                opts.cache_dir = Some(dir);
+            }
+            "--link-costs" => {
+                let Some(list) = args.next() else { usage() };
+                let parsed: Result<Vec<f64>, _> =
+                    list.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|c| c.is_finite() && *c >= 0.0) => {
+                        opts.link_costs = Some(v)
+                    }
+                    _ => {
+                        eprintln!("--link-costs wants a comma-separated list of non-negative ns");
+                        usage()
+                    }
+                }
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                _ => usage(),
+            },
+            "--out" => {
+                let Some(path) = args.next() else { usage() };
+                opts.out = Some(path);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if opts.sweep.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn write_creating_parent(file: &str, doc: &str) -> Result<(), String> {
+    let path = std::path::Path::new(file);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!("cannot create output directory '{}': {e}", parent.display())
+            })?;
+        }
+    }
+    std::fs::write(path, doc).map_err(|e| format!("cannot write '{file}': {e}"))
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut spec = match SweepSpec::named(&opts.sweep) {
+        Some(s) => s,
+        None => usage(),
+    };
+    if let Some(costs) = opts.link_costs.clone() {
+        spec.link_costs_ns = costs;
+    }
+    let cache = match &opts.cache_dir {
+        None => SimCache::in_memory(),
+        Some(dir) => match SimCache::at_dir(dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot open cache directory '{dir}': {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let outcome = match run_sweep(&spec, &opts.cfg, &cache) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.sweep);
+            std::process::exit(1);
+        }
+    };
+    let violations = outcome.conservation_violations();
+    if !violations.is_empty() {
+        eprintln!("{}: sweep counter conservation violations:", opts.sweep);
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
+    let doc = match opts.format {
+        Format::Text => outcome.render_text(),
+        Format::Json => outcome.render_json(),
+    };
+    match &opts.out {
+        None => print!("{doc}"),
+        Some(path) => {
+            if let Err(e) = write_creating_parent(path, &doc) {
+                eprintln!("{}: {e}", opts.sweep);
+                std::process::exit(1);
+            }
+            eprintln!("{}: wrote {path}", opts.sweep);
+        }
+    }
+    let t = &outcome.stats.total;
+    eprintln!(
+        "{}: {} candidates ({} shapes), {} pruned, {} cache hits, {} simulated{}",
+        opts.sweep,
+        t.candidates,
+        t.prepared,
+        t.pruned,
+        t.cache_hits,
+        t.simulated,
+        if t.poisoned > 0 {
+            format!(", {} poisoned entries repaired", t.poisoned)
+        } else {
+            String::new()
+        }
+    );
+}

@@ -171,6 +171,21 @@ fn render(
     }
 }
 
+/// Writes `doc` to `file`, creating any missing parent directories
+/// first, so `--out traces/new/fft64.json` works without a manual
+/// `mkdir` (and a genuinely unwritable path still gets a clear error).
+fn write_creating_parent(file: &str, doc: &str) -> Result<(), String> {
+    let path = std::path::Path::new(file);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!("cannot create output directory '{}': {e}", parent.display())
+            })?;
+        }
+    }
+    std::fs::write(path, doc).map_err(|e| format!("cannot write '{file}': {e}"))
+}
+
 fn main() {
     let opts = parse_args();
     let cost = CostModel::default();
@@ -222,8 +237,8 @@ fn main() {
                 } else {
                     path.clone()
                 };
-                if let Err(e) = std::fs::write(&file, &doc) {
-                    eprintln!("{name}: cannot write '{file}': {e}");
+                if let Err(e) = write_creating_parent(&file, &doc) {
+                    eprintln!("{name}: {e}");
                     failed = true;
                     continue;
                 }

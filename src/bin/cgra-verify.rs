@@ -1,0 +1,120 @@
+//! The `cgra-verify` driver: statically verifies and WCET-prices the
+//! example epoch schedules without executing a cycle.
+//!
+//! ```console
+//! $ cargo run --release --bin cgra-verify -- --schedule fft-64
+//! $ cargo run --release --bin cgra-verify -- --all
+//! ```
+//!
+//! For each selected schedule this runs the full static pipeline the
+//! sweeps and the simulator trust: build, `cgra-lint` reconfiguration
+//! minimization, the schedule verifier (CFG / termination / dataflow /
+//! budget passes), and the Eq. 1 WCET timing engine. The report shows
+//! every diagnostic plus the per-epoch compute/reconfigure bounds.
+//!
+//! Exit status 0 when every schedule verifies clean (warnings are
+//! reported but do not fail the run), 1 when any schedule carries an
+//! error-severity diagnostic, 2 on usage errors.
+
+use remorph::explore::{build_example_schedule, minimize_schedule, EXAMPLE_SCHEDULES};
+use remorph::fabric::CostModel;
+use remorph::sim::bound_epochs;
+use remorph::verify::has_errors;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgra-verify [--schedule <name>]... [--all]\n\
+         \n\
+         schedules: {}",
+        EXAMPLE_SCHEDULES.join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Vec<String> {
+    let mut schedules = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--schedule" => {
+                let Some(name) = args.next() else { usage() };
+                if !EXAMPLE_SCHEDULES.contains(&name.as_str()) {
+                    eprintln!("unknown schedule '{name}'");
+                    usage();
+                }
+                schedules.push(name);
+            }
+            "--all" => schedules.extend(EXAMPLE_SCHEDULES.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if schedules.is_empty() {
+        usage();
+    }
+    schedules.dedup();
+    schedules
+}
+
+fn main() {
+    let schedules = parse_args();
+    let cost = CostModel::default();
+    let mut failed = false;
+
+    for name in &schedules {
+        let Some((mesh, mut epochs)) = build_example_schedule(name) else {
+            eprintln!("{name}: cannot build schedule");
+            failed = true;
+            continue;
+        };
+        minimize_schedule(mesh, &mut epochs, &cost);
+        let bound = bound_epochs(mesh, &cost, &epochs);
+        println!(
+            "{name}: {} epochs on a {}x{} mesh",
+            epochs.len(),
+            mesh.rows(),
+            mesh.cols()
+        );
+        for eb in &bound.epochs {
+            let iv = eb.total_ns(&cost);
+            println!(
+                "  {:<12} compute [{}, {}] cycles, reconfig {:.1} ns ({} links), \
+                 total [{:.1}, {}] ns",
+                eb.name,
+                eb.compute.best,
+                eb.compute
+                    .worst
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "unbounded".to_string()),
+                eb.reconfig_ns,
+                eb.links_changed,
+                iv.best,
+                iv.worst
+                    .map(|w| format!("{w:.1}"))
+                    .unwrap_or_else(|| "unbounded".to_string()),
+            );
+        }
+        let total = bound.total_ns();
+        println!(
+            "  schedule total [{:.1}, {}] ns",
+            total.best,
+            total
+                .worst
+                .map(|w| format!("{w:.1}"))
+                .unwrap_or_else(|| "unbounded".to_string()),
+        );
+        for d in &bound.diags {
+            println!("  {d}");
+        }
+        if has_errors(&bound.diags) {
+            eprintln!("{name}: FAILED static verification");
+            failed = true;
+        } else {
+            println!("  ok");
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -16,7 +16,9 @@
 //! * [`kernels`] — the two evaluation kernels: the partitioned radix-2 FFT
 //!   and a complete baseline JPEG encoder (plus a validating decoder),
 //! * [`explore`] — the design-space-exploration models that regenerate
-//!   every table and figure of the paper,
+//!   every table and figure of the paper, plus the parallel cached sweep
+//!   engine (bounded worker pool, WCET pruning, content-addressed
+//!   simulation cache) behind the `cgra-explore` driver binary,
 //! * [`verify`] — the static program / epoch-schedule verifier (CFG,
 //!   termination, dataflow and data-budget passes) the simulator and the
 //!   DSE pipelines run before anything executes,
@@ -26,6 +28,13 @@
 //! * [`telemetry`] — the structured event stream, metrics registry and
 //!   Chrome-trace/Perfetto + JSON exporters behind the `cgra-trace`
 //!   driver binary (zero cost when no sink is attached).
+//!
+//! Four driver binaries cover the static-to-dynamic pipeline:
+//! `cgra-verify` (verify + WCET-price a schedule), `cgra-lint` (find and
+//! fix reconfiguration waste), `cgra-trace` (run with telemetry and
+//! export Chrome traces), and `cgra-explore` (parallel cached
+//! design-space sweeps). See `docs/GUIDE.md` for a walkthrough and
+//! `docs/ARCHITECTURE.md` for the crate map.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,167 @@
+//! Determinism gate for the parallel cached DSE engine: the ranked
+//! frontier `cgra-explore` reports must be **byte-identical** across
+//! worker counts, across cold and warm caches, against the naive
+//! serial reference path, and after a poisoned (stale) cache entry is
+//! detected and repaired. A sweep whose answer depends on thread
+//! scheduling or cache state is not an optimization — it is a
+//! different sweep.
+
+use remorph::explore::{run_sweep, run_sweep_naive, EngineConfig, SimCache, SweepSpec, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("remorph-dse-{tag}-{}-{n}", std::process::id()))
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        workload: Workload::Fft64,
+        link_costs_ns: vec![0.0, 400.0],
+    }
+}
+
+fn cfg(jobs: usize) -> EngineConfig {
+    EngineConfig {
+        jobs,
+        frontier: 3,
+        prune: true,
+    }
+}
+
+#[test]
+fn frontier_is_identical_across_jobs() {
+    let spec = small_spec();
+    let mut renders = Vec::new();
+    for jobs in [1, 2, 4] {
+        let cache = SimCache::in_memory();
+        let out = run_sweep(&spec, &cfg(jobs), &cache).expect("sweep runs");
+        assert!(
+            out.conservation_violations().is_empty(),
+            "jobs={jobs}: {:?}",
+            out.conservation_violations()
+        );
+        renders.push((jobs, out.render_frontier()));
+    }
+    let (_, reference) = &renders[0];
+    for (jobs, r) in &renders[1..] {
+        assert_eq!(r, reference, "--jobs {jobs} changed the frontier");
+    }
+}
+
+#[test]
+fn warm_cache_matches_cold_byte_for_byte() {
+    let dir = tmp_dir("warm");
+    let spec = small_spec();
+
+    let cold_cache = SimCache::at_dir(&dir).expect("cache dir");
+    let cold = run_sweep(&spec, &cfg(2), &cold_cache).expect("cold sweep");
+    assert_eq!(cold.stats.total.cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(cold.stats.total.simulated, 3);
+
+    // A fresh SimCache instance over the same directory: the memory
+    // tier is empty, so every hit below is served from disk.
+    let warm_cache = SimCache::at_dir(&dir).expect("cache dir");
+    let warm = run_sweep(&spec, &cfg(4), &warm_cache).expect("warm sweep");
+    assert_eq!(warm.stats.total.simulated, 0, "warm frontier re-simulated");
+    assert_eq!(warm.stats.total.cache_hits, 3);
+    assert!(warm.stats.hit_rate() > 0.99);
+    assert!(warm.conservation_violations().is_empty());
+
+    assert_eq!(
+        cold.render_frontier(),
+        warm.render_frontier(),
+        "disk round-trip changed the frontier"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_matches_naive_serial_reference() {
+    let spec = small_spec();
+    let cache = SimCache::in_memory();
+    let engine = run_sweep(&spec, &cfg(4), &cache).expect("engine sweep");
+    let naive = run_sweep_naive(&spec, 3).expect("naive sweep");
+    assert_eq!(
+        engine.render_frontier(),
+        naive.render_frontier(),
+        "the engine's pruned, cached, sharded path must reproduce the \
+         simulate-everything serial reference exactly"
+    );
+    // The engine did strictly less simulation to get there.
+    assert!(engine.stats.total.simulated < naive.stats.total.simulated);
+    assert!(naive.conservation_violations().is_empty());
+}
+
+#[test]
+fn poisoned_cache_entry_is_detected_and_resimulated() {
+    let dir = tmp_dir("poison");
+    let spec = small_spec();
+
+    let cache = SimCache::at_dir(&dir).expect("cache dir");
+    let cold = run_sweep(&spec, &cfg(1), &cache).expect("cold sweep");
+    assert_eq!(cold.stats.total.poisoned, 0);
+
+    // Corrupt every persisted entry in place: same file names (so the
+    // lookups find them), garbage content (so the recorded-hash check
+    // rejects them).
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("cache dir readable") {
+        let path = entry.expect("dir entry").path();
+        std::fs::write(&path, "{\"schedule_hash\": \"feedfacefeedface\"}").expect("writable");
+        corrupted += 1;
+    }
+    assert_eq!(corrupted, 3, "cold sweep persisted its frontier");
+
+    // Fresh instance over the tampered directory: every lookup must
+    // come back Poisoned, re-simulate, and still report the same
+    // frontier.
+    let tampered = SimCache::at_dir(&dir).expect("cache dir");
+    let repaired = run_sweep(&spec, &cfg(2), &tampered).expect("repair sweep");
+    assert_eq!(repaired.stats.total.poisoned, 3, "tampering went unnoticed");
+    assert_eq!(repaired.stats.total.cache_hits, 0);
+    assert_eq!(repaired.stats.total.simulated, 3);
+    assert!(repaired.conservation_violations().is_empty());
+    assert_eq!(
+        cold.render_frontier(),
+        repaired.render_frontier(),
+        "re-simulation after poisoning changed the frontier"
+    );
+
+    // The repair also healed the cache: a third pass hits cleanly.
+    let healed = SimCache::at_dir(&dir).expect("cache dir");
+    let warm = run_sweep(&spec, &cfg(1), &healed).expect("healed sweep");
+    assert_eq!(warm.stats.total.poisoned, 0);
+    assert_eq!(warm.stats.total.cache_hits, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_prune_simulates_everything_and_agrees_with_pruned_frontier() {
+    let spec = small_spec();
+    let cache = SimCache::in_memory();
+    let pruned = run_sweep(&spec, &cfg(2), &cache).expect("pruned sweep");
+    let full = run_sweep(
+        &spec,
+        &EngineConfig {
+            jobs: 2,
+            frontier: 3,
+            prune: false,
+        },
+        &SimCache::in_memory(),
+    )
+    .expect("exhaustive sweep");
+    assert_eq!(full.stats.total.pruned, 0);
+    assert_eq!(
+        full.stats.total.simulated, 10,
+        "10 candidates, all simulated"
+    );
+    assert!(full.conservation_violations().is_empty());
+    assert_eq!(
+        pruned.render_frontier(),
+        full.render_frontier(),
+        "pruning changed the reported frontier"
+    );
+}
