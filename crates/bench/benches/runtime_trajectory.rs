@@ -2,10 +2,13 @@
 //! reconfiguration overhead share and mean tile utilization for the
 //! FFT-64, FFT-1024, 1x3 JPEG and streaming-JPEG schedules, measured
 //! from the telemetry counter registry and cross-checked against the
-//! static WCET bounds. Emits `BENCH_runtime.json` at the repo root.
+//! static WCET bounds. Each schedule is then replayed under the
+//! proof-gated hoisting plan (`lint::overlap`) for the hoisted series —
+//! same computation, reconfiguration prefetched into proven idle
+//! windows. Emits `BENCH_runtime.json` at the repo root.
 
 use cgra_bench::{banner, check, f};
-use cgra_explore::build_example_schedule;
+use cgra_explore::{build_example_schedule, hoist_schedule};
 use cgra_fabric::CostModel;
 use cgra_sim::{bound_epochs, ArraySim, EpochRunner, Recorder};
 use cgra_telemetry::{conservation_violations, Counters};
@@ -19,6 +22,9 @@ struct Row {
     overhead: f64,
     utilization: f64,
     words: u64,
+    hoists: usize,
+    hoisted_reconfig_ns: f64,
+    hoisted_eq1_ns: f64,
 }
 
 fn measure(name: &'static str, cost: &CostModel) -> Row {
@@ -51,6 +57,25 @@ fn measure(name: &'static str, cost: &CostModel) -> Row {
         iv.contains(report.total_ns(), 1e-9),
     );
 
+    // Hoisted series: replay the same schedule under the proof-gated
+    // hoisting plan. The strict runner gate re-verifies every
+    // certificate before a cycle executes, and the replay is bit-exact
+    // (tests/hoist_soundness.rs) — only the Eq. 1 reconfiguration term
+    // may shrink.
+    let plan = hoist_schedule(mesh, &epochs, cost);
+    let mut hoisted = EpochRunner::new(ArraySim::new(mesh), *cost);
+    let hreport = hoisted
+        .run_hoisted_schedule(&epochs, &plan)
+        .expect("hoisted replay runs");
+    check(
+        &format!("{name}: hoisted reconfiguration matches the certified plan"),
+        (hreport.total_reconfig_ns() - plan.reconfig_after_ns).abs() < 1e-6,
+    );
+    check(
+        &format!("{name}: hoisting never grows reconfiguration"),
+        hreport.total_reconfig_ns() <= report.total_reconfig_ns() + 1e-9,
+    );
+
     let m = Counters::from_events(&events);
     Row {
         name,
@@ -61,6 +86,9 @@ fn measure(name: &'static str, cost: &CostModel) -> Row {
         overhead: m.reconfig_overhead(cost),
         utilization: m.utilization(),
         words: m.total_words_sent(),
+        hoists: plan.hoists.len(),
+        hoisted_reconfig_ns: hreport.total_reconfig_ns(),
+        hoisted_eq1_ns: hreport.total_ns(),
     }
 }
 
@@ -77,19 +105,29 @@ fn main() {
 
     println!();
     println!(
-        "  {:<12} {:>6} {:>14} {:>14} {:>10} {:>8} {:>8}",
-        "schedule", "epochs", "runtime (ns)", "reconfig (ns)", "overhead", "util", "words"
+        "  {:<12} {:>6} {:>14} {:>14} {:>10} {:>8} {:>8} {:>7} {:>14}",
+        "schedule",
+        "epochs",
+        "runtime (ns)",
+        "reconfig (ns)",
+        "overhead",
+        "util",
+        "words",
+        "hoists",
+        "hoisted (ns)"
     );
     for r in &rows {
         println!(
-            "  {:<12} {:>6} {:>14} {:>14} {:>9.1}% {:>7.1}% {:>8}",
+            "  {:<12} {:>6} {:>14} {:>14} {:>9.1}% {:>7.1}% {:>8} {:>7} {:>14}",
             r.name,
             r.epochs,
             f(r.runtime_ns, 1),
             f(r.reconfig_ns, 1),
             r.overhead * 100.0,
             r.utilization * 100.0,
-            r.words
+            r.words,
+            r.hoists,
+            f(r.hoisted_reconfig_ns, 1)
         );
     }
 
@@ -113,6 +151,11 @@ fn main() {
             r.utilization > 0.0 && r.utilization <= 1.0,
         );
     }
+    check(
+        "fft-1024: proof-gated hoisting at least halves the reconfiguration time \
+         (ISSUE 6 acceptance)",
+        rows[1].hoisted_reconfig_ns * 2.0 <= rows[1].reconfig_ns,
+    );
 
     let json = format!(
         "{{\n  \"schedules\": [\n{}\n  ]\n}}\n",
@@ -120,7 +163,8 @@ fn main() {
             .map(|r| format!(
                 "    {{\"name\": \"{}\", \"epochs\": {}, \"runtime_ns\": {:.3}, \
                  \"eq1_ns\": {:.3}, \"reconfig_ns\": {:.3}, \"reconfig_overhead\": {:.6}, \
-                 \"mean_utilization\": {:.6}, \"words_moved\": {}}}",
+                 \"mean_utilization\": {:.6}, \"words_moved\": {}, \"hoists\": {}, \
+                 \"hoisted_reconfig_ns\": {:.3}, \"hoisted_eq1_ns\": {:.3}}}",
                 r.name,
                 r.epochs,
                 r.runtime_ns,
@@ -128,7 +172,10 @@ fn main() {
                 r.reconfig_ns,
                 r.overhead,
                 r.utilization,
-                r.words
+                r.words,
+                r.hoists,
+                r.hoisted_reconfig_ns,
+                r.hoisted_eq1_ns
             ))
             .collect::<Vec<_>>()
             .join(",\n")

@@ -52,14 +52,15 @@ pub use fft_dse::{copy_optimization_table, sweep_columns, sweep_link_cost, TauMo
 pub use jpeg_dse::{evaluate_manual, manual_implementations, rebalance_sweep, Algo};
 pub use pool::{effective_jobs, run_sharded, PoolOutput, WorkerCtx};
 pub use rank::{
-    fft_partition_candidates, rank_fft_candidates, simulate_frontier, static_metrics,
-    static_worst_ns, CandidateMetrics, FrontierPoint, RankedCandidate,
+    fft_partition_candidates, rank_fft_candidates, rank_fft_candidates_hoisted, simulate_frontier,
+    simulate_frontier_hoisted, static_metrics, static_worst_ns, CandidateMetrics, FrontierPoint,
+    RankedCandidate,
 };
 pub use schedule::{
     assignment_diagnostics, build_example_schedule, example_probe_input, fft_column_schedule,
-    fft_schedule_diagnostics, jpeg_block_schedule, jpeg_probe_blocks, jpeg_schedule_diagnostics,
-    jpeg_stream_diagnostics, jpeg_stream_schedule, minimize_schedule, network_budget_diagnostics,
-    EXAMPLE_SCHEDULES,
+    fft_schedule_diagnostics, hoist_schedule, jpeg_block_schedule, jpeg_probe_blocks,
+    jpeg_schedule_diagnostics, jpeg_stream_diagnostics, jpeg_stream_schedule, minimize_schedule,
+    network_budget_diagnostics, EXAMPLE_SCHEDULES,
 };
 pub use sweep::{
     run_sweep, run_sweep_naive, Candidate, EngineConfig, RowOutcome, Scheme, SweepError,

@@ -10,9 +10,12 @@
 //! actually wants to report, trusting (and, in tests, checking) that
 //! the static order matches the simulated order.
 
-use crate::schedule::{example_probe_input, fft_column_schedule, minimize_schedule};
+use crate::schedule::{
+    example_probe_input, fft_column_schedule, hoist_schedule, minimize_schedule,
+};
 use cgra_fabric::CostModel;
 use cgra_kernels::fft::partition::FftPlan;
+use cgra_lint::hoisted_bound;
 use cgra_sim::{bound_epochs, ArraySim, EpochRunner, SimError};
 use cgra_telemetry::Counters;
 use cgra_verify::ScheduleBound;
@@ -136,6 +139,33 @@ pub fn rank_fft_candidates(n: usize, cost: &CostModel) -> Vec<RankedCandidate> {
     ranked
 }
 
+/// [`rank_fft_candidates`] with the proof-gated hoisting pass applied
+/// after minimization: every candidate's payloads are hoisted into its
+/// own idle windows ([`crate::schedule::hoist_schedule`]) and the static
+/// price is the [`cgra_lint::hoisted_bound`] — the Eq. 1 reconfiguration
+/// term the runtime system would actually pay with a double-buffered
+/// configuration plane. Still nothing is simulated.
+pub fn rank_fft_candidates_hoisted(n: usize, cost: &CostModel) -> Vec<RankedCandidate> {
+    let input = example_probe_input(n);
+    let mut ranked: Vec<RankedCandidate> = fft_partition_candidates(n)
+        .into_iter()
+        .filter_map(|m| {
+            let plan = FftPlan::new(n, m).ok()?;
+            let (mesh, mut epochs) = fft_column_schedule(&plan, &input);
+            minimize_schedule(mesh, &mut epochs, cost);
+            let hoists = hoist_schedule(mesh, &epochs, cost);
+            let bound = hoisted_bound(&bound_epochs(mesh, cost, &epochs), &hoists, cost);
+            Some(RankedCandidate { m, bound })
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.worst_ns()
+            .partial_cmp(&b.worst_ns())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ranked
+}
+
 /// One simulated frontier point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrontierPoint {
@@ -170,6 +200,37 @@ pub fn simulate_frontier(
         minimize_schedule(mesh, &mut epochs, cost);
         let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
         let report = runner.run_schedule(&epochs)?;
+        out.push(FrontierPoint {
+            m: cand.m,
+            simulated_ns: report.total_ns(),
+            metrics: CandidateMetrics::from_counters(&runner.counters(), cost),
+        });
+    }
+    Ok(out)
+}
+
+/// [`simulate_frontier`] for hoisted candidates: each frontier schedule
+/// is minimized, hoisted exactly as [`rank_fft_candidates_hoisted`]
+/// priced it, and executed through
+/// `cgra_sim::EpochRunner::run_hoisted_schedule` — the strict gate
+/// re-verifies every certificate before anything is applied.
+pub fn simulate_frontier_hoisted(
+    n: usize,
+    ranked: &[RankedCandidate],
+    cost: &CostModel,
+    k: usize,
+) -> Result<Vec<FrontierPoint>, SimError> {
+    let input = example_probe_input(n);
+    let mut out = Vec::new();
+    for cand in ranked.iter().take(k) {
+        let Ok(plan) = FftPlan::new(n, cand.m) else {
+            continue;
+        };
+        let (mesh, mut epochs) = fft_column_schedule(&plan, &input);
+        minimize_schedule(mesh, &mut epochs, cost);
+        let hoists = hoist_schedule(mesh, &epochs, cost);
+        let mut runner = EpochRunner::new(ArraySim::new(mesh), *cost);
+        let report = runner.run_hoisted_schedule(&epochs, &hoists)?;
         out.push(FrontierPoint {
             m: cand.m,
             simulated_ns: report.total_ns(),
@@ -246,6 +307,58 @@ mod tests {
                 p.metrics.reconfig_ns
             );
             assert!(s.runtime_ns.is_finite());
+        }
+    }
+
+    #[test]
+    fn hoisted_rank_is_consistent_and_cheaper() {
+        let cost = CostModel::with_link_cost(25.0);
+        let baseline = rank_fft_candidates(64, &cost);
+        let hoisted = rank_fft_candidates_hoisted(64, &cost);
+        assert_eq!(hoisted.len(), baseline.len());
+        // Hoisting only ever shrinks the Eq. 1 reconfiguration term.
+        for h in &hoisted {
+            let b = baseline
+                .iter()
+                .find(|c| c.m == h.m)
+                .expect("same candidate set");
+            assert!(
+                h.bound.total_reconfig_ns() <= b.bound.total_reconfig_ns() + 1e-9,
+                "m={}",
+                h.m
+            );
+            assert_eq!(
+                h.bound.total_compute_ns(),
+                b.bound.total_compute_ns(),
+                "m={}: compute is invariant under hoisting",
+                h.m
+            );
+        }
+        // The strict-gated hoisted simulation agrees with the hoisted
+        // static price exactly as the baseline pair does.
+        let sim = simulate_frontier_hoisted(64, &hoisted, &cost, hoisted.len()).expect("runs");
+        let mut by_sim = sim.clone();
+        by_sim.sort_by(|a, b| a.simulated_ns.partial_cmp(&b.simulated_ns).unwrap());
+        let static_order: Vec<usize> = sim.iter().map(|p| p.m).collect();
+        let sim_order: Vec<usize> = by_sim.iter().map(|p| p.m).collect();
+        assert_eq!(static_order, sim_order);
+        for (c, p) in hoisted.iter().zip(&sim) {
+            let b = c.bound.total_ns();
+            assert!(
+                b.contains(p.simulated_ns, 1e-9),
+                "m={}: hoisted simulated {} outside hoisted static {:?}",
+                c.m,
+                p.simulated_ns,
+                b
+            );
+            let s = c.static_metrics();
+            assert!(
+                (s.reconfig_ns - p.metrics.reconfig_ns).abs() < 1e-6,
+                "m={}: hoisted static reconfig {} vs measured {}",
+                c.m,
+                s.reconfig_ns,
+                p.metrics.reconfig_ns
+            );
         }
     }
 }

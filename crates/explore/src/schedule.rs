@@ -657,6 +657,25 @@ pub fn minimize_schedule(mesh: Mesh, epochs: &mut [Epoch], cost: &CostModel) -> 
     report
 }
 
+/// Runs the `cgra-lint` idle-window analysis over a (usually already
+/// minimized) schedule and returns the proof-gated hoisting plan: which
+/// per-tile reconfiguration payloads can stream through the background
+/// configuration port into earlier provably-idle windows, each carrying
+/// its discharged idle-window + non-interference + WCET-containment
+/// certificate. The schedule itself is not modified — the plan is
+/// applied by `cgra_sim::EpochRunner::run_hoisted_schedule` and priced
+/// by [`cgra_lint::hoisted_bound`].
+pub fn hoist_schedule(mesh: Mesh, epochs: &[Epoch], cost: &CostModel) -> cgra_lint::HoistPlan {
+    let specs: Vec<cgra_verify::EpochSpec> = epochs.iter().map(cgra_sim::epoch_spec).collect();
+    cgra_lint::plan_hoists(
+        mesh,
+        &specs,
+        &LintLevels::default(),
+        cost,
+        &cgra_lint::HoistOptions::default(),
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Data-budget checks over process networks and assignments
 // ---------------------------------------------------------------------------

@@ -39,7 +39,7 @@ pub use link::{Direction, LinkConfig, TileId, LINK_WIRES};
 pub use mem::{DataMemory, InstrMemory, RawInstr, DATA_WORDS, INSTR_SLOTS};
 pub use mesh::Mesh;
 pub use par::parallel_map;
-pub use reconfig::{DataPatch, ReconfigPlan, TileReconfig};
+pub use reconfig::{DataPatch, ReconfigPlan, ShadowConfig, ShadowError, TileReconfig};
 pub use rng::Rng;
 pub use tile::Tile;
 pub use word::{Word, WORD_BITS};

@@ -158,6 +158,119 @@ impl ReconfigPlan {
     }
 }
 
+/// Why a shadow-plane operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShadowError {
+    /// The tile's shadow plane already holds `depth` pending payloads.
+    QueueFull {
+        /// The overflowing tile.
+        tile: TileId,
+        /// Its slot budget.
+        depth: usize,
+    },
+    /// The tile already holds a pending payload tagged for this target.
+    DuplicateTarget {
+        /// The tile.
+        tile: TileId,
+        /// The contested commit tag.
+        target: usize,
+    },
+    /// The tile id is outside the fabric.
+    UnknownTile(TileId),
+}
+
+impl std::fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShadowError::QueueFull { tile, depth } => {
+                write!(f, "tile {tile}: shadow plane full ({depth} slots)")
+            }
+            ShadowError::DuplicateTarget { tile, target } => {
+                write!(
+                    f,
+                    "tile {tile}: a payload is already staged for epoch {target}"
+                )
+            }
+            ShadowError::UnknownTile(t) => write!(f, "tile {t} is outside the fabric"),
+        }
+    }
+}
+
+impl std::error::Error for ShadowError {}
+
+/// The double-buffered configuration plane: per-tile slots holding
+/// reconfiguration payloads that were prefetched through the background
+/// port during earlier idle windows and wait for their commit epoch.
+///
+/// Slots are *tagged* with their target epoch, not queued FIFO: the
+/// hoisting planner packs late targets into early windows first, so a
+/// payload staged earlier may legally commit *later* than one staged
+/// after it. [`ShadowConfig::commit`] selects by tag; a commit is a
+/// plane swap and costs no ICAP time — the streaming was already paid
+/// for inside the donor epochs' idle windows.
+#[derive(Debug, Clone)]
+pub struct ShadowConfig {
+    depth: usize,
+    slots: Vec<Vec<(usize, TileReconfig)>>,
+}
+
+impl ShadowConfig {
+    /// An empty shadow plane for `tiles` tiles with `depth` slots each
+    /// (a depth of 0 is clamped to 1).
+    pub fn new(tiles: usize, depth: usize) -> ShadowConfig {
+        ShadowConfig {
+            depth: depth.max(1),
+            slots: vec![Vec::new(); tiles],
+        }
+    }
+
+    /// Slots per tile.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pending payloads currently staged for `tile`.
+    pub fn pending(&self, tile: TileId) -> usize {
+        self.slots.get(tile).map_or(0, Vec::len)
+    }
+
+    /// Pending payloads across the whole fabric.
+    pub fn pending_total(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Stages a prefetched payload for `tile`, tagged to commit at the
+    /// switch into `target`.
+    pub fn stage(
+        &mut self,
+        tile: TileId,
+        target: usize,
+        rc: TileReconfig,
+    ) -> Result<(), ShadowError> {
+        let depth = self.depth;
+        let slots = self
+            .slots
+            .get_mut(tile)
+            .ok_or(ShadowError::UnknownTile(tile))?;
+        if slots.iter().any(|(t, _)| *t == target) {
+            return Err(ShadowError::DuplicateTarget { tile, target });
+        }
+        if slots.len() >= depth {
+            return Err(ShadowError::QueueFull { tile, depth });
+        }
+        slots.push((target, rc));
+        Ok(())
+    }
+
+    /// Commits (removes and returns) the payload staged for `tile` at
+    /// `target`, or `None` when nothing was staged under that tag.
+    pub fn commit(&mut self, tile: TileId, target: usize) -> Option<TileReconfig> {
+        let slots = self.slots.get_mut(tile)?;
+        let i = slots.iter().position(|(t, _)| *t == target)?;
+        Some(slots.remove(i).1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +345,45 @@ mod tests {
         let (_, rc) = &plan.tiles[0];
         assert_eq!(rc.program.as_deref(), Some(&[7u128][..]));
         assert_eq!(rc.data_patches.len(), 2);
+    }
+
+    #[test]
+    fn shadow_slots_commit_by_tag_not_order() {
+        let mut shadow = ShadowConfig::new(2, 2);
+        let early = TileReconfig {
+            program: Some(vec![1]),
+            data_patches: vec![],
+        };
+        let late = TileReconfig {
+            program: Some(vec![2]),
+            data_patches: vec![],
+        };
+        // Staged out of commit order: target 9 first, then target 4.
+        shadow.stage(1, 9, late.clone()).unwrap();
+        shadow.stage(1, 4, early.clone()).unwrap();
+        assert_eq!(shadow.pending(1), 2);
+        assert_eq!(shadow.commit(1, 4), Some(early));
+        assert_eq!(shadow.commit(1, 4), None);
+        assert_eq!(shadow.commit(1, 9), Some(late));
+        assert_eq!(shadow.pending_total(), 0);
+    }
+
+    #[test]
+    fn shadow_rejects_overflow_and_duplicates() {
+        let mut shadow = ShadowConfig::new(1, 1);
+        shadow.stage(0, 3, TileReconfig::default()).unwrap();
+        assert_eq!(
+            shadow.stage(0, 3, TileReconfig::default()),
+            Err(ShadowError::DuplicateTarget { tile: 0, target: 3 })
+        );
+        assert_eq!(
+            shadow.stage(0, 5, TileReconfig::default()),
+            Err(ShadowError::QueueFull { tile: 0, depth: 1 })
+        );
+        assert_eq!(
+            shadow.stage(7, 1, TileReconfig::default()),
+            Err(ShadowError::UnknownTile(7))
+        );
     }
 
     #[test]

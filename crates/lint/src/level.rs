@@ -31,7 +31,7 @@ impl std::fmt::Display for LintLevel {
 }
 
 /// Every lint code, in L-number order.
-pub const LINT_CODES: [Code; 7] = [
+pub const LINT_CODES: [Code; 11] = [
     Code::ClobberByPatch,
     Code::ClobberByCopy,
     Code::ClobberByStore,
@@ -39,6 +39,10 @@ pub const LINT_CODES: [Code; 7] = [
     Code::RedundantPatch,
     Code::RedundantReload,
     Code::UnreachableImem,
+    Code::IdleWindow,
+    Code::HoistInterference,
+    Code::HoistApplied,
+    Code::HoistRefused,
 ];
 
 /// The default level of each lint.
@@ -49,6 +53,13 @@ pub const LINT_CODES: [Code; 7] = [
 /// and warn. [`Code::RedundantReload`] defaults to allow because on this
 /// fabric a reload is also what re-arms a halted PE — the finding is
 /// informational (Eq. 1 cost of the identical image), not actionable.
+///
+/// The hoisting codes: [`Code::IdleWindow`], [`Code::HoistInterference`]
+/// and [`Code::HoistApplied`] are informational by default (they narrate
+/// what the planner found, refused and did — schedules are not *wrong*
+/// for having or lacking hoist opportunities), while
+/// [`Code::HoistRefused`] denies: a schedule that *carries* a prefetch
+/// whose certificates fail re-verification is certainly broken.
 pub fn default_level(code: Code) -> LintLevel {
     match code {
         Code::ClobberByPatch => LintLevel::Deny,
@@ -58,6 +69,10 @@ pub fn default_level(code: Code) -> LintLevel {
         Code::RedundantPatch => LintLevel::Warn,
         Code::RedundantReload => LintLevel::Allow,
         Code::UnreachableImem => LintLevel::Warn,
+        Code::IdleWindow => LintLevel::Allow,
+        Code::HoistInterference => LintLevel::Allow,
+        Code::HoistApplied => LintLevel::Allow,
+        Code::HoistRefused => LintLevel::Deny,
         _ => LintLevel::Allow,
     }
 }

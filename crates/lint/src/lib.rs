@@ -26,6 +26,17 @@
 //!   a reload is also what re-arms a halted PE) and instruction slots
 //!   unreachable from the entry that the ICAP streams anyway
 //!   ([`cgra_verify::Code::UnreachableImem`], L007).
+//! * **Idle-window analysis and proof-gated hoisting** — [`overlap`]
+//!   derives per-tile/per-epoch provably-idle cycle windows from the
+//!   verifier effect summaries and the WCET bounds
+//!   ([`cgra_verify::Code::IdleWindow`], L008), and [`plan_hoists`]
+//!   prefetches tile rewrites into those windows through a background
+//!   configuration port; every [`Hoist`] carries a machine-checkable
+//!   [`HoistCertificate`] that [`verify_hoists`] re-derives
+//!   independently ([`cgra_verify::Code::HoistRefused`], L011, deny by
+//!   default), with refusals narrated as
+//!   [`cgra_verify::Code::HoistInterference`] (L009) and applied moves
+//!   as [`cgra_verify::Code::HoistApplied`] (L010).
 //!
 //! Every lint has a deny/warn/allow [`LintLevel`]; [`LintLevels`] is the
 //! mutable table the `cgra-lint` driver binary exposes as `--level
@@ -36,14 +47,21 @@
 //!
 //! The soundness argument for the minimizer (why dropping a [`Removal`]
 //! is bit-exact at every cycle, not just at the end) is DESIGN.md
-//! Section 11.
+//! Section 11; the hoisting soundness argument (idle-window lattice,
+//! non-interference obligations, double-buffer commit semantics) is
+//! Section 13.
 
 #![warn(missing_docs)]
 
 pub mod fix;
 pub mod level;
+pub mod overlap;
 pub mod pass;
 
 pub use fix::minimize_patches;
 pub use level::{default_level, LintLevel, LintLevels, LINT_CODES};
+pub use overlap::{
+    hoisted_bound, plan_hoists, verify_hoists, Claim, ClaimProof, Hoist, HoistCertificate,
+    HoistOptions, HoistPlan, IdleWindow, Refusal, Segment,
+};
 pub use pass::{lint_schedule, LintReport, Removal, TransitionSavings};

@@ -16,7 +16,9 @@
 use crate::engine::{ArraySim, SimError, TileStats, VerifyMode};
 use crate::trace::Trace;
 use cgra_fabric::bitstream::{self, ParsedBitstream};
-use cgra_fabric::{CostModel, DataPatch, LinkConfig, Mesh, ReconfigPlan, TileId, TileReconfig};
+use cgra_fabric::{
+    CostModel, DataPatch, LinkConfig, Mesh, ReconfigPlan, ShadowConfig, TileId, TileReconfig,
+};
 use cgra_isa::encode_program;
 use cgra_isa::Instr;
 use cgra_telemetry::{Counters, Event};
@@ -430,6 +432,196 @@ impl EpochRunner {
             report.epochs.push(self.run_epoch(e)?);
         }
         Ok(report)
+    }
+
+    /// Runs a whole schedule under a hoisting plan from
+    /// `cgra_lint::overlap`: hoisted reconfiguration payloads stream into
+    /// the double-buffered shadow plane during their donor epochs' idle
+    /// windows and commit — at zero foreground ICAP cost — at the switch
+    /// into their target epoch.
+    ///
+    /// The execution is **bit-exact** with [`EpochRunner::run_schedule`]:
+    /// a committed payload is byte-identical to the slot it replaces and
+    /// lands at the same switch point, every touched tile (committed or
+    /// foreground) still waits out the — now shorter — foreground stall,
+    /// and untouched tiles stay halted; only the Eq. 1 reconfiguration
+    /// term shrinks. Under any verify mode other than [`VerifyMode::Off`]
+    /// this is enforced up front: the plan's certificates are re-derived
+    /// by `cgra_lint::verify_hoists` and a single failed proof aborts the
+    /// run ([`cgra_verify::Code::HoistRefused`]) before anything is
+    /// applied, exactly like a verifier error; the cold-run inter-epoch
+    /// lint gate of [`EpochRunner::run_schedule`] applies unchanged.
+    pub fn run_hoisted_schedule(
+        &mut self,
+        epochs: &[Epoch],
+        plan: &cgra_lint::HoistPlan,
+    ) -> Result<RunReport, SimError> {
+        if self.sim.verify != VerifyMode::Off {
+            let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+            let refused = cgra_lint::verify_hoists(self.sim.mesh, &specs, plan, &self.cost);
+            if !refused.is_empty() {
+                let errs: Vec<Diagnostic> = cgra_verify::errors(&refused).cloned().collect();
+                self.diagnostics.extend(refused);
+                return Err(SimError::Verify(errs));
+            }
+            if self.checker.epochs_seen() == 0 {
+                let lint = cgra_lint::lint_schedule(
+                    self.sim.mesh,
+                    &specs,
+                    &cgra_lint::LintLevels::default(),
+                    &self.cost,
+                );
+                let errs: Vec<Diagnostic> = cgra_verify::errors(&lint.diags).cloned().collect();
+                self.diagnostics.extend(lint.diags);
+                if !errs.is_empty() {
+                    return Err(SimError::Verify(errs));
+                }
+            }
+        }
+        let mut shadow = ShadowConfig::new(self.sim.mesh.tiles(), plan.shadow_depth.max(1));
+        let mut report = RunReport::default();
+        for (j, e) in epochs.iter().enumerate() {
+            report
+                .epochs
+                .push(self.run_epoch_hoisted(e, j, plan, &mut shadow)?);
+            // Payloads whose last donor window is inside epoch `j` are
+            // fully streamed by its end: stage them now.
+            for h in plan.hoists.iter() {
+                if h.claims.iter().map(|c| c.epoch).max() != Some(j) {
+                    continue;
+                }
+                let Some((tile, setup)) = epochs.get(h.target).and_then(|t| t.setups.get(h.slot))
+                else {
+                    continue; // verify_hoists already vouched; unreachable
+                };
+                let rc = TileReconfig {
+                    program: setup.program.as_ref().map(|p| encode_program(p)),
+                    data_patches: setup.data_patches.clone(),
+                };
+                shadow
+                    .stage(*tile, h.target, rc)
+                    .map_err(|e| SimError::Bitstream(format!("shadow stage: {e}")))?;
+                let at = self.sim.now;
+                let pending = shadow.pending(*tile);
+                self.emit(Event::ShadowPrefetch {
+                    epoch: j,
+                    at,
+                    tile: *tile,
+                    target: h.target,
+                    payload_ns: h.payload_ns,
+                    pending,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// One epoch of a hoisted run: hoisted slots commit from the shadow
+    /// plane (zero foreground ICAP time), the rest stream through the
+    /// foreground as usual, and *every* touched tile stalls for the
+    /// reduced foreground switch time — keeping all re-armed tiles
+    /// cycle-aligned, which is what makes the replay bit-exact.
+    fn run_epoch_hoisted(
+        &mut self,
+        epoch: &Epoch,
+        idx: usize,
+        plan: &cgra_lint::HoistPlan,
+        shadow: &mut ShadowConfig,
+    ) -> Result<EpochReport, SimError> {
+        if self.sim.verify != VerifyMode::Off {
+            // The checker sees the *original* epoch: a commit is the same
+            // write at the same point, so legality and the threaded
+            // may-init state are those of the unhoisted schedule.
+            let found = self.checker.check_epoch(&epoch_spec(epoch));
+            let errs: Vec<Diagnostic> = cgra_verify::errors(&found).cloned().collect();
+            self.diagnostics.extend(found);
+            if !errs.is_empty() {
+                return Err(SimError::Verify(errs));
+            }
+        }
+        // Foreground plan: the link delta plus the slots that were not
+        // hoisted. The full plan still names every touched tile — they
+        // all stall through the (shorter) switch.
+        let mut fg = ReconfigPlan::from_link_change(&self.prev_links, &epoch.links);
+        let mut full = ReconfigPlan::from_link_change(&self.prev_links, &epoch.links);
+        for (slot, (t, setup)) in epoch.setups.iter().enumerate() {
+            let rc = TileReconfig {
+                program: setup.program.as_ref().map(|p| encode_program(p)),
+                data_patches: setup.data_patches.clone(),
+            };
+            full.add_tile(*t, rc.clone());
+            if !plan.is_hoisted(idx, slot) {
+                fg.add_tile(*t, rc);
+            }
+        }
+        let reconfig_ns = fg.total_ns(&self.cost);
+        let stall_cycles = self.cost.stall_cycles(reconfig_ns);
+        let epoch_idx = self.epochs_run;
+        let start = self.sim.now;
+        self.emit(Event::EpochBegin {
+            epoch: epoch_idx,
+            name: epoch.name.clone(),
+            at: start,
+        });
+        self.emit(Event::Reconfig {
+            epoch: epoch_idx,
+            at: start,
+            breakdown: fg.breakdown(),
+            reconfig_ns,
+            stall_cycles,
+            stalled_tiles: full.stalled_tiles(),
+        });
+
+        // Apply the switch: commits swap in from the shadow plane, the
+        // rest streams through the foreground.
+        for (slot, (t, setup)) in epoch.setups.iter().enumerate() {
+            if plan.is_hoisted(idx, slot) {
+                let Some(rc) = shadow.commit(*t, idx) else {
+                    return Err(SimError::Bitstream(format!(
+                        "shadow commit: tile {t} has no payload staged for epoch {idx}"
+                    )));
+                };
+                let payload_ns = self.cost.data_reload_ns(rc.data_words())
+                    + self.cost.instr_reload_ns(rc.instr_words());
+                if let Some(img) = &rc.program {
+                    self.sim.load_program(*t, img)?;
+                }
+                for patch in &rc.data_patches {
+                    self.sim.tiles[*t].dmem.load(patch.base, &patch.words)?;
+                }
+                self.emit(Event::ShadowCommit {
+                    epoch: epoch_idx,
+                    at: start,
+                    tile: *t,
+                    payload_ns,
+                });
+            } else {
+                if let Some(prog) = &setup.program {
+                    self.sim.load_program(*t, &encode_program(prog))?;
+                }
+                for patch in &setup.data_patches {
+                    self.sim.tiles[*t].dmem.load(patch.base, &patch.words)?;
+                }
+            }
+        }
+        for t in full.stalled_tiles() {
+            self.sim.stall_tile(t, stall_cycles);
+        }
+        self.sim.set_links(epoch.links.clone())?;
+        self.prev_links = epoch.links.clone();
+
+        let stats_before = self.sim.stats.clone();
+        let cycles = self.sim.run_until_quiesced(epoch.budget)?;
+        self.finish_epoch(epoch_idx, &epoch.name, &stats_before);
+        let sent_after: u64 = self.sim.stats.iter().map(|s| s.words_sent).sum();
+        let sent_before: u64 = stats_before.iter().map(|s| s.words_sent).sum();
+        Ok(EpochReport {
+            name: epoch.name.clone(),
+            compute_ns: self.cost.exec_ns(cycles.saturating_sub(stall_cycles)),
+            reconfig_ns,
+            links_changed: fg.changed_links,
+            words_copied: sent_after - sent_before,
+        })
     }
 }
 

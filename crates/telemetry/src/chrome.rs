@@ -204,6 +204,43 @@ pub fn chrome_trace(events: &[Event], cost: &CostModel) -> String {
                     ));
                 }
             }
+            Event::ShadowPrefetch {
+                epoch,
+                at,
+                tile,
+                target,
+                payload_ns,
+                pending,
+            } => {
+                out.push((
+                    us(*at),
+                    4,
+                    format!(
+                        "{{\"name\":\"shadow prefetch\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\
+                         \"tid\":{tile},\"ts\":{:.4},\"args\":{{\"epoch\":{epoch},\
+                         \"target\":{target},\"payload_ns\":{payload_ns:.4},\
+                         \"pending\":{pending}}}}}",
+                        us(*at)
+                    ),
+                ));
+            }
+            Event::ShadowCommit {
+                epoch,
+                at,
+                tile,
+                payload_ns,
+            } => {
+                out.push((
+                    us(*at),
+                    4,
+                    format!(
+                        "{{\"name\":\"shadow commit\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\
+                         \"tid\":{tile},\"ts\":{:.4},\"args\":{{\"epoch\":{epoch},\
+                         \"payload_ns\":{payload_ns:.4}}}}}",
+                        us(*at)
+                    ),
+                ));
+            }
             Event::TileEpoch { .. } | Event::WcetBound { .. } => {}
         }
     }

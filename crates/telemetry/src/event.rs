@@ -124,6 +124,36 @@ pub enum Event {
         /// Cycle the epoch ended at.
         at: u64,
     },
+    /// A hoisted reconfiguration payload finished streaming through the
+    /// background port into a tile's shadow configuration plane
+    /// (runner-emitted at the end of the payload's last donor epoch).
+    ShadowPrefetch {
+        /// Donor epoch whose idle windows absorbed the tail of the
+        /// streaming.
+        epoch: usize,
+        /// Cycle the payload was fully staged.
+        at: u64,
+        /// The tile whose shadow plane holds the payload.
+        tile: TileId,
+        /// Epoch the payload will commit into.
+        target: usize,
+        /// Payload ICAP time hidden inside idle windows, ns.
+        payload_ns: f64,
+        /// Payloads now pending in the tile's shadow plane.
+        pending: usize,
+    },
+    /// A staged shadow payload committed at its target epoch's switch —
+    /// a configuration-plane swap, zero foreground ICAP time.
+    ShadowCommit {
+        /// Epoch being switched into.
+        epoch: usize,
+        /// Cycle of the commit (the switch start).
+        at: u64,
+        /// The tile whose planes swapped.
+        tile: TileId,
+        /// Foreground ICAP time the commit avoided, ns.
+        payload_ns: f64,
+    },
     /// Static WCET annotation for one epoch, from the `cgra-verify`
     /// timing engine (attached after the fact by drivers; the bounds
     /// travel with the stream so exporters can draw them next to the

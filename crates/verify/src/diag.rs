@@ -97,12 +97,26 @@ pub enum Code {
     /// Instruction-memory slots unreachable from the entry are streamed
     /// through the ICAP anyway — wasted reconfiguration time.
     UnreachableImem,
+    /// A tile has a provably-idle cycle window in an epoch that could
+    /// hide reconfiguration streaming (informational; the hoisting
+    /// planner's raw material).
+    IdleWindow,
+    /// A candidate hoist would interfere with live state or shadow-plane
+    /// occupancy — the non-interference proof did not discharge.
+    HoistInterference,
+    /// A tile rewrite was hoisted into earlier idle epochs with all three
+    /// certificates (idle-window, non-interference, WCET-containment)
+    /// discharged.
+    HoistApplied,
+    /// A scheduled prefetch whose certificates fail re-verification — the
+    /// hoisted schedule is certainly broken and must not run.
+    HoistRefused,
 }
 
 impl Code {
     /// Every defect class, in V-number then L-number order. The registry
     /// the README table is checked against; append new codes here.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 31] = [
         Code::InvalidInstr,
         Code::EmptyProgram,
         Code::ImemOverflow,
@@ -130,6 +144,10 @@ impl Code {
         Code::RedundantPatch,
         Code::RedundantReload,
         Code::UnreachableImem,
+        Code::IdleWindow,
+        Code::HoistInterference,
+        Code::HoistApplied,
+        Code::HoistRefused,
     ];
 
     /// Short machine-readable identifier, e.g. `V007`.
@@ -162,6 +180,10 @@ impl Code {
             Code::RedundantPatch => "L005",
             Code::RedundantReload => "L006",
             Code::UnreachableImem => "L007",
+            Code::IdleWindow => "L008",
+            Code::HoistInterference => "L009",
+            Code::HoistApplied => "L010",
+            Code::HoistRefused => "L011",
         }
     }
 
@@ -195,6 +217,10 @@ impl Code {
             Code::RedundantPatch => "redundant-patch-word",
             Code::RedundantReload => "redundant-program-reload",
             Code::UnreachableImem => "unreachable-imem",
+            Code::IdleWindow => "idle-window",
+            Code::HoistInterference => "hoist-interference",
+            Code::HoistApplied => "hoist-applied",
+            Code::HoistRefused => "hoist-refused",
         }
     }
 
@@ -228,6 +254,10 @@ impl Code {
             Code::RedundantPatch => "a patch word rewrites a value the word already holds",
             Code::RedundantReload => "a tile is reloaded with the program image it already holds",
             Code::UnreachableImem => "unreachable instruction slots waste ICAP reload time",
+            Code::IdleWindow => "a tile's provably-idle cycles could hide reconfiguration",
+            Code::HoistInterference => "a candidate hoist fails its non-interference proof",
+            Code::HoistApplied => "a tile rewrite was hoisted with all certificates discharged",
+            Code::HoistRefused => "a scheduled prefetch whose certificates fail re-verification",
         }
     }
 }
@@ -247,6 +277,9 @@ pub struct Diagnostic {
     pub epoch: Option<usize>,
     /// Program counter of the offending instruction, when program-level.
     pub pc: Option<usize>,
+    /// Data-memory word address the finding concerns, when word-level
+    /// (e.g. the first word of a hoisted or interfering patch).
+    pub word: Option<usize>,
 }
 
 impl Diagnostic {
@@ -259,6 +292,7 @@ impl Diagnostic {
             tile: None,
             epoch: None,
             pc: None,
+            word: None,
         }
     }
 
@@ -288,6 +322,12 @@ impl Diagnostic {
         self
     }
 
+    /// Attaches a data-memory word address.
+    pub fn at_word(mut self, word: usize) -> Diagnostic {
+        self.word = Some(word);
+        self
+    }
+
     /// True for [`Severity::Error`].
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
@@ -311,6 +351,9 @@ impl std::fmt::Display for Diagnostic {
         }
         if let Some(pc) = self.pc {
             write!(f, " pc {pc}")?;
+        }
+        if let Some(w) = self.word {
+            write!(f, " word {w}")?;
         }
         write!(f, ": {}", self.message)
     }

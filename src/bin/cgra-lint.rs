@@ -1,10 +1,16 @@
 //! The `cgra-lint` driver: lints the toolkit's example epoch schedules
 //! with the whole-schedule inter-epoch pass and optionally applies the
-//! reconfiguration-diff auto-fix.
+//! reconfiguration-diff auto-fix and the proof-gated hoisting planner.
 //!
 //! ```console
-//! $ cargo run --release --bin cgra-lint -- --all --fix --deny-warnings
+//! $ cargo run --release --bin cgra-lint -- --all --fix --hoist --deny-warnings
 //! ```
+//!
+//! `--hoist` runs the idle-window analysis (`lint::overlap`), plans
+//! proof-gated reconfiguration hoists, re-verifies every certificate
+//! independently, and reports the Eq. 1 reconfiguration reduction the
+//! plan achieves. A certificate the re-verifier cannot discharge is an
+//! L011 error and fails the run.
 //!
 //! Exit status 0 when every selected schedule is clean at the configured
 //! levels (after fixing, when `--fix` is given), 1 when any deny-level
@@ -12,14 +18,14 @@
 
 use remorph::explore::{build_example_schedule, EXAMPLE_SCHEDULES};
 use remorph::fabric::{CostModel, Mesh};
-use remorph::lint::{LintLevels, LintReport};
-use remorph::sim::{apply_lint_fixes, lint_epochs, verify_epochs, Epoch};
-use remorph::verify::{has_errors, Diagnostic};
+use remorph::lint::{plan_hoists, verify_hoists, HoistOptions, HoistPlan, LintLevels, LintReport};
+use remorph::sim::{apply_lint_fixes, epoch_spec, lint_epochs, verify_epochs, Epoch};
+use remorph::verify::{has_errors, Diagnostic, EpochSpec};
 
 fn usage() -> ! {
     eprintln!(
         "usage: cgra-lint [--schedule <name>]... [--all] [--level <lint>=<allow|warn|deny>]...\n\
-         \x20                [--deny-warnings] [--fix] [--json]\n\
+         \x20                [--deny-warnings] [--fix] [--hoist] [--json]\n\
          \n\
          schedules: {}",
         EXAMPLE_SCHEDULES.join(", ")
@@ -56,28 +62,64 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn report_json(name: &str, fixed: bool, report: &LintReport) -> String {
-    let diags: Vec<String> = report
-        .diags
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"severity\":\"{}\",\"code\":\"{}\",\"name\":\"{}\",\"message\":\"{}\"}}",
-                d.severity,
-                d.code.id(),
-                d.code.name(),
-                json_escape(&d.message)
-            )
-        })
-        .collect();
+/// One diagnostic as a JSON object, with full provenance: `tile`,
+/// `epoch`, and `word` are emitted as numbers when the finding carries
+/// them and `null` when it does not.
+fn diag_json(d: &Diagnostic) -> String {
+    fn opt(v: Option<usize>) -> String {
+        v.map_or_else(|| "null".to_string(), |v| v.to_string())
+    }
+    format!(
+        "{{\"severity\":\"{}\",\"code\":\"{}\",\"name\":\"{}\",\
+         \"tile\":{},\"epoch\":{},\"word\":{},\"message\":\"{}\"}}",
+        d.severity,
+        d.code.id(),
+        d.code.name(),
+        opt(d.tile),
+        opt(d.epoch),
+        opt(d.word),
+        json_escape(&d.message)
+    )
+}
+
+fn hoist_json(plan: &HoistPlan, refusals: &[Diagnostic]) -> String {
+    let diags: Vec<String> = plan.diags.iter().chain(refusals).map(diag_json).collect();
+    format!(
+        "{{\"hoists\":{},\"refused\":{},\"idle_windows\":{},\"shadow_depth\":{},\
+         \"reconfig_before_ns\":{:.3},\"reconfig_after_ns\":{:.3},\"hidden_ns\":{:.3},\
+         \"verified\":{},\"diagnostics\":[{}]}}",
+        plan.hoists.len(),
+        plan.refused.len(),
+        plan.windows.len(),
+        plan.shadow_depth,
+        plan.reconfig_before_ns,
+        plan.reconfig_after_ns,
+        plan.hoisted_ns(),
+        refusals.is_empty(),
+        diags.join(",")
+    )
+}
+
+fn report_json(
+    name: &str,
+    fixed: bool,
+    report: &LintReport,
+    hoist: Option<&(HoistPlan, Vec<Diagnostic>)>,
+) -> String {
+    let diags: Vec<String> = report.diags.iter().map(diag_json).collect();
+    let hoist_field = hoist.map_or_else(
+        || "null".to_string(),
+        |(plan, refusals)| hoist_json(plan, refusals),
+    );
     format!(
         "{{\"schedule\":\"{}\",\"fixed\":{},\"removable_words\":{},\"saved_ns\":{:.3},\
-         \"denied\":{},\"diagnostics\":[{}]}}",
+         \"denied\":{},\"hoist\":{},\"diagnostics\":[{}]}}",
         name,
         fixed,
         report.removals.len(),
         report.saved_ns(),
         report.denied(),
+        hoist_field,
         diags.join(",")
     )
 }
@@ -86,6 +128,7 @@ struct Options {
     schedules: Vec<String>,
     levels: LintLevels,
     fix: bool,
+    hoist: bool,
     json: bool,
 }
 
@@ -94,6 +137,7 @@ fn parse_args() -> Options {
         schedules: Vec::new(),
         levels: LintLevels::new(),
         fix: false,
+        hoist: false,
         json: false,
     };
     let mut deny_warnings = false;
@@ -122,6 +166,7 @@ fn parse_args() -> Options {
             }
             "--deny-warnings" => deny_warnings = true,
             "--fix" => opts.fix = true,
+            "--hoist" => opts.hoist = true,
             "--json" => opts.json = true,
             "--help" | "-h" => usage(),
             other => {
@@ -173,11 +218,44 @@ fn main() {
             }
             report = lint_epochs(mesh, &epochs, &opts.levels, &cost);
         }
+        // Plan proof-gated hoists on the (possibly fixed) schedule and
+        // re-verify every certificate with the independent checker.
+        let hoist = opts.hoist.then(|| {
+            let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+            let plan = plan_hoists(mesh, &specs, &opts.levels, &cost, &HoistOptions::default());
+            let refusals = verify_hoists(mesh, &specs, &plan, &cost);
+            (plan, refusals)
+        });
         if opts.json {
-            println!("{}", report_json(name, fixed, &report));
+            println!("{}", report_json(name, fixed, &report, hoist.as_ref()));
         } else {
             for d in &report.diags {
                 println!("{name}: {}", render(d));
+            }
+            if let Some((plan, refusals)) = &hoist {
+                for d in plan.diags.iter().chain(refusals) {
+                    println!("{name}: {}", render(d));
+                }
+                let ratio = if plan.reconfig_after_ns > 0.0 {
+                    plan.reconfig_before_ns / plan.reconfig_after_ns
+                } else {
+                    f64::INFINITY
+                };
+                println!(
+                    "{name}: hoist: {} applied, {} refused, reconfiguration \
+                     {:.1} -> {:.1} ns ({:.2}x, {:.1} ns hidden), certificates {}",
+                    plan.hoists.len(),
+                    plan.refused.len(),
+                    plan.reconfig_before_ns,
+                    plan.reconfig_after_ns,
+                    ratio,
+                    plan.hoisted_ns(),
+                    if refusals.is_empty() {
+                        "verified"
+                    } else {
+                        "REFUSED"
+                    }
+                );
             }
             let verdict = if fixed {
                 format!(
@@ -202,6 +280,11 @@ fn main() {
         }
         if report.denied() {
             failed = true;
+        }
+        if let Some((plan, refusals)) = &hoist {
+            if has_errors(&plan.diags) || has_errors(refusals) {
+                failed = true;
+            }
         }
     }
     std::process::exit(if failed { 1 } else { 0 });

@@ -1,0 +1,156 @@
+//! Hoisting soundness: a schedule replayed under a `lint::overlap`
+//! hoisting plan must be **bit-exact** with the original run — same
+//! final data-memory and instruction-memory images, same per-epoch
+//! compute and traffic — with only the Eq. 1 reconfiguration term
+//! reduced; and a plan with fabricated certificates must be rejected
+//! (L011) by the independent re-verifier before anything executes.
+//!
+//! The fft-1024 case carries the headline acceptance criterion: the
+//! proof-gated hoisting pass must at least halve its reconfiguration
+//! time (ISSUE 6), with the hoisted WCET bound still containing the
+//! observed runtime.
+
+use remorph::explore::{build_example_schedule, hoist_schedule, minimize_schedule};
+use remorph::fabric::CostModel;
+use remorph::lint::{hoisted_bound, verify_hoists};
+use remorph::sim::{bound_epochs, epoch_spec, ArraySim, EpochRunner};
+use remorph::verify::{Code, EpochSpec};
+
+const TOL: f64 = 1e-6;
+
+/// Runs `name` twice — plain and hoisted — and checks the replay is
+/// bit-exact. Returns (baseline reconfig ns, hoisted reconfig ns,
+/// applied hoists).
+fn replay_bit_exact(name: &str) -> (f64, f64, usize) {
+    let cost = CostModel::default();
+    let (mesh, mut epochs) = build_example_schedule(name).expect("known example");
+    minimize_schedule(mesh, &mut epochs, &cost);
+
+    let mut base = EpochRunner::new(ArraySim::new(mesh), cost);
+    let base_report = base.run_schedule(&epochs).expect("baseline runs");
+
+    let plan = hoist_schedule(mesh, &epochs, &cost);
+    let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+    let refused = verify_hoists(mesh, &specs, &plan, &cost);
+    assert!(
+        refused.is_empty(),
+        "{name}: planner certificates must re-verify: {refused:?}"
+    );
+
+    let mut hoisted = EpochRunner::new(ArraySim::new(mesh), cost);
+    let hoist_report = hoisted
+        .run_hoisted_schedule(&epochs, &plan)
+        .expect("hoisted replay runs");
+
+    // Bit-exact: every tile ends with the same memory images.
+    for t in 0..mesh.tiles() {
+        assert_eq!(
+            base.sim.tiles[t].dmem.snapshot(),
+            hoisted.sim.tiles[t].dmem.snapshot(),
+            "{name}: tile {t} data memory diverged under hoisting"
+        );
+        assert_eq!(
+            base.sim.tiles[t].imem.image(),
+            hoisted.sim.tiles[t].imem.image(),
+            "{name}: tile {t} instruction memory diverged under hoisting"
+        );
+    }
+    // Same computation and traffic, epoch by epoch; reconfiguration
+    // never grows and is exactly the foreground the plan predicts.
+    assert_eq!(base_report.epochs.len(), hoist_report.epochs.len());
+    for (b, h) in base_report.epochs.iter().zip(&hoist_report.epochs) {
+        assert_eq!(b.name, h.name);
+        assert!(
+            (b.compute_ns - h.compute_ns).abs() < TOL,
+            "{name}: epoch '{}' compute {} vs hoisted {}",
+            b.name,
+            b.compute_ns,
+            h.compute_ns
+        );
+        assert_eq!(b.words_copied, h.words_copied, "{name}: '{}'", b.name);
+        assert!(
+            h.reconfig_ns <= b.reconfig_ns + 1e-9,
+            "{name}: '{}'",
+            b.name
+        );
+    }
+    let (rb, rh) = (
+        base_report.total_reconfig_ns(),
+        hoist_report.total_reconfig_ns(),
+    );
+    assert!(
+        (rb - plan.reconfig_before_ns).abs() < TOL && (rh - plan.reconfig_after_ns).abs() < TOL,
+        "{name}: plan prices {} -> {} ns, simulator measured {rb} -> {rh} ns",
+        plan.reconfig_before_ns,
+        plan.reconfig_after_ns
+    );
+    // The hoisted WCET bound still contains the hoisted observation.
+    let hb = hoisted_bound(&bound_epochs(mesh, &cost, &epochs), &plan, &cost);
+    if hb.is_bounded() {
+        assert!(
+            hb.total_ns().contains(hoist_report.total_ns(), TOL),
+            "{name}: hoisted run {} ns outside hoisted bound {:?}",
+            hoist_report.total_ns(),
+            hb.total_ns()
+        );
+    }
+    (rb, rh, plan.hoists.len())
+}
+
+#[test]
+fn fft_64_replay_is_bit_exact_and_cheaper() {
+    let (rb, rh, hoists) = replay_bit_exact("fft-64");
+    assert!(hoists > 0, "fft-64 has idle windows to exploit");
+    assert!(rh < rb);
+}
+
+#[test]
+fn jpeg_replay_is_bit_exact() {
+    // The block-pipelined JPEG schedule keeps every tile busy almost
+    // every epoch; whatever the planner proves is gravy, but the replay
+    // must stay bit-exact regardless.
+    let (rb, rh, _) = replay_bit_exact("jpeg");
+    assert!(rh <= rb);
+}
+
+#[test]
+fn fft_1024_hoisting_halves_reconfiguration() {
+    let (rb, rh, hoists) = replay_bit_exact("fft-1024");
+    assert!(hoists > 0);
+    assert!(
+        rh * 2.0 <= rb,
+        "fft-1024 reconfiguration must drop >= 2x: {rb} -> {rh} ns ({:.2}x)",
+        rb / rh
+    );
+}
+
+#[test]
+fn fabricated_certificates_are_rejected() {
+    let cost = CostModel::default();
+    let (mesh, mut epochs) = build_example_schedule("fft-64").expect("known example");
+    minimize_schedule(mesh, &mut epochs, &cost);
+    let good = hoist_schedule(mesh, &epochs, &cost);
+    assert!(!good.hoists.is_empty());
+    let specs: Vec<EpochSpec> = epochs.iter().map(epoch_spec).collect();
+
+    // Fabricate an idle window: pretend the payload needs no streaming
+    // cycles at all (seeded from the honest plan, claims dropped).
+    let mut lying = good.clone();
+    lying.hoists[0].claims.clear();
+    lying.hoists[0].cert.claims.clear();
+    let diags = verify_hoists(mesh, &specs, &lying, &cost);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::HoistRefused && d.is_error()),
+        "fabricated window must be refused: {diags:?}"
+    );
+
+    // The strict runner gate refuses to execute the lying plan...
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), cost);
+    let err = runner.run_hoisted_schedule(&epochs, &lying);
+    assert!(err.is_err(), "strict gate must reject fabricated proofs");
+    // ...and the honest plan passes the same gate.
+    let mut runner = EpochRunner::new(ArraySim::new(mesh), cost);
+    assert!(runner.run_hoisted_schedule(&epochs, &good).is_ok());
+}
